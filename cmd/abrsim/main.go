@@ -1,0 +1,202 @@
+// Command abrsim runs a single ABR streaming session in the simulator and
+// prints the QoE summary, optionally dumping the timeline as CSV.
+//
+// Usage:
+//
+//	abrsim -player bestpractice -kbps 700 [-content drama] [-timeline out.csv]
+//	abrsim -player shaka -trace profile.csv [-manifest hall] [-audio-first A3]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"demuxabr/internal/core"
+	"demuxabr/internal/media"
+	"demuxabr/internal/report"
+	"demuxabr/internal/trace"
+)
+
+func main() {
+	playerName := flag.String("player", "bestpractice", "player model: exoplayer-dash, exoplayer-hls, shaka, dashjs, bestpractice, bestpractice-independent")
+	kbps := flag.Float64("kbps", 0, "fixed link bandwidth in Kbps")
+	traceFile := flag.String("trace", "", "bandwidth trace CSV (seconds,kbps rows; overrides -kbps)")
+	profileName := flag.String("profile", "", "named bandwidth profile (fig2, fig3, fig4a, fig4b, fig5, exohls-5m, lte); overrides -kbps")
+	contentName := flag.String("content", "drama", "content: drama, drama-low-audio, drama-high-audio, music-show, action-movie")
+	manifest := flag.String("manifest", "hsub", "HLS manifest combinations: hsub (curated) or hall (all)")
+	audioFirst := flag.String("audio-first", "", "audio track listed first in the HLS manifest (e.g. A3)")
+	timelineOut := flag.String("timeline", "", "write the session timeline as CSV to this file")
+	jsonOut := flag.String("json", "", "write the full session report as JSON to this file")
+	compare := flag.Bool("compare", false, "run every player model and print a comparison table (ignores -player)")
+	flag.Parse()
+
+	if *compare {
+		if err := runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst); err != nil {
+			fmt.Fprintln(os.Stderr, "abrsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineOut, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "abrsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runCompare runs every player kind under the same conditions.
+func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string) error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Model\tVideo\tAudio\tStalls\tRebuffer\tSwitches\tOff-manifest\tQoE")
+	for _, kind := range core.PlayerKinds() {
+		sess, err := playOnce(string(kind), kbps, traceFile, profileName, contentName, manifest, audioFirst)
+		if err != nil {
+			return fmt.Errorf("%s: %w", kind, err)
+		}
+		m := sess.Metrics
+		fmt.Fprintf(tw, "%s\t%.0fK\t%.0fK\t%d\t%.1fs\t%d/%d\t%d\t%.2f\n",
+			sess.Model, m.AvgVideoBitrate.Kbps(), m.AvgAudioBitrate.Kbps(),
+			m.StallCount, m.RebufferTime.Seconds(),
+			m.VideoSwitches, m.AudioSwitches, m.OffManifest, m.Score)
+	}
+	return tw.Flush()
+}
+
+// playOnce builds content, profile and manifest options from the CLI flags
+// and runs one session.
+func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string) (*core.Session, error) {
+	kind, err := core.ParsePlayerKind(playerName)
+	if err != nil {
+		return nil, err
+	}
+	var content *media.Content
+	switch contentName {
+	case "drama":
+		content = media.DramaShow()
+	case "drama-low-audio":
+		content = media.DramaShowLowAudio()
+	case "drama-high-audio":
+		content = media.DramaShowHighAudio()
+	case "music-show":
+		content = media.MusicShow()
+	case "action-movie":
+		content = media.ActionMovie()
+	default:
+		return nil, fmt.Errorf("unknown content %q", contentName)
+	}
+
+	var profile trace.Profile
+	switch {
+	case profileName != "":
+		profile, err = trace.Named(profileName)
+		if err != nil {
+			return nil, err
+		}
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		profile, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	case kbps > 0:
+		profile = trace.Fixed(media.Kbps(kbps))
+	default:
+		return nil, fmt.Errorf("need -kbps, -trace, or -profile")
+	}
+
+	mo := core.ManifestOptions{}
+	switch manifest {
+	case "hsub":
+		mo.Combos = media.HSub(content)
+	case "hall":
+		mo.Combos = media.HAll(content)
+	default:
+		return nil, fmt.Errorf("unknown manifest %q", manifest)
+	}
+	if audioFirst != "" {
+		first := content.TrackByID(audioFirst)
+		if first == nil || first.Type != media.Audio {
+			return nil, fmt.Errorf("unknown audio track %q", audioFirst)
+		}
+		mo.AudioOrder = []*media.Track{first}
+		for _, a := range content.AudioTracks {
+			if a != first {
+				mo.AudioOrder = append(mo.AudioOrder, a)
+			}
+		}
+	}
+	return core.Play(core.Spec{Content: content, Profile: profile, Player: kind, Manifest: mo})
+}
+
+func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineOut, jsonOut string) error {
+	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst)
+	if err != nil {
+		return err
+	}
+	m := sess.Metrics
+	fmt.Printf("model:           %s\n", sess.Model)
+	fmt.Printf("startup delay:   %.2f s\n", m.StartupDelay.Seconds())
+	fmt.Printf("stalls:          %d (%.1f s rebuffering, ratio %.3f)\n", m.StallCount, m.RebufferTime.Seconds(), m.RebufferRatio)
+	fmt.Printf("avg video:       %.0f Kbps (quality %.2f, %d switches)\n", m.AvgVideoBitrate.Kbps(), m.AvgVideoQuality, m.VideoSwitches)
+	fmt.Printf("avg audio:       %.0f Kbps (quality %.2f, %d switches)\n", m.AvgAudioBitrate.Kbps(), m.AvgAudioQuality, m.AudioSwitches)
+	fmt.Printf("combos used:     %v (off-manifest chunks: %d)\n", sess.Result.CombosSelected(), m.OffManifest)
+	fmt.Printf("buffer imbalance: max %.1f s, mean %.1f s\n", m.MaxImbalance.Seconds(), m.MeanImbalance.Seconds())
+	fmt.Printf("QoE score:       %.2f\n", m.Score)
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		doc := report.FromResult(contentName, sess.Result, sess.Metrics)
+		if err := doc.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if timelineOut != "" {
+		f, err := os.Create(timelineOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		defer w.Flush()
+		if err := w.Write([]string{"t_s", "playpos_s", "video", "audio", "vbuf_s", "abuf_s", "est_kbps", "stalled"}); err != nil {
+			return err
+		}
+		for _, s := range sess.Result.Timeline {
+			video, audio := "", ""
+			if s.Video != nil {
+				video = s.Video.ID
+			}
+			if s.Audio != nil {
+				audio = s.Audio.ID
+			}
+			rec := []string{
+				fmt.Sprintf("%.3f", s.At.Seconds()),
+				fmt.Sprintf("%.3f", s.PlayPos.Seconds()),
+				video, audio,
+				fmt.Sprintf("%.3f", s.VideoBuffer.Seconds()),
+				fmt.Sprintf("%.3f", s.AudioBuffer.Seconds()),
+				fmt.Sprintf("%.1f", s.Estimate.Kbps()),
+				fmt.Sprintf("%v", s.Stalled),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

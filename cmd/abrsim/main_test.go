@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFixedBandwidth(t *testing.T) {
+	tl := filepath.Join(t.TempDir(), "tl.csv")
+	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", tl, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t_s,playpos_s,video,audio") {
+		t.Errorf("timeline header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	if strings.Count(string(data), "\n") < 100 {
+		t.Errorf("timeline too short: %d lines", strings.Count(string(data), "\n"))
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(traceFile, []byte("0,900\n30,300\n#cycle,60\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("shaka", 0, traceFile, "", "drama", "hall", "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAudioFirst(t *testing.T) {
+	if err := run("exoplayer-hls", 2000, "", "", "drama", "hsub", "A3", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunContentVariants(t *testing.T) {
+	for _, c := range []string{"drama-low-audio", "drama-high-audio"} {
+		if err := run("exoplayer-dash", 900, "", "", c, "hsub", "", "", ""); err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name                                                    string
+		player, content, manifest, audioFirst, traceF, timeline string
+		kbps                                                    float64
+	}{
+		{name: "bad player", player: "vlc", content: "drama", manifest: "hsub", kbps: 100},
+		{name: "bad content", player: "shaka", content: "nope", manifest: "hsub", kbps: 100},
+		{name: "bad manifest", player: "shaka", content: "drama", manifest: "x", kbps: 100},
+		{name: "bad audio", player: "shaka", content: "drama", manifest: "hsub", audioFirst: "Z9", kbps: 100},
+		{name: "no bandwidth", player: "shaka", content: "drama", manifest: "hsub"},
+		{name: "missing trace", player: "shaka", content: "drama", manifest: "hsub", traceF: "/nonexistent.csv"},
+	}
+	for _, tc := range cases {
+		if err := run(tc.player, tc.kbps, tc.traceF, "", tc.content, tc.manifest, tc.audioFirst, tc.timeline, ""); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "session.json")
+	if err := run("mpc-joint", 1300, "", "", "drama", "hsub", "", "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"model": "mpc-joint"`) {
+		t.Errorf("JSON export missing model field")
+	}
+	if !strings.Contains(string(data), `"qoe_score"`) {
+		t.Errorf("JSON export missing metrics")
+	}
+}
+
+func TestRunNamedProfile(t *testing.T) {
+	if err := run("shaka", 0, "", "fig4a", "drama", "hall", "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("shaka", 0, "", "bogus", "drama", "hall", "", "", ""); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := runCompare(900, "", "", "drama", "hsub", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(0, "", "", "drama", "hsub", ""); err == nil {
+		t.Error("compare without bandwidth should fail")
+	}
+}

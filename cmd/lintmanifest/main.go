@@ -1,0 +1,96 @@
+// Command lintmanifest checks DASH MPDs and HLS playlists against the
+// paper's §4.1 server-side best practices for demuxed audio/video content.
+//
+// Usage:
+//
+//	lintmanifest manifest.mpd master.m3u8 audio/A1.m3u8 ...
+//
+// File type is detected from the extension (.mpd vs .m3u8) and, for m3u8,
+// from the content (master vs media playlist). Exit status 1 when any
+// warning fires, 2 on usage or parse errors.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/manifest/lint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintmanifest <manifest files...>")
+		os.Exit(2)
+	}
+	warnings, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmanifest:", err)
+		os.Exit(2)
+	}
+	if warnings > 0 {
+		os.Exit(1)
+	}
+}
+
+// run lints each file, printing findings; it returns the warning count.
+func run(paths []string, out *os.File) (int, error) {
+	warnings := 0
+	for _, path := range paths {
+		findings, err := lintFile(path)
+		if err != nil {
+			return warnings, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(findings) == 0 {
+			fmt.Fprintf(out, "%s: ok\n", path)
+			continue
+		}
+		for _, f := range findings {
+			fmt.Fprintf(out, "%s: %s\n", path, f)
+			if f.Severity == lint.Warning {
+				warnings++
+			}
+		}
+	}
+	return warnings, nil
+}
+
+func lintFile(path string) ([]lint.Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch filepath.Ext(path) {
+	case ".mpd":
+		m, err := dash.Parse(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return lint.MPD(m), nil
+	case ".m3u8":
+		if isMaster(data) {
+			m, err := hls.ParseMaster(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return lint.Master(m), nil
+		}
+		p, err := hls.ParseMedia(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return lint.MediaPlaylist(filepath.Base(path), p), nil
+	default:
+		return nil, fmt.Errorf("unknown manifest type (want .mpd or .m3u8)")
+	}
+}
+
+// isMaster distinguishes master from media playlists by their defining tags.
+func isMaster(data []byte) bool {
+	s := string(data)
+	return strings.Contains(s, "#EXT-X-STREAM-INF") || strings.Contains(s, "#EXT-X-MEDIA:")
+}

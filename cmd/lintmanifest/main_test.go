@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	dashpkg "demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+)
+
+func writeFile(t *testing.T, dir, name string, enc func(f *os.File) error) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := media.DramaShow()
+	hall := writeFile(t, dir, "hall.m3u8", func(f *os.File) error {
+		return hls.GenerateMaster(c, media.HAll(c), nil).Encode(f)
+	})
+	hsub := writeFile(t, dir, "hsub.m3u8", func(f *os.File) error {
+		return hls.GenerateMaster(c, media.HSub(c), nil).Encode(f)
+	})
+	badMedia := writeFile(t, dir, "v1.m3u8", func(f *os.File) error {
+		return hls.GenerateMedia(c, c.TrackByID("V1"), hls.SegmentFiles, false).Encode(f)
+	})
+	goodMedia := writeFile(t, dir, "a1.m3u8", func(f *os.File) error {
+		return hls.GenerateMedia(c, c.TrackByID("A1"), hls.SingleFile, false).Encode(f)
+	})
+
+	warnings, err := run([]string{hall, badMedia}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warnings < 2 {
+		t.Errorf("warnings = %d, want >= 2 (H_all + unrecoverable media)", warnings)
+	}
+	warnings, err = run([]string{hsub, goodMedia}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warnings != 0 {
+		t.Errorf("curated manifests should lint clean, got %d warnings", warnings)
+	}
+}
+
+func TestLintMPD(t *testing.T) {
+	dir := t.TempDir()
+	mpd := writeFile(t, dir, "manifest.mpd", func(f *os.File) error {
+		return dashGenerate(f)
+	})
+	warnings, err := run([]string{mpd}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warnings != 0 {
+		t.Errorf("MPD findings are informational; warnings = %d", warnings)
+	}
+}
+
+func TestLintErrors(t *testing.T) {
+	if _, err := run([]string{"/nonexistent.mpd"}, os.Stdout); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "x.txt")
+	os.WriteFile(bad, []byte("?"), 0o644)
+	if _, err := run([]string{bad}, os.Stdout); err == nil {
+		t.Error("unknown extension should error")
+	}
+	garbled := filepath.Join(dir, "x.m3u8")
+	os.WriteFile(garbled, []byte("#EXT-X-STREAM-INF:BANDWIDTH=1"), 0o644)
+	if _, err := run([]string{garbled}, os.Stdout); err == nil {
+		t.Error("unparseable playlist should error")
+	}
+}
+
+func dashGenerate(f *os.File) error {
+	return dashpkg.Generate(media.DramaShow()).Encode(f)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+)
+
+func TestMkManifestWritesEverything(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "drama"); err != nil {
+		t.Fatal(err)
+	}
+	// The MPD parses and yields the full ladders.
+	f, err := os.Open(filepath.Join(dir, "manifest.mpd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpd, err := dash.Parse(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, a, err := dash.Ladders(mpd)
+	if err != nil || len(v) != 6 || len(a) != 3 {
+		t.Fatalf("ladders %d/%d (%v)", len(v), len(a), err)
+	}
+	// Both master playlists parse with the right variant counts.
+	for name, want := range map[string]int{"master_hall.m3u8": 18, "master_hsub.m3u8": 6} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := hls.ParseMaster(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m.Variants) != want {
+			t.Errorf("%s: %d variants, want %d", name, len(m.Variants), want)
+		}
+	}
+	// Every track has a media playlist carrying bitrate information.
+	for _, id := range []string{"V1", "V6", "A1", "A3"} {
+		sub := "video"
+		if id[0] == 'A' {
+			sub = "audio"
+		}
+		f, err := os.Open(filepath.Join(dir, sub, id+".m3u8"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := hls.ParseMedia(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if _, _, err := hls.TrackBitrate(pl); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestMkManifestBadContent(t *testing.T) {
+	if err := run(t.TempDir(), "bogus"); err == nil {
+		t.Error("unknown content should fail")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNewServerServes(t *testing.T) {
+	srv, content, err := newServer(":0", 0, "drama", "hall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	for _, path := range []string{"/manifest.mpd", "/master.m3u8", "/video/V1/seg-0.m4s"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("%s: status %d, %d bytes", path, resp.StatusCode, len(body))
+		}
+	}
+	if content == nil || content.Name != "drama-show" {
+		t.Errorf("content = %v", content)
+	}
+}
+
+func TestNewServerErrors(t *testing.T) {
+	if _, _, err := newServer(":0", 0, "bogus", "hall"); err == nil {
+		t.Error("unknown content should fail")
+	}
+	if _, _, err := newServer(":0", 0, "drama", "bogus"); err == nil {
+		t.Error("unknown manifest should fail")
+	}
+}

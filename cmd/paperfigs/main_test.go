@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEveryExperimentRuns(t *testing.T) {
+	dir := t.TempDir()
+	fns := map[string]func(string) error{
+		"table1": table1, "table2": table2, "table3": table3,
+		"fig2a": fig2a, "fig2b": fig2b, "fig3": fig3,
+		"fig4a": fig4a, "fig4b": fig4b, "fig5": fig5,
+		"cdn": cdn, "repair": repair, "splitpath": splitpath,
+		"curation": curation, "syncwindow": syncwindow, "chunkdur": chunkdur,
+		"muxed": muxed, "language": language, "startup": startup,
+		"pareto": pareto, "verify": verify,
+	}
+	for name, fn := range fns {
+		if err := fn(dir); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCSVTimelinesWritten(t *testing.T) {
+	dir := t.TempDir()
+	if err := fig4a(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("fig4a.csv has %d lines, want a full timeline", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_s,video,audio") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// The Fig 4(a) signature visible in the CSV: estimate pinned at 500.
+	if !strings.Contains(lines[len(lines)-1], ",500.0,") {
+		t.Errorf("final row lacks the 500 Kbps estimate: %q", lines[len(lines)-1])
+	}
+}

@@ -1,0 +1,121 @@
+// Command replay renders a saved session report (abrsim -json) as ASCII
+// charts in the terminal: buffer levels with stall shading, the bandwidth
+// estimate, and the track-selection steps — the same views as the paper's
+// figures.
+//
+// Usage:
+//
+//	abrsim -player shaka -profile fig4b -manifest hall -json s.json
+//	replay s.json
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"demuxabr/internal/plot"
+	"demuxabr/internal/report"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: replay <session.json>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, out *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := report.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	return render(s, out)
+}
+
+func render(s *report.Session, out *os.File) error {
+	fmt.Fprintf(out, "session: %s on %s — %.0f s content, %d stalls, %.1f s rebuffer, QoE %.2f\n\n",
+		s.Model, s.Content, s.ContentDuration, s.Metrics.StallCount,
+		s.Metrics.RebufferSecs, s.Metrics.Score)
+
+	if len(s.Timeline) == 0 {
+		return fmt.Errorf("report has no timeline")
+	}
+	xMax := s.Timeline[len(s.Timeline)-1].At
+
+	vbuf := make([]float64, len(s.Timeline))
+	abuf := make([]float64, len(s.Timeline))
+	est := make([]float64, 0, len(s.Timeline))
+	for i, p := range s.Timeline {
+		vbuf[i] = p.VideoBuffer
+		abuf[i] = p.AudioBuffer
+		if p.EstimateKbps > 0 {
+			est = append(est, p.EstimateKbps)
+		}
+	}
+	if err := plot.Chart(out, "buffer levels (s)", 72, 10, xMax,
+		plot.Series{Name: "video", Values: vbuf},
+		plot.Series{Name: "audio", Values: abuf},
+	); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	if len(est) > 1 {
+		if err := plot.Chart(out, "bandwidth estimate (Kbps)", 72, 8, xMax,
+			plot.Series{Name: "estimate", Values: est}); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	// Track-selection steps per type, from the timeline samples.
+	for _, typ := range []struct {
+		name string
+		get  func(report.Point) string
+	}{
+		{"video track", func(p report.Point) string { return p.Video }},
+		{"audio track", func(p report.Point) string { return p.Audio }},
+	} {
+		var values []string
+		seen := map[string]bool{}
+		for _, p := range s.Timeline {
+			v := typ.get(p)
+			if v == "" {
+				continue
+			}
+			values = append(values, v)
+			seen[v] = true
+		}
+		if len(values) == 0 {
+			continue
+		}
+		cats := make([]string, 0, len(seen))
+		for c := range seen {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		if err := plot.Steps(out, typ.name, 72, xMax, cats, values); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if len(s.Stalls) > 0 {
+		fmt.Fprint(out, "stalls:")
+		for _, st := range s.Stalls {
+			fmt.Fprintf(out, "  %.1f-%.1fs", st.Start, st.End)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Languages demonstrates the paper's §1 multi-language motivation end to
+// end: a two-language asset (shared video ladder, per-language audio
+// tiers), a viewer who switches from English to Spanish mid-session, and
+// the packaging consequence — demuxed throws away only the buffered audio,
+// muxed throws away the video with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"demuxabr/internal/experiments"
+	"demuxabr/internal/media"
+)
+
+func main() {
+	content := media.MultiLanguageShow()
+	fmt.Printf("asset %q: %d shared video tracks, audio per language:\n", content.Name, len(content.VideoTracks))
+	for _, lang := range []string{"en", "es"} {
+		ladder := media.LanguageLadder(content.AudioTracks, lang)
+		fmt.Printf("  %s: %v\n", lang, ladder.IDs())
+	}
+
+	r, err := experiments.LanguageSwitch()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nviewer switches en -> es at t=120 s on a 2 Mbps link:")
+	fmt.Printf("  demuxed: discards %5.1f MB (buffered audio only), %d stalls, QoE %.2f\n",
+		float64(r.DemuxedDiscarded)/(1<<20), r.Demuxed.Metrics.StallCount, r.Demuxed.Metrics.Score)
+	fmt.Printf("  muxed:   discards %5.1f MB (audio AND buffered video), %d stalls, QoE %.2f\n",
+		float64(r.MuxedDiscarded)/(1<<20), r.Muxed.Metrics.StallCount, r.Muxed.Metrics.Score)
+
+	// What actually played after the switch.
+	langs := map[string]int{}
+	for _, ch := range r.Demuxed.Result.ChunksOf(media.Audio) {
+		langs[ch.Track.Language]++
+	}
+	fmt.Printf("\ndemuxed session audio chunks by language: %v\n", langs)
+	fmt.Println("(the video buffer built before the switch kept playing — only")
+	fmt.Println(" demuxed packaging makes a language change this cheap, §1)")
+}

@@ -1,0 +1,3 @@
+module demuxabr
+
+go 1.22

@@ -1,0 +1,182 @@
+package dashjs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/media"
+)
+
+func feed(p *Player, t media.Type, bps float64, n int) {
+	for i := 0; i < n; i++ {
+		p.OnComplete(abr.TransferInfo{
+			Type:     t,
+			Bytes:    bps / 8, // 1 s worth
+			Duration: time.Second,
+		})
+	}
+}
+
+func st(vbuf, abuf time.Duration) abr.State {
+	return abr.State{VideoBuffer: vbuf, AudioBuffer: abuf, ChunkDuration: 5 * time.Second}
+}
+
+func TestStartsAtLowestWithoutEstimate(t *testing.T) {
+	c := media.DramaShow()
+	p := New(c.VideoTracks, c.AudioTracks)
+	if got := p.SelectTrack(media.Video, st(0, 0)); got.ID != "V1" {
+		t.Errorf("initial video = %s, want V1", got.ID)
+	}
+	if got := p.SelectTrack(media.Audio, st(0, 0)); got.ID != "A1" {
+		t.Errorf("initial audio = %s, want A1", got.ID)
+	}
+}
+
+func TestThroughputRulePerType(t *testing.T) {
+	c := media.DramaShow()
+	p := New(c.VideoTracks, c.AudioTracks)
+	// Video sees 700 Kbps: 0.9*700 = 630 -> V3 (473). Audio estimator is
+	// still empty, so audio stays at A1: fully independent estimation.
+	feed(p, media.Video, 700e3, 4)
+	if got := p.SelectTrack(media.Video, st(3*time.Second, 3*time.Second)); got.ID != "V3" {
+		t.Errorf("video = %s, want V3", got.ID)
+	}
+	if got := p.SelectTrack(media.Audio, st(3*time.Second, 3*time.Second)); got.ID != "A1" {
+		t.Errorf("audio = %s, want A1 (no audio samples yet)", got.ID)
+	}
+	// Audio alone sees 700 Kbps: 630 budget -> A3 (384): the undesirable
+	// high-audio pick of Fig 5 regardless of what video chose.
+	feed(p, media.Audio, 700e3, 4)
+	if got := p.SelectTrack(media.Audio, st(3*time.Second, 3*time.Second)); got.ID != "A3" {
+		t.Errorf("audio = %s, want A3", got.ID)
+	}
+}
+
+func TestIndependentDecisionsMakeUndesirableCombos(t *testing.T) {
+	// The §3.4 finding distilled: video constrained by its own (shared-
+	// bottleneck) throughput picks V2, audio seeing solo downloads picks
+	// A3 -> V2+A3 (652 peak) although V3+A2 (840 peak but 558 average, and
+	// a far better quality balance) fits the 700 Kbps link.
+	c := media.DramaShow()
+	p := New(c.VideoTracks, c.AudioTracks)
+	feed(p, media.Video, 350e3, 4) // video shares the link with audio
+	feed(p, media.Audio, 700e3, 4) // audio often downloads alone
+	v := p.SelectTrack(media.Video, st(4*time.Second, 4*time.Second))
+	a := p.SelectTrack(media.Audio, st(4*time.Second, 4*time.Second))
+	if v.ID != "V2" || a.ID != "A3" {
+		t.Errorf("selected %s+%s, want the undesirable V2+A3", v.ID, a.ID)
+	}
+}
+
+func TestBolaPrefersHigherWithBiggerBuffer(t *testing.T) {
+	c := media.DramaShow()
+	b := NewBola(c.VideoTracks, DefaultBolaEnterBuffer)
+	low := b.Select(2 * time.Second)
+	high := b.Select(25 * time.Second)
+	if low.DeclaredBitrate >= high.DeclaredBitrate {
+		t.Errorf("BOLA: buffer 2s -> %s, 25s -> %s; want increasing quality", low.ID, high.ID)
+	}
+	if low.ID != "V1" {
+		t.Errorf("BOLA at 2s buffer = %s, want V1", low.ID)
+	}
+}
+
+// Property: BOLA's selection is monotone non-decreasing in buffer level.
+func TestBolaMonotoneProperty(t *testing.T) {
+	c := media.DramaShow()
+	b := NewBola(c.VideoTracks, DefaultBolaEnterBuffer)
+	f := func(b1, b2 uint16) bool {
+		x, y := time.Duration(b1%40)*time.Second, time.Duration(b2%40)*time.Second
+		if x > y {
+			x, y = y, x
+		}
+		return b.Select(x).DeclaredBitrate <= b.Select(y).DeclaredBitrate
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicSwitchover(t *testing.T) {
+	c := media.DramaShow()
+	p := New(c.VideoTracks, c.AudioTracks)
+	feed(p, media.Video, 3e6, 4) // tput rule would pick high
+	if p.UsingBola(media.Video) {
+		t.Fatal("DYNAMIC must start on THROUGHPUT")
+	}
+	// Above the enter threshold with BOLA at least as high: hand to BOLA.
+	p.SelectTrack(media.Video, st(20*time.Second, 20*time.Second))
+	if !p.UsingBola(media.Video) {
+		t.Error("expected BOLA above 12 s buffer")
+	}
+	// Buffer collapses and throughput says higher than BOLA: revert.
+	p.SelectTrack(media.Video, st(2*time.Second, 2*time.Second))
+	if p.UsingBola(media.Video) {
+		t.Error("expected THROUGHPUT below 6 s buffer")
+	}
+}
+
+func TestDynamicPerTypeIsolation(t *testing.T) {
+	c := media.DramaShow()
+	p := New(c.VideoTracks, c.AudioTracks)
+	feed(p, media.Video, 3e6, 4)
+	feed(p, media.Audio, 3e6, 4)
+	p.SelectTrack(media.Video, st(20*time.Second, 1*time.Second))
+	if !p.UsingBola(media.Video) || p.UsingBola(media.Audio) {
+		t.Error("video's DYNAMIC state must not leak into audio's")
+	}
+}
+
+func TestEstimatesExposedPerType(t *testing.T) {
+	c := media.DramaShow()
+	p := New(c.VideoTracks, c.AudioTracks)
+	if _, ok := p.EstimateOf(media.Audio); ok {
+		t.Error("audio estimate should be absent before samples")
+	}
+	feed(p, media.Audio, 500e3, 4)
+	got, ok := p.EstimateOf(media.Audio)
+	if !ok || got != media.Kbps(500) {
+		t.Errorf("audio estimate = %v,%v; want 500 Kbps", got, ok)
+	}
+	if _, ok := p.BandwidthEstimate(); ok {
+		t.Error("video estimate should still be absent")
+	}
+}
+
+func TestAbandonRule(t *testing.T) {
+	c := media.DramaShow()
+	p := New(c.VideoTracks, c.AudioTracks)
+	doomed := abr.DownloadProgress{
+		Type:       media.Video,
+		Track:      c.VideoTracks[4],
+		BytesDone:  25_000, // 200 Kbps achieved
+		BytesTotal: 900_000,
+		Elapsed:    time.Second,
+		Buffer:     3 * time.Second,
+	}
+	repl := p.Abandon(doomed)
+	if repl == nil {
+		t.Fatal("doomed download not abandoned")
+	}
+	if repl.DeclaredBitrate >= c.VideoTracks[4].DeclaredBitrate {
+		t.Errorf("replacement %s not cheaper", repl.ID)
+	}
+	// Guards: second attempt, early sample, healthy download.
+	second := doomed
+	second.Attempt = 1
+	if p.Abandon(second) != nil {
+		t.Error("abandoned twice")
+	}
+	early := doomed
+	early.Elapsed = 100 * time.Millisecond
+	if p.Abandon(early) != nil {
+		t.Error("abandoned before a settled rate")
+	}
+	healthy := doomed
+	healthy.BytesDone = 850_000
+	if p.Abandon(healthy) != nil {
+		t.Error("abandoned a nearly-finished download")
+	}
+}

@@ -1,0 +1,94 @@
+package exoplayer
+
+import (
+	"demuxabr/internal/media"
+)
+
+// This file implements the mechanism ExoPlayer actually uses with the
+// predetermined combinations: bandwidth *allocation*. The merged staircase
+// becomes a list of checkpoints (total bandwidth → per-selection
+// allocation); at selection time the estimate is split between the video
+// and audio selections by piecewise-linear interpolation over the
+// checkpoints, and each selection independently picks the highest track
+// within its share. On the paper's ladders this is equivalent to picking
+// the highest predetermined combination that fits (proved by
+// TestAllocationEquivalence), which is why the package's DASH model uses
+// the simpler combination view.
+
+// Checkpoint is one row of the allocation table.
+type Checkpoint struct {
+	// Total is the aggregate bandwidth at this staircase step.
+	Total media.Bps
+	// Video and Audio are the per-selection allocations at the step.
+	Video media.Bps
+	Audio media.Bps
+}
+
+// AllocationCheckpoints derives the allocation table from the
+// predetermined-combination staircase.
+func AllocationCheckpoints(video, audio media.Ladder) []Checkpoint {
+	combos := PredeterminedCombos(video, audio)
+	out := make([]Checkpoint, len(combos))
+	for i, cb := range combos {
+		out[i] = Checkpoint{
+			Total: cb.DeclaredBitrate(),
+			Video: cb.Video.DeclaredBitrate,
+			Audio: cb.Audio.DeclaredBitrate,
+		}
+	}
+	return out
+}
+
+// Allocate splits a bandwidth budget between the video and audio selections
+// by interpolating the checkpoint table, mirroring ExoPlayer's
+// getAllocationCheckpoints consumers:
+//
+//   - below the first checkpoint the minimum allocations apply;
+//   - between checkpoints the allocation interpolates linearly;
+//   - beyond the last checkpoint the surplus is split proportionally to the
+//     maximum allocations.
+func Allocate(checkpoints []Checkpoint, budget media.Bps) (video, audio media.Bps) {
+	if len(checkpoints) == 0 {
+		return 0, 0
+	}
+	first := checkpoints[0]
+	if budget <= first.Total {
+		return first.Video, first.Audio
+	}
+	last := checkpoints[len(checkpoints)-1]
+	if budget >= last.Total {
+		surplus := float64(budget - last.Total)
+		total := float64(last.Video + last.Audio)
+		video = last.Video + media.Bps(surplus*float64(last.Video)/total)
+		audio = last.Audio + media.Bps(surplus*float64(last.Audio)/total)
+		return video, audio
+	}
+	for i := 1; i < len(checkpoints); i++ {
+		lo, hi := checkpoints[i-1], checkpoints[i]
+		if budget > hi.Total {
+			continue
+		}
+		frac := float64(budget-lo.Total) / float64(hi.Total-lo.Total)
+		video = lo.Video + media.Bps(frac*float64(hi.Video-lo.Video))
+		audio = lo.Audio + media.Bps(frac*float64(hi.Audio-lo.Audio))
+		return video, audio
+	}
+	return last.Video, last.Audio
+}
+
+// SelectByAllocation runs the full ExoPlayer mechanism: allocate the budget
+// over the checkpoint table, then let each selection pick the highest track
+// within its share.
+func SelectByAllocation(video, audio media.Ladder, checkpoints []Checkpoint, budget media.Bps) media.Combo {
+	av, aa := Allocate(checkpoints, budget)
+	pick := func(l media.Ladder, alloc media.Bps) *media.Track {
+		best := l[0]
+		for _, t := range l {
+			if t.DeclaredBitrate <= alloc {
+				best = t
+			}
+		}
+		return best
+	}
+	return media.Combo{Video: pick(video, av), Audio: pick(audio, aa)}
+}

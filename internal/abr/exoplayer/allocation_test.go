@@ -1,0 +1,95 @@
+package exoplayer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/media"
+)
+
+func TestAllocationCheckpointsMatchStaircase(t *testing.T) {
+	video, audio := media.DramaVideoLadder(), media.DramaAudioLadder()
+	cps := AllocationCheckpoints(video, audio)
+	combos := PredeterminedCombos(video, audio)
+	if len(cps) != len(combos) {
+		t.Fatalf("checkpoints = %d, combos = %d", len(cps), len(combos))
+	}
+	for i, cp := range cps {
+		if cp.Total != combos[i].DeclaredBitrate() ||
+			cp.Video != combos[i].Video.DeclaredBitrate ||
+			cp.Audio != combos[i].Audio.DeclaredBitrate {
+			t.Errorf("checkpoint %d = %+v, combo %s", i, cp, combos[i])
+		}
+		if cp.Video+cp.Audio != cp.Total {
+			t.Errorf("checkpoint %d: allocations do not sum to total", i)
+		}
+	}
+}
+
+func TestAllocateRegimes(t *testing.T) {
+	video, audio := media.DramaVideoLadder(), media.DramaAudioLadder()
+	cps := AllocationCheckpoints(video, audio)
+	// Below the first checkpoint: minimum allocations.
+	v, a := Allocate(cps, media.Kbps(50))
+	if v != video[0].DeclaredBitrate || a != audio[0].DeclaredBitrate {
+		t.Errorf("starved allocation = %v/%v", v, a)
+	}
+	// At a checkpoint: exactly its allocations.
+	v, a = Allocate(cps, cps[3].Total)
+	if v != cps[3].Video || a != cps[3].Audio {
+		t.Errorf("checkpoint allocation = %v/%v, want %v/%v", v, a, cps[3].Video, cps[3].Audio)
+	}
+	// Beyond the top: proportional surplus, monotone in budget.
+	v1, a1 := Allocate(cps, media.Kbps(5000))
+	v2, a2 := Allocate(cps, media.Kbps(8000))
+	if v2 <= v1 || a2 <= a1 {
+		t.Errorf("surplus allocation not monotone: %v/%v then %v/%v", v1, a1, v2, a2)
+	}
+	// Empty table.
+	if v, a := Allocate(nil, 1); v != 0 || a != 0 {
+		t.Error("empty table should allocate zero")
+	}
+}
+
+// TestAllocationEquivalence proves the claim the DASH model relies on: on
+// the paper's ladders, ExoPlayer's allocation mechanism selects the same
+// pair as "highest predetermined combination within the budget", for every
+// budget.
+func TestAllocationEquivalence(t *testing.T) {
+	for _, audio := range []media.Ladder{
+		media.DramaAudioLadder(), media.LowAudioLadder(), media.HighAudioLadder(),
+	} {
+		video := media.DramaVideoLadder()
+		cps := AllocationCheckpoints(video, audio)
+		combos := PredeterminedCombos(video, audio)
+		for kbps := 50; kbps <= 6000; kbps += 10 {
+			budget := media.Kbps(float64(kbps))
+			byAlloc := SelectByAllocation(video, audio, cps, budget)
+			byCombo := abr.HighestAtMost(combos, budget, media.Combo.DeclaredBitrate)
+			if byAlloc.String() != byCombo.String() {
+				t.Fatalf("budget %v: allocation picks %s, combination view picks %s",
+					budget, byAlloc, byCombo)
+			}
+		}
+	}
+}
+
+// Property: allocations always sum to at least min(budget, firstTotal) and
+// are monotone in the budget.
+func TestAllocateMonotoneProperty(t *testing.T) {
+	video, audio := media.DramaVideoLadder(), media.DramaAudioLadder()
+	cps := AllocationCheckpoints(video, audio)
+	f := func(b1, b2 uint32) bool {
+		x, y := media.Bps(b1%10_000_000), media.Bps(b2%10_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		v1, a1 := Allocate(cps, x)
+		v2, a2 := Allocate(cps, y)
+		return v1 <= v2 && a1 <= a2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

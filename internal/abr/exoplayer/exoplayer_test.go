@@ -1,0 +1,335 @@
+package exoplayer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/media"
+)
+
+func comboIDs(combos []media.Combo) []string {
+	out := make([]string, len(combos))
+	for i, c := range combos {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func assertSequence(t *testing.T, got []media.Combo, want []string) {
+	t.Helper()
+	ids := comboIDs(got)
+	if len(ids) != len(want) {
+		t.Fatalf("got %d combos %v, want %d %v", len(ids), ids, len(want), want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("combo %d = %s, want %s (full: %v)", i, ids[i], want[i], ids)
+		}
+	}
+}
+
+// The three predetermined-combination sequences stated in §3.2 of the paper.
+
+func TestPredeterminedCombosTable1(t *testing.T) {
+	got := PredeterminedCombos(media.DramaVideoLadder(), media.DramaAudioLadder())
+	assertSequence(t, got, []string{
+		"V1+A1", "V2+A1", "V2+A2", "V3+A2", "V4+A2", "V4+A3", "V5+A3", "V6+A3",
+	})
+}
+
+func TestPredeterminedCombosLowAudio(t *testing.T) {
+	got := PredeterminedCombos(media.DramaVideoLadder(), media.LowAudioLadder())
+	assertSequence(t, got, []string{
+		"V1+B1", "V2+B1", "V2+B2", "V3+B2", "V4+B2", "V5+B2", "V5+B3", "V6+B3",
+	})
+}
+
+func TestPredeterminedCombosHighAudio(t *testing.T) {
+	got := PredeterminedCombos(media.DramaVideoLadder(), media.HighAudioLadder())
+	assertSequence(t, got, []string{
+		"V1+C1", "V2+C1", "V2+C2", "V3+C2", "V4+C2", "V5+C2", "V5+C3", "V6+C3",
+	})
+}
+
+func TestPredeterminedCombosSingleAudio(t *testing.T) {
+	audio := media.Ladder{media.DramaAudioLadder()[0]}
+	got := PredeterminedCombos(media.DramaVideoLadder(), audio)
+	assertSequence(t, got, []string{
+		"V1+A1", "V2+A1", "V3+A1", "V4+A1", "V5+A1", "V6+A1",
+	})
+}
+
+// Property: adjacent predetermined combinations differ in exactly one
+// component and both indexes are non-decreasing; count is M+N-1.
+func TestPredeterminedCombosStructureProperty(t *testing.T) {
+	video, audio := media.DramaVideoLadder(), media.DramaAudioLadder()
+	f := func(pick uint8) bool {
+		var a media.Ladder
+		switch pick % 3 {
+		case 0:
+			a = media.DramaAudioLadder()
+		case 1:
+			a = media.LowAudioLadder()
+		default:
+			a = media.HighAudioLadder()
+		}
+		combos := PredeterminedCombos(video, a)
+		if len(combos) != len(video)+len(a)-1 {
+			return false
+		}
+		for i := 1; i < len(combos); i++ {
+			dv := video.Index(combos[i].Video) - video.Index(combos[i-1].Video)
+			da := a.Index(combos[i].Audio) - a.Index(combos[i-1].Audio)
+			if dv+da != 1 || dv < 0 || da < 0 {
+				return false
+			}
+		}
+		first, last := combos[0], combos[len(combos)-1]
+		return first.Video == video[0] && first.Audio == a[0] &&
+			last.Video == video[len(video)-1] && last.Audio == a[len(a)-1]
+	}
+	_ = audio
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// feedDASH pushes one 1 s transfer of the given bytes into the model's
+// byte-flow meter.
+func feedDASH(d *DASH, bytes float64, at time.Duration) {
+	d.OnStart(abr.TransferInfo{At: at})
+	d.OnProgress(abr.TransferInfo{Bytes: bytes, Duration: time.Second})
+	d.OnComplete(abr.TransferInfo{Duration: time.Second, At: at + time.Second})
+}
+
+func st(buffer time.Duration) abr.State {
+	return abr.State{VideoBuffer: buffer, AudioBuffer: buffer, ChunkDuration: 5 * time.Second}
+}
+
+func TestDASHSelectsByBudget(t *testing.T) {
+	d := NewDASH(media.DramaVideoLadder(), media.LowAudioLadder())
+	// Default estimate 1 Mbps -> budget 750 Kbps -> V3+B2 (537) fits,
+	// V4+B2 (978) does not. This is the Fig 2(a) selection.
+	got := d.SelectCombo(st(20 * time.Second))
+	if got.String() != "V3+B2" {
+		t.Errorf("selected %s, want V3+B2", got)
+	}
+}
+
+func TestDASHHighAudioPicksLowVideo(t *testing.T) {
+	d := NewDASH(media.DramaVideoLadder(), media.HighAudioLadder())
+	// Budget 750 Kbps -> V2+C2 (630) fits, V3+C2 (857) does not: the
+	// Fig 2(b) pathology (lowest-rung video + high audio), even though
+	// V3+C1 (669) would fit — it is not predetermined.
+	got := d.SelectCombo(st(20 * time.Second))
+	if got.String() != "V2+C2" {
+		t.Errorf("selected %s, want V2+C2", got)
+	}
+	for _, c := range d.Combos() {
+		if c.String() == "V3+C1" {
+			t.Error("V3+C1 must not be predetermined")
+		}
+	}
+}
+
+func TestDASHHysteresisBlocksUpswitchOnLowBuffer(t *testing.T) {
+	d := NewDASH(media.DramaVideoLadder(), media.DramaAudioLadder())
+	// Start at a low estimate.
+	feedDASH(d, 12500, 0) // 100 Kbps
+	first := d.SelectCombo(st(2 * time.Second))
+	if first.String() != "V1+A1" {
+		t.Fatalf("low-bandwidth selection = %s, want V1+A1", first)
+	}
+	// Bandwidth recovers, but the buffer is still low: refuse to switch up.
+	for i := 0; i < 20; i++ {
+		feedDASH(d, 625000, time.Duration(i)*time.Second) // 5 Mbps
+	}
+	if got := d.SelectCombo(st(3 * time.Second)); got.String() != "V1+A1" {
+		t.Errorf("selected %s with 3s buffer, want V1+A1 held", got)
+	}
+	// With ample buffer the upswitch happens.
+	if got := d.SelectCombo(st(15 * time.Second)); got.DeclaredBitrate() <= first.DeclaredBitrate() {
+		t.Errorf("selected %s with 15s buffer, want an upswitch", got)
+	}
+}
+
+func TestDASHHysteresisBlocksDownswitchOnHighBuffer(t *testing.T) {
+	d := NewDASH(media.DramaVideoLadder(), media.DramaAudioLadder())
+	for i := 0; i < 20; i++ {
+		feedDASH(d, 625000, time.Duration(i)*time.Second)
+	}
+	high := d.SelectCombo(st(20 * time.Second))
+	// Bandwidth collapses; with 26s buffered ExoPlayer rides it out.
+	for i := 20; i < 40; i++ {
+		feedDASH(d, 6250, time.Duration(i)*time.Second) // 50 Kbps
+	}
+	if got := d.SelectCombo(st(26 * time.Second)); got != high {
+		t.Errorf("selected %s with 26s buffer, want %s held", got, high)
+	}
+	// Below the threshold it finally drops.
+	if got := d.SelectCombo(st(5 * time.Second)); got == high {
+		t.Error("expected a downswitch with 5s buffer")
+	}
+}
+
+func hsubVariants() ([]media.Combo, []*media.Track) {
+	c := media.DramaShow()
+	return media.HSub(c), []*media.Track{
+		c.AudioTracks[2], c.AudioTracks[1], c.AudioTracks[0], // A3 listed first
+	}
+}
+
+func TestHLSPinsFirstListedAudio(t *testing.T) {
+	variants, order := hsubVariants()
+	h := NewHLS(variants, order)
+	if h.FixedAudio().ID != "A3" {
+		t.Fatalf("fixed audio = %s, want A3", h.FixedAudio().ID)
+	}
+	// Selection must always carry A3, whatever the bandwidth.
+	got := h.SelectCombo(st(20 * time.Second))
+	if got.Audio.ID != "A3" {
+		t.Errorf("selected audio %s, want A3", got.Audio.ID)
+	}
+}
+
+func TestHLSLowestAudioFirstStaysLow(t *testing.T) {
+	// Second experiment of §3.2-HLS: A1 listed first, 5 Mbps of bandwidth —
+	// audio stays at A1 anyway.
+	c := media.DramaShow()
+	variants := media.HSub(c)
+	order := []*media.Track{c.AudioTracks[0], c.AudioTracks[1], c.AudioTracks[2]}
+	h := NewHLS(variants, order)
+	for i := 0; i < 20; i++ {
+		h.OnStart(abr.TransferInfo{At: time.Duration(i) * time.Second})
+		h.OnProgress(abr.TransferInfo{Bytes: 625000, Duration: time.Second})
+		h.OnComplete(abr.TransferInfo{Duration: time.Second, At: time.Duration(i+1) * time.Second}) // 5 Mbps
+	}
+	got := h.SelectCombo(st(20 * time.Second))
+	if got.Audio.ID != "A1" {
+		t.Errorf("selected audio %s, want A1 (pinned first rendition)", got.Audio.ID)
+	}
+}
+
+func TestHLSOverestimatesVideoBitrates(t *testing.T) {
+	variants, order := hsubVariants()
+	h := NewHLS(variants, order)
+	// Each video's assumed bitrate is its variant's aggregate peak: V3 in
+	// H_sub appears as V3+A2 with peak 840 Kbps, not V3's declared 473.
+	if got := h.AssumedVideoBitrate("V3"); got != media.Kbps(840) {
+		t.Errorf("assumed V3 bitrate = %v, want 840 Kbps", got)
+	}
+	if got := h.AssumedVideoBitrate("V1"); got != media.Kbps(253) {
+		t.Errorf("assumed V1 bitrate = %v, want 253 Kbps", got)
+	}
+}
+
+func TestHLSSelectionCanLeaveManifest(t *testing.T) {
+	variants, order := hsubVariants()
+	h := NewHLS(variants, order)
+	// Default estimate 1 Mbps -> budget 750 -> highest assumed video <=
+	// 750 is V2 (395). With pinned A3, the pair V2+A3 is NOT in H_sub.
+	got := h.SelectCombo(st(20 * time.Second))
+	if got.String() != "V2+A3" {
+		t.Fatalf("selected %s, want V2+A3", got)
+	}
+	for _, v := range variants {
+		if v.String() == got.String() {
+			t.Errorf("selection %s unexpectedly in the manifest", got)
+		}
+	}
+}
+
+func TestHLSFirstVariantAggregate(t *testing.T) {
+	// With H_all ordered by peak bitrate, the first variant containing V1
+	// is V1+A1; assumed bitrate = 253. The first containing V6 is V6+A1 ->
+	// 4581.
+	c := media.DramaShow()
+	h := NewHLS(media.HAll(c), nil)
+	if got := h.AssumedVideoBitrate("V1"); got != media.Kbps(253) {
+		t.Errorf("assumed V1 = %v, want 253", got)
+	}
+	if got := h.AssumedVideoBitrate("V6"); got != media.Kbps(4581) {
+		t.Errorf("assumed V6 = %v, want 4581", got)
+	}
+	// No explicit rendition order: the first variant's audio is pinned.
+	if h.FixedAudio().ID != "A1" {
+		t.Errorf("fixed audio = %s, want A1", h.FixedAudio().ID)
+	}
+}
+
+func TestHLSRepairedAdaptsBothComponents(t *testing.T) {
+	c := media.DramaShow()
+	h := NewHLSRepaired(media.HSub(c))
+	// Low estimate -> lowest variant.
+	h.OnStart(abr.TransferInfo{At: 0})
+	h.OnProgress(abr.TransferInfo{Bytes: 25_000, Duration: time.Second})
+	h.OnComplete(abr.TransferInfo{Duration: time.Second, At: time.Second}) // 200 Kbps
+	low := h.SelectCombo(st(2 * time.Second))
+	if low.String() != "V1+A1" {
+		t.Fatalf("low selection = %s, want V1+A1", low)
+	}
+	// High estimate with deep buffer -> top variant, audio included.
+	for i := 1; i < 20; i++ {
+		h.OnStart(abr.TransferInfo{At: time.Duration(i) * time.Second})
+		h.OnProgress(abr.TransferInfo{Bytes: 875_000, Duration: time.Second}) // 7 Mbps
+		h.OnComplete(abr.TransferInfo{Duration: time.Second, At: time.Duration(i+1) * time.Second})
+	}
+	high := h.SelectCombo(st(20 * time.Second))
+	if high.String() != "V6+A3" {
+		t.Errorf("high selection = %s, want V6+A3", high)
+	}
+	if low.Audio == high.Audio {
+		t.Error("audio did not adapt — the repair's whole point")
+	}
+}
+
+func TestHLSRepairedStaysOnVariantList(t *testing.T) {
+	c := media.DramaShow()
+	variants := media.HSub(c)
+	h := NewHLSRepaired(variants)
+	listed := map[string]bool{}
+	for _, v := range variants {
+		listed[v.String()] = true
+	}
+	for i := 0; i < 30; i++ {
+		h.OnStart(abr.TransferInfo{At: time.Duration(i) * time.Second})
+		bytes := float64((i%5 + 1) * 50_000)
+		h.OnProgress(abr.TransferInfo{Bytes: bytes, Duration: time.Second})
+		h.OnComplete(abr.TransferInfo{Duration: time.Second, At: time.Duration(i+1) * time.Second})
+		got := h.SelectCombo(st(time.Duration(i%30) * time.Second))
+		if !listed[got.String()] {
+			t.Fatalf("selection %s not a listed variant", got)
+		}
+	}
+	if got := len(h.Variants()); got != 6 {
+		t.Errorf("variants = %d", got)
+	}
+	if h.Name() != "exoplayer-hls-repaired" {
+		t.Errorf("name = %q", h.Name())
+	}
+}
+
+func TestHLSRepairedDamping(t *testing.T) {
+	c := media.DramaShow()
+	h := NewHLSRepaired(media.HSub(c))
+	// Establish a low selection under a low estimate.
+	h.OnStart(abr.TransferInfo{At: 0})
+	h.OnProgress(abr.TransferInfo{Bytes: 25_000, Duration: time.Second}) // 200 Kbps
+	h.OnComplete(abr.TransferInfo{Duration: time.Second, At: time.Second})
+	first := h.SelectCombo(st(2 * time.Second))
+	// Bandwidth recovers; a 3 s buffer must hold the selection, a deep one
+	// releases the upswitch.
+	for i := 1; i < 20; i++ {
+		h.OnStart(abr.TransferInfo{At: time.Duration(i) * time.Second})
+		h.OnProgress(abr.TransferInfo{Bytes: 875_000, Duration: time.Second}) // 7 Mbps
+		h.OnComplete(abr.TransferInfo{Duration: time.Second, At: time.Duration(i+1) * time.Second})
+	}
+	if held := h.SelectCombo(st(3 * time.Second)); held != first {
+		t.Errorf("upswitch with 3s buffer: %s -> %s", first, held)
+	}
+	if up := h.SelectCombo(st(15 * time.Second)); up.DeclaredBitrate() <= first.DeclaredBitrate() {
+		t.Errorf("no upswitch with 15s buffer: %s", up)
+	}
+}

@@ -1,0 +1,45 @@
+package jointabr
+
+import (
+	"demuxabr/internal/abr"
+	"demuxabr/internal/media"
+)
+
+// Independent downgrades the best-practice player to dash.js-style
+// free-running per-type scheduling — the ablation of best practice 4
+// (balanced chunk-level prefetching). The decision logic is identical; only
+// the download discipline changes, because this type implements
+// abr.PerTypeAlgorithm instead of abr.JointAlgorithm.
+type Independent struct {
+	p *Player
+}
+
+// NewIndependent creates the scheduling-ablated best-practice player.
+func NewIndependent(allowed []media.Combo, opts ...Option) *Independent {
+	return &Independent{p: New(allowed, opts...)}
+}
+
+// Name implements abr.Algorithm.
+func (i *Independent) Name() string { return i.p.Name() + "-independent" }
+
+// OnStart implements abr.Observer.
+func (i *Independent) OnStart(ti abr.TransferInfo) { i.p.OnStart(ti) }
+
+// OnProgress implements abr.Observer.
+func (i *Independent) OnProgress(ti abr.TransferInfo) { i.p.OnProgress(ti) }
+
+// OnComplete implements abr.Observer.
+func (i *Independent) OnComplete(ti abr.TransferInfo) { i.p.OnComplete(ti) }
+
+// BandwidthEstimate implements abr.BandwidthReporter.
+func (i *Independent) BandwidthEstimate() (media.Bps, bool) { return i.p.BandwidthEstimate() }
+
+// SelectTrack implements abr.PerTypeAlgorithm by projecting the joint
+// decision onto the requested type.
+func (i *Independent) SelectTrack(t media.Type, st abr.State) *media.Track {
+	combo := i.p.SelectCombo(st)
+	if t == media.Video {
+		return combo.Video
+	}
+	return combo.Audio
+}

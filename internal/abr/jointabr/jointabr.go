@@ -1,0 +1,304 @@
+// Package jointabr implements the paper's §4 player-side best practices as
+// a concrete joint audio/video adaptation algorithm — the library's primary
+// contribution. The design follows the four player-side recommendations:
+//
+//  1. Adopt audio rate adaptation: audio and video both adapt — audio is
+//     never pinned.
+//  2. Select only from allowed combinations: the server-provided pairing
+//     list (manifest H_sub or equivalent) bounds every decision.
+//  3. Joint adaptation: one decision selects the pair, driven by a shared
+//     bandwidth estimator that observes the union of audio and video
+//     downloading (so concurrent transfers do not cause underestimation),
+//     with switch damping to avoid frequent track changes in either
+//     component.
+//  4. Balanced prefetching: the algorithm is an abr.JointAlgorithm, so the
+//     player engine schedules audio and video chunk-synced — buffer levels
+//     never diverge by more than one chunk.
+//
+// Ablation switches (separate estimators, no damping, unrestricted
+// combinations) are provided to quantify each design choice.
+package jointabr
+
+import (
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/abr/estimator"
+	"demuxabr/internal/media"
+)
+
+// Defaults of the best-practice player.
+const (
+	// DefaultSafetyFactor is the fraction of the estimate treated as
+	// spendable.
+	DefaultSafetyFactor = 0.8
+	// DefaultUpSwitchBuffer: minimum buffered duration before increasing
+	// quality.
+	DefaultUpSwitchBuffer = 10 * time.Second
+	// DefaultDownSwitchBuffer: above this buffered duration a transient
+	// bandwidth dip is ridden out instead of switching down.
+	DefaultDownSwitchBuffer = 25 * time.Second
+	// DefaultMinHold is the minimum time between quality increases.
+	DefaultMinHold = 8 * time.Second
+	// DefaultPanicBuffer: below this buffered duration the budget is
+	// halved to refill quickly.
+	DefaultPanicBuffer = 4 * time.Second
+)
+
+// Player is the best-practice joint audio/video adapter.
+type Player struct {
+	// SafetyFactor, switch-damping and panic thresholds; see the package
+	// defaults. Override before first use only.
+	SafetyFactor     float64
+	UpSwitchBuffer   time.Duration
+	DownSwitchBuffer time.Duration
+	MinHold          time.Duration
+	PanicBuffer      time.Duration
+
+	allowed []media.Combo
+
+	// Shared estimator (recommended): one meter over both streams.
+	meter *estimator.GlobalMeter
+	// Ablation: per-type estimators summed, modelling players that measure
+	// audio and video throughput separately.
+	separate     bool
+	pathAware    bool
+	perType      [2]*estimator.SlidingMean
+	noDamping    bool
+	abandonment  bool
+	current      media.Combo
+	lastUpswitch time.Duration
+}
+
+// Option configures a Player (primarily for ablation benches).
+type Option func(*Player)
+
+// WithSeparateEstimators replaces the shared bandwidth meter with
+// independent per-type estimators whose sum is used as the estimate —
+// quantifying best practice 3's "shared estimator" clause.
+func WithSeparateEstimators() Option {
+	return func(p *Player) { p.separate = true }
+}
+
+// WithoutDamping disables switch hysteresis — quantifying the "avoid
+// frequent changes" clause.
+func WithoutDamping() Option {
+	return func(p *Player) { p.noDamping = true }
+}
+
+// WithSafetyFactor overrides the bandwidth safety factor.
+func WithSafetyFactor(f float64) Option {
+	return func(p *Player) { p.SafetyFactor = f }
+}
+
+// WithPathAwareness makes the selection respect per-path budgets: the
+// video component must fit the video path's estimate and the audio
+// component the audio path's — the §4.1 case where demuxed tracks are
+// served from different servers over different bottlenecks, which a single
+// aggregate-bandwidth constraint cannot capture.
+func WithPathAwareness() Option {
+	return func(p *Player) { p.pathAware = true }
+}
+
+// WithAbandonment enables in-flight chunk abandonment: when a download's
+// projected completion overshoots the buffer it is protecting, the player
+// cancels it and refetches the chunk from a cheaper allowed combination.
+func WithAbandonment() Option {
+	return func(p *Player) { p.abandonment = true }
+}
+
+// New creates the player restricted to the given allowed combinations
+// (best practice 2). Pass media.AllCombos(...) to ablate the restriction.
+// The slice is re-sorted by declared bitrate.
+func New(allowed []media.Combo, opts ...Option) *Player {
+	if len(allowed) == 0 {
+		panic("jointabr: empty allowed combination list")
+	}
+	p := &Player{
+		SafetyFactor:     DefaultSafetyFactor,
+		UpSwitchBuffer:   DefaultUpSwitchBuffer,
+		DownSwitchBuffer: DefaultDownSwitchBuffer,
+		MinHold:          DefaultMinHold,
+		PanicBuffer:      DefaultPanicBuffer,
+		allowed:          sortByDeclared(allowed),
+		meter:            estimator.NewGlobalMeter(),
+	}
+	p.perType[media.Video] = estimator.NewSlidingMean()
+	p.perType[media.Audio] = estimator.NewSlidingMean()
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements abr.Algorithm.
+func (p *Player) Name() string {
+	name := "bestpractice"
+	switch {
+	case p.separate && p.noDamping:
+		name = "bestpractice-separate-nodamping"
+	case p.separate:
+		name = "bestpractice-separate-est"
+	case p.noDamping:
+		name = "bestpractice-nodamping"
+	}
+	if p.pathAware {
+		name += "+pathaware"
+	}
+	if p.abandonment {
+		name += "+abandon"
+	}
+	return name
+}
+
+// Allowed exposes the (sorted) allowed combinations.
+func (p *Player) Allowed() []media.Combo { return p.allowed }
+
+// SetAllowed replaces the allowed combination list mid-session — e.g. the
+// viewer switched audio language and the server's list for that language
+// now applies. The current selection resets so the next decision starts
+// from the new list.
+func (p *Player) SetAllowed(allowed []media.Combo) {
+	if len(allowed) == 0 {
+		panic("jointabr: empty allowed combination list")
+	}
+	p.allowed = sortByDeclared(allowed)
+	p.current = media.Combo{}
+}
+
+// sortByDeclared returns a copy of combos sorted by declared bitrate.
+func sortByDeclared(combos []media.Combo) []media.Combo {
+	sorted := make([]media.Combo, len(combos))
+	copy(sorted, combos)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1].DeclaredBitrate() > sorted[j].DeclaredBitrate(); j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	return sorted
+}
+
+// OnStart implements abr.Observer.
+func (p *Player) OnStart(ti abr.TransferInfo) { p.meter.TransferStart(ti.At) }
+
+// OnProgress implements abr.Observer: the shared meter accounts bytes as
+// they flow, from both streams.
+func (p *Player) OnProgress(ti abr.TransferInfo) { p.meter.TransferBytes(ti.Bytes) }
+
+// OnComplete implements abr.Observer.
+func (p *Player) OnComplete(ti abr.TransferInfo) {
+	p.meter.TransferEnd(ti.At)
+	if tput := ti.Throughput(); tput > 0 {
+		p.perType[ti.Type].Add(tput)
+	}
+}
+
+// BandwidthEstimate implements abr.BandwidthReporter.
+func (p *Player) BandwidthEstimate() (media.Bps, bool) {
+	if p.separate {
+		v, okV := p.perType[media.Video].Estimate()
+		a, okA := p.perType[media.Audio].Estimate()
+		if !okV && !okA {
+			return 0, false
+		}
+		return v + a, true
+	}
+	return p.meter.Estimate()
+}
+
+// Abandon implements abr.Abandoner when WithAbandonment is set: if the
+// projected remaining download time exceeds the buffered duration (playback
+// would stall waiting for this chunk) and a cheaper allowed combination
+// exists, switch the in-flight type to the cheaper combination's track.
+// Each chunk is abandoned at most once per type.
+func (p *Player) Abandon(dp abr.DownloadProgress) *media.Track {
+	if !p.abandonment || dp.Attempt > 0 || dp.Elapsed < 250*time.Millisecond {
+		return nil
+	}
+	if dp.RemainingTime() <= dp.Buffer {
+		return nil
+	}
+	// Pick the highest allowed combination the achieved rate can sustain.
+	budget := media.Bps(dp.Rate() * p.SafetyFactor)
+	repl := abr.HighestAtMost(p.allowed, budget, media.Combo.DeclaredBitrate)
+	var track *media.Track
+	if dp.Type == media.Video {
+		track = repl.Video
+	} else {
+		track = repl.Audio
+	}
+	if track == dp.Track || track.DeclaredBitrate >= dp.Track.DeclaredBitrate {
+		return nil
+	}
+	p.current = repl
+	return track
+}
+
+// SelectCombo implements abr.JointAlgorithm.
+func (p *Player) SelectCombo(st abr.State) media.Combo {
+	est, ok := p.BandwidthEstimate()
+	if !ok {
+		// Conservative fast start: lowest allowed combination.
+		p.current = p.allowed[0]
+		return p.current
+	}
+	budget := media.Bps(float64(est) * p.SafetyFactor)
+	if st.MinBuffer() < p.PanicBuffer && !st.Startup {
+		budget /= 2
+	}
+	ideal := p.idealCombo(st, budget)
+	if p.current.Video == nil || p.noDamping {
+		p.current = ideal
+		return p.current
+	}
+	switch {
+	case ideal.DeclaredBitrate() > p.current.DeclaredBitrate():
+		// Increase only with a healthy buffer and not too soon after the
+		// previous increase — stability for both components.
+		if st.MinBuffer() >= p.UpSwitchBuffer && st.Now-p.lastUpswitch >= p.MinHold {
+			p.current = ideal
+			p.lastUpswitch = st.Now
+		}
+	case ideal.DeclaredBitrate() < p.current.DeclaredBitrate():
+		// Hysteresis band: hold the current combination while the raw
+		// estimate still covers it (up-switches needed SafetyFactor×est, so
+		// small estimate wobbles never flap the selection), and while a full
+		// buffer can ride out a real dip. A panicking buffer drops
+		// immediately.
+		holdable := est >= p.current.DeclaredBitrate() || st.MinBuffer() >= p.DownSwitchBuffer
+		if st.MinBuffer() < p.PanicBuffer || !holdable {
+			p.current = ideal
+		}
+	default:
+		p.current = ideal
+	}
+	return p.current
+}
+
+// idealCombo picks the richest allowed combination within the budget. In
+// path-aware mode each component must additionally fit its own path's
+// estimated capacity.
+func (p *Player) idealCombo(st abr.State, budget media.Bps) media.Combo {
+	if !p.pathAware {
+		return abr.HighestAtMost(p.allowed, budget, media.Combo.DeclaredBitrate)
+	}
+	estV, okV := p.perType[media.Video].Estimate()
+	estA, okA := p.perType[media.Audio].Estimate()
+	if !okV || !okA {
+		return p.allowed[0]
+	}
+	panicking := st.MinBuffer() < p.PanicBuffer && !st.Startup
+	budgetV := media.Bps(float64(estV) * p.SafetyFactor)
+	budgetA := media.Bps(float64(estA) * p.SafetyFactor)
+	if panicking {
+		budgetV /= 2
+		budgetA /= 2
+	}
+	best := p.allowed[0]
+	for _, cb := range p.allowed {
+		if cb.Video.DeclaredBitrate <= budgetV && cb.Audio.DeclaredBitrate <= budgetA {
+			best = cb
+		}
+	}
+	return best
+}

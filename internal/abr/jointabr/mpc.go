@@ -1,0 +1,157 @@
+package jointabr
+
+import (
+	"math"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/abr/estimator"
+	"demuxabr/internal/media"
+)
+
+// MPC is a model-predictive joint audio/video adapter in the style of
+// Yin et al. [25 in the paper], lifted to the server-allowed combination
+// list: at every chunk position it enumerates combination sequences over a
+// lookahead horizon, simulates the buffer trajectory under the current
+// bandwidth estimate, and commits the first step of the best sequence.
+//
+// The objective mirrors the QoE model: log-bitrate utility, minus a switch
+// penalty on utility changes (both components move together in a
+// combination switch), minus a heavy penalty on predicted rebuffering.
+// Like the other players in this package it observes both streams through
+// one shared meter and relies on chunk-synced scheduling.
+type MPC struct {
+	// Horizon is the lookahead depth in chunks (default 5).
+	Horizon int
+	// SwitchPenalty and RebufferPenalty weigh the objective (defaults 2
+	// and 8 per second).
+	SwitchPenalty   float64
+	RebufferPenalty float64
+	// DrainPenalty charges combinations whose predicted download time
+	// exceeds the chunk duration (net buffer drain) per second of drain —
+	// a sustainability bias that keeps the finite lookahead from riding an
+	// unsustainable rung until the buffer collapses and oscillating.
+	// Default 1.
+	DrainPenalty float64
+
+	allowed   []media.Combo
+	utilities []float64
+	meter     *estimator.GlobalMeter
+	lastIdx   int
+}
+
+// NewMPC creates the adapter over the allowed combinations.
+func NewMPC(allowed []media.Combo, horizon int) *MPC {
+	if len(allowed) == 0 {
+		panic("jointabr: empty allowed combination list")
+	}
+	if horizon <= 0 {
+		horizon = 5
+	}
+	sorted := make([]media.Combo, len(allowed))
+	copy(sorted, allowed)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1].DeclaredBitrate() > sorted[j].DeclaredBitrate(); j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	m := &MPC{
+		Horizon:         horizon,
+		SwitchPenalty:   2,
+		RebufferPenalty: 8,
+		DrainPenalty:    1,
+		allowed:         sorted,
+		meter:           estimator.NewGlobalMeter(),
+		lastIdx:         -1,
+	}
+	m.utilities = make([]float64, len(sorted))
+	base := math.Log(float64(sorted[0].DeclaredBitrate()))
+	for i, cb := range sorted {
+		m.utilities[i] = math.Log(float64(cb.DeclaredBitrate())) - base
+	}
+	return m
+}
+
+// Name implements abr.Algorithm.
+func (m *MPC) Name() string { return "mpc-joint" }
+
+// Allowed exposes the combination list.
+func (m *MPC) Allowed() []media.Combo { return m.allowed }
+
+// OnStart implements abr.Observer.
+func (m *MPC) OnStart(ti abr.TransferInfo) { m.meter.TransferStart(ti.At) }
+
+// OnProgress implements abr.Observer.
+func (m *MPC) OnProgress(ti abr.TransferInfo) { m.meter.TransferBytes(ti.Bytes) }
+
+// OnComplete implements abr.Observer.
+func (m *MPC) OnComplete(ti abr.TransferInfo) { m.meter.TransferEnd(ti.At) }
+
+// BandwidthEstimate implements abr.BandwidthReporter.
+func (m *MPC) BandwidthEstimate() (media.Bps, bool) { return m.meter.Estimate() }
+
+// SelectCombo implements abr.JointAlgorithm.
+func (m *MPC) SelectCombo(st abr.State) media.Combo {
+	est, ok := m.meter.Estimate()
+	if !ok || est <= 0 {
+		m.lastIdx = 0
+		return m.allowed[0]
+	}
+	chunkSecs := st.ChunkDuration.Seconds()
+	if chunkSecs <= 0 {
+		chunkSecs = 5
+	}
+	bestIdx, _ := m.search(st.MinBuffer().Seconds(), m.lastIdx, m.Horizon, float64(est), chunkSecs)
+	m.lastIdx = bestIdx
+	return m.allowed[bestIdx]
+}
+
+// search enumerates combination sequences of the given depth and returns
+// the best first step and its objective value.
+func (m *MPC) search(buffer float64, prevIdx, depth int, est, chunkSecs float64) (int, float64) {
+	bestIdx, bestVal := 0, math.Inf(-1)
+	for i, cb := range m.allowed {
+		downloadSecs := float64(cb.DeclaredBitrate()) * chunkSecs / est
+		b := buffer - downloadSecs
+		rebuffer := 0.0
+		if b < 0 {
+			rebuffer = -b
+			b = 0
+		}
+		b += chunkSecs
+		val := m.utilities[i] - m.RebufferPenalty*rebuffer
+		if drain := downloadSecs - chunkSecs; drain > 0 {
+			// Sustainability matters in proportion to how close the
+			// projected buffer is to empty: with a deep buffer a transient
+			// drain is exactly what the buffer is for.
+			const comfort = 20.0 // seconds
+			urgency := (comfort - b) / comfort
+			if urgency > 0 {
+				val -= m.DrainPenalty * drain * urgency
+			}
+		}
+		if prevIdx >= 0 {
+			val -= m.SwitchPenalty * math.Abs(m.utilities[i]-m.utilities[prevIdx])
+		}
+		if depth > 1 {
+			_, future := m.search(b, i, depth-1, est, chunkSecs)
+			val += future
+		}
+		if val > bestVal {
+			bestVal = val
+			bestIdx = i
+		}
+	}
+	return bestIdx, bestVal
+}
+
+// compile-time interface checks for all adapters in this package.
+var (
+	_ abr.JointAlgorithm    = (*Player)(nil)
+	_ abr.JointAlgorithm    = (*BolaJoint)(nil)
+	_ abr.JointAlgorithm    = (*MPC)(nil)
+	_ abr.PerTypeAlgorithm  = (*Independent)(nil)
+	_ abr.Abandoner         = (*Player)(nil)
+	_ abr.BandwidthReporter = (*Player)(nil)
+	_ abr.BandwidthReporter = (*BolaJoint)(nil)
+	_ abr.BandwidthReporter = (*MPC)(nil)
+)

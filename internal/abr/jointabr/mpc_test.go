@@ -1,0 +1,133 @@
+package jointabr
+
+import (
+	"testing"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/trace"
+)
+
+func feedMPC(m *MPC, bps float64, n int) {
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		m.OnStart(abr.TransferInfo{At: at})
+		m.OnProgress(abr.TransferInfo{Bytes: bps / 8, Duration: time.Second})
+		at += time.Second
+		m.OnComplete(abr.TransferInfo{Duration: time.Second, At: at})
+	}
+}
+
+func TestMPCStartsLowWithoutEstimate(t *testing.T) {
+	c := media.DramaShow()
+	m := NewMPC(media.HSub(c), 5)
+	got := m.SelectCombo(abr.State{ChunkDuration: 5 * time.Second})
+	if got.String() != "V1+A1" {
+		t.Errorf("initial selection = %s, want V1+A1", got)
+	}
+}
+
+func TestMPCMatchesBandwidth(t *testing.T) {
+	c := media.DramaShow()
+	m := NewMPC(media.HSub(c), 5)
+	feedMPC(m, 1e6, 6)
+	deep := m.SelectCombo(abr.State{
+		VideoBuffer: 20 * time.Second, AudioBuffer: 20 * time.Second,
+		ChunkDuration: 5 * time.Second,
+	})
+	// With a deep buffer MPC may ride the marginally-unsustainable V4+A2
+	// (that is what the buffer is for) but no higher.
+	if deep.String() != "V3+A2" && deep.String() != "V4+A2" {
+		t.Errorf("deep-buffer selection at 1 Mbps = %s, want V3+A2 or V4+A2", deep)
+	}
+	// With a thin buffer the sustainability bias must hold it at V3+A2
+	// (669 Kbps), the highest rung 1 Mbps sustains.
+	m2 := NewMPC(media.HSub(c), 5)
+	feedMPC(m2, 1e6, 6)
+	thin := m2.SelectCombo(abr.State{
+		VideoBuffer: 6 * time.Second, AudioBuffer: 6 * time.Second,
+		ChunkDuration: 5 * time.Second,
+	})
+	if thin.String() != "V3+A2" {
+		t.Errorf("thin-buffer selection at 1 Mbps = %s, want V3+A2", thin)
+	}
+}
+
+func TestMPCAvoidsPredictedRebuffering(t *testing.T) {
+	c := media.DramaShow()
+	m := NewMPC(media.HSub(c), 5)
+	feedMPC(m, 3e6, 6)
+	// Ample bandwidth but an empty buffer: the lookahead must not jump to
+	// a combination whose first download outruns the buffer by much.
+	got := m.SelectCombo(abr.State{ChunkDuration: 5 * time.Second})
+	if got.DeclaredBitrate() > media.Kbps(2300) {
+		t.Errorf("empty-buffer selection = %s, too aggressive", got)
+	}
+	// With a deep buffer it can afford the top rung.
+	got = m.SelectCombo(abr.State{
+		VideoBuffer: 30 * time.Second, AudioBuffer: 30 * time.Second,
+		ChunkDuration: 5 * time.Second,
+	})
+	if got.DeclaredBitrate() < media.Kbps(2000) {
+		t.Errorf("deep-buffer selection = %s, too conservative at 3 Mbps", got)
+	}
+}
+
+func TestMPCSelectsOnlyAllowed(t *testing.T) {
+	c := media.DramaShow()
+	allowed := media.HSub(c)
+	m := NewMPC(allowed, 4)
+	in := func(cb media.Combo) bool {
+		for _, a := range allowed {
+			if a.String() == cb.String() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, bw := range []float64{200e3, 700e3, 1.5e6, 6e6} {
+		feedMPC(m, bw, 4)
+		for buf := time.Duration(0); buf <= 30*time.Second; buf += 10 * time.Second {
+			got := m.SelectCombo(abr.State{VideoBuffer: buf, AudioBuffer: buf, ChunkDuration: 5 * time.Second})
+			if !in(got) {
+				t.Fatalf("selection %s not allowed (bw %v, buf %v)", got, bw, buf)
+			}
+		}
+	}
+}
+
+func TestMPCEndToEnd(t *testing.T) {
+	c := media.DramaShow()
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, trace.Fixed(media.Kbps(1300)))
+	res, err := player.Run(link, player.Config{Content: c, Model: NewMPC(media.HSub(c), 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended {
+		t.Fatal("did not finish")
+	}
+	if res.RebufferTime() > 3*time.Second {
+		t.Errorf("rebuffer = %v on a steady 1.3 Mbps link", res.RebufferTime())
+	}
+	if res.Switches(media.Video)+res.Switches(media.Audio) > 12 {
+		t.Errorf("switch churn: %d/%d", res.Switches(media.Video), res.Switches(media.Audio))
+	}
+}
+
+func TestMPCDefaults(t *testing.T) {
+	c := media.DramaShow()
+	m := NewMPC(media.HSub(c), 0)
+	if m.Horizon != 5 || m.Name() != "mpc-joint" || len(m.Allowed()) != 6 {
+		t.Errorf("defaults wrong: %+v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty allowed should panic")
+		}
+	}()
+	NewMPC(nil, 5)
+}

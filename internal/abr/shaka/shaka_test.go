@@ -1,0 +1,130 @@
+package shaka
+
+import (
+	"testing"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/abr/estimator"
+	"demuxabr/internal/media"
+)
+
+func feedIntervals(p *Player, bps float64, n int) {
+	bytes := bps * estimator.ShakaSampleInterval.Seconds() / 8
+	for i := 0; i < n; i++ {
+		p.OnProgress(abr.TransferInfo{
+			Bytes:    bytes,
+			Duration: estimator.ShakaSampleInterval,
+			At:       time.Duration(i) * estimator.ShakaSampleInterval,
+		})
+	}
+}
+
+func TestDefaultEstimateSelectsV2A2(t *testing.T) {
+	// Fig 4(a): no accepted samples -> 500 Kbps default. Budget 475 Kbps.
+	// Highest H_all variant with peak <= 475 is V2+A2 (460); V1+A3 is 510.
+	c := media.DramaShow()
+	p := NewHLS(media.HAll(c))
+	feedIntervals(p, 1e6, 400) // 1 Mbps: 15625 B/interval, all filtered
+	if p.HasValidSample() {
+		t.Fatal("1 Mbps intervals must not pass the 16 KB filter")
+	}
+	est, _ := p.BandwidthEstimate()
+	if est != media.Kbps(500) {
+		t.Fatalf("estimate = %v, want the 500 Kbps default", est)
+	}
+	got := p.SelectCombo(abr.State{})
+	if got.String() != "V2+A2" {
+		t.Errorf("selected %s, want V2+A2", got)
+	}
+}
+
+func TestBimodalOverestimation(t *testing.T) {
+	// Fig 4(b): only 1.5 Mbps intervals pass the filter; the estimate
+	// converges toward 1.5 Mbps although the true average is 600 Kbps, and
+	// the selection climbs far above what the link sustains.
+	c := media.DramaShow()
+	p := NewHLS(media.HAll(c))
+	for cycle := 0; cycle < 10; cycle++ {
+		feedIntervals(p, 1.5e6, 32) // 4 s high phase
+		feedIntervals(p, 150e3, 64) // 8 s low phase (filtered)
+	}
+	est, _ := p.BandwidthEstimate()
+	if est < media.Kbps(1400) {
+		t.Fatalf("estimate = %v, want ~1.5 Mbps overestimate", est)
+	}
+	got := p.SelectCombo(abr.State{})
+	if got.PeakBitrate() < media.Kbps(1000) {
+		t.Errorf("selected %s (peak %v); overestimation should pick a high variant", got, got.PeakBitrate())
+	}
+}
+
+func TestFluctuationAcrossNearbyVariants(t *testing.T) {
+	// §3.3: with the estimate wandering between 300 and 700 Kbps, the
+	// rate-based rule visits many of the closely spaced H_all combinations:
+	// V1+A2 (318), V2+A1 (395), V2+A2 (460), V1+A3 (510), V2+A3 (652).
+	c := media.DramaShow()
+	p := NewHLS(media.HAll(c))
+	distinct := map[string]bool{}
+	for est := 300; est <= 700; est += 50 {
+		// Drive the estimator to the target. Samples at these low rates
+		// only pass the 16 KB filter over longer intervals, so feed 1 s
+		// intervals here; the selection rule under test is the same.
+		p.est = estimator.NewShakaEstimator()
+		bps := float64(est) * 1000 / 0.95
+		for i := 0; i < 60; i++ {
+			p.est.Interval(bps/8, time.Second)
+		}
+		if !p.HasValidSample() {
+			t.Fatalf("1 s interval at %d Kbps should pass the filter", est)
+		}
+		distinct[p.SelectCombo(abr.State{}).String()] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("only %d distinct selections %v; expected fluctuation across nearby variants", len(distinct), distinct)
+	}
+}
+
+func TestDASHEqualsHAll(t *testing.T) {
+	c := media.DramaShow()
+	d := NewDASH(c.VideoTracks, c.AudioTracks)
+	h := NewHLS(media.HAll(c))
+	dc, hc := d.Combos(), h.Combos()
+	if len(dc) != len(hc) {
+		t.Fatalf("DASH synthesizes %d combos, HLS lists %d", len(dc), len(hc))
+	}
+	for i := range dc {
+		if dc[i].String() != hc[i].String() {
+			t.Errorf("combo %d: %s vs %s", i, dc[i], hc[i])
+		}
+	}
+}
+
+func TestSelectionRespectsManifestSubset(t *testing.T) {
+	// Given only H_sub variants, Shaka can only pick from them.
+	c := media.DramaShow()
+	p := NewHLS(media.HSub(c))
+	feedIntervals(p, 2e6, 200)
+	got := p.SelectCombo(abr.State{})
+	found := false
+	for _, v := range media.HSub(c) {
+		if v.String() == got.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selection %s not in H_sub", got)
+	}
+}
+
+func TestLowestVariantWhenNothingFits(t *testing.T) {
+	c := media.DramaShow()
+	p := NewHLS(media.HAll(c))
+	feedIntervals(p, 2.5e6, 10) // one burst to unlock the estimator
+	p.est = estimator.NewShakaEstimator()
+	p.est.DefaultEstimate = media.Kbps(100) // nothing fits under 95 Kbps
+	got := p.SelectCombo(abr.State{})
+	if got.String() != "V1+A1" {
+		t.Errorf("selected %s, want the lowest variant V1+A1", got)
+	}
+}

@@ -1,0 +1,204 @@
+// Package cdnsim models the content-distribution motivation of the paper's
+// §1: a CDN edge cache between clients and an origin, serving either muxed
+// objects (one object per video+audio combination per chunk) or demuxed
+// objects (separate video and audio objects per chunk).
+//
+// It quantifies the two §1 claims:
+//
+//   - storage: a service with M video and N audio tracks stores M+N track
+//     objects demuxed but M×N muxed;
+//   - cache hits: with demuxed objects, a user requesting (V1, A2) after
+//     another user fetched (V1, A1) still hits the cache for V1's chunks,
+//     while a muxed (V1+A2) object misses.
+package cdnsim
+
+import (
+	"container/list"
+	"fmt"
+
+	"demuxabr/internal/media"
+)
+
+// Object is a cacheable unit, identified by a key and a size in bytes.
+type Object struct {
+	Key  string
+	Size int64
+}
+
+// Stats accumulates cache effectiveness counters.
+type Stats struct {
+	Requests    int64
+	Hits        int64
+	Misses      int64
+	BytesServed int64 // to clients
+	BytesOrigin int64 // fetched from origin (miss traffic)
+	Evictions   int64
+}
+
+// HitRatio returns hits over requests.
+func (s Stats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// ByteHitRatio returns the fraction of served bytes that came from cache.
+func (s Stats) ByteHitRatio() float64 {
+	if s.BytesServed == 0 {
+		return 0
+	}
+	return 1 - float64(s.BytesOrigin)/float64(s.BytesServed)
+}
+
+// Cache is an LRU byte-capacity cache — the CDN edge.
+type Cache struct {
+	capacity int64
+	used     int64
+	lru      *list.List // front = most recent
+	entries  map[string]*list.Element
+	stats    Stats
+}
+
+type entry struct {
+	obj Object
+}
+
+// NewCache creates an LRU cache holding up to capacity bytes.
+func NewCache(capacity int64) *Cache {
+	if capacity <= 0 {
+		panic("cdnsim: non-positive cache capacity")
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() int64 { return c.used }
+
+// Request serves an object through the cache: a hit refreshes recency; a
+// miss charges origin traffic and inserts the object, evicting LRU entries
+// as needed. Objects larger than the whole cache are served uncached.
+func (c *Cache) Request(obj Object) (hit bool) {
+	c.stats.Requests++
+	c.stats.BytesServed += obj.Size
+	if el, ok := c.entries[obj.Key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	c.stats.BytesOrigin += obj.Size
+	if obj.Size > c.capacity {
+		return false
+	}
+	for c.used+obj.Size > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(entry)
+		c.used -= ev.obj.Size
+		delete(c.entries, ev.obj.Key)
+		c.lru.Remove(back)
+		c.stats.Evictions++
+	}
+	c.entries[obj.Key] = c.lru.PushFront(entry{obj: obj})
+	c.used += obj.Size
+	return false
+}
+
+// Mode selects muxed or demuxed packaging at the origin.
+type Mode int
+
+const (
+	// Demuxed stores audio and video as separate objects.
+	Demuxed Mode = iota
+	// Muxed stores one combined object per combination.
+	Muxed
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Muxed {
+		return "muxed"
+	}
+	return "demuxed"
+}
+
+// chunkKey builds cache keys.
+func chunkKey(mode Mode, video, audio *media.Track, idx int) string {
+	if mode == Muxed {
+		return fmt.Sprintf("muxed/%s+%s/%d", video.ID, audio.ID, idx)
+	}
+	panic("cdnsim: chunkKey(Demuxed) is per-track; use trackKey")
+}
+
+func trackKey(t *media.Track, idx int) string {
+	return fmt.Sprintf("%s/%s/%d", t.Type, t.ID, idx)
+}
+
+// RequestChunk serves one playback position's data for a combination
+// through the cache in the given mode. It returns the number of cache hits
+// (0–1 muxed, 0–2 demuxed).
+func RequestChunk(c *Cache, mode Mode, content *media.Content, combo media.Combo, idx int) int {
+	hits := 0
+	switch mode {
+	case Muxed:
+		size := content.ChunkSize(combo.Video, idx) + content.ChunkSize(combo.Audio, idx)
+		if c.Request(Object{Key: chunkKey(Muxed, combo.Video, combo.Audio, idx), Size: size}) {
+			hits++
+		}
+	default:
+		if c.Request(Object{Key: trackKey(combo.Video, idx), Size: content.ChunkSize(combo.Video, idx)}) {
+			hits++
+		}
+		if c.Request(Object{Key: trackKey(combo.Audio, idx), Size: content.ChunkSize(combo.Audio, idx)}) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// OriginStorage returns the total origin bytes needed to store the content
+// in the given mode — the §1 storage argument (M+N tracks vs M×N muxed
+// combinations).
+func OriginStorage(content *media.Content, mode Mode, combos []media.Combo) int64 {
+	var total int64
+	switch mode {
+	case Muxed:
+		for _, cb := range combos {
+			total += content.TrackBytes(cb.Video) + content.TrackBytes(cb.Audio)
+		}
+	default:
+		for _, t := range content.Tracks() {
+			total += content.TrackBytes(t)
+		}
+	}
+	return total
+}
+
+// Session is one simulated viewer: the combination it selects per chunk.
+type Session struct {
+	// Combo is the viewer's steady selection (language/quality choice).
+	Combo media.Combo
+}
+
+// Workload replays a set of viewer sessions through a cache and returns the
+// stats. Viewers are interleaved chunk-by-chunk, approximating concurrent
+// viewing of the same content.
+func Workload(c *Cache, mode Mode, content *media.Content, sessions []Session) Stats {
+	n := content.NumChunks()
+	for idx := 0; idx < n; idx++ {
+		for _, s := range sessions {
+			RequestChunk(c, mode, content, s.Combo, idx)
+		}
+	}
+	return c.Stats()
+}

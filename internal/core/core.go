@@ -1,0 +1,277 @@
+// Package core is the library's high-level API: build a demuxed content
+// asset, pick a player model and a network profile, run a streaming
+// session, and read back the timeline and QoE metrics.
+//
+// It wires the full stack the way a deployment would: the chosen protocol's
+// manifest is generated and re-parsed, and the player model is constructed
+// from the parsed manifest — never from ground truth the real player could
+// not see.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/abr/dashjs"
+	"demuxabr/internal/abr/exoplayer"
+	"demuxabr/internal/abr/jointabr"
+	"demuxabr/internal/abr/shaka"
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/qoe"
+	"demuxabr/internal/trace"
+)
+
+// PlayerKind names one of the library's player models.
+type PlayerKind string
+
+// The available player models.
+const (
+	// ExoPlayerDASH is ExoPlayer v2.10 with a DASH manifest (§3.2).
+	ExoPlayerDASH PlayerKind = "exoplayer-dash"
+	// ExoPlayerHLS is ExoPlayer v2.10 with an HLS master playlist (§3.2).
+	ExoPlayerHLS PlayerKind = "exoplayer-hls"
+	// Shaka is Shaka Player v2.5 (§3.3); DASH and HLS behave identically
+	// when the HLS manifest lists all combinations.
+	Shaka PlayerKind = "shaka"
+	// DashJS is the dash.js v2.9 reference player (§3.4).
+	DashJS PlayerKind = "dashjs"
+	// BestPractice is the paper's §4 joint audio/video adaptation design.
+	BestPractice PlayerKind = "bestpractice"
+	// BestPracticeIndependent ablates best practice 4 (chunk-synced
+	// scheduling).
+	BestPracticeIndependent PlayerKind = "bestpractice-independent"
+	// BestPracticeAbandon adds in-flight chunk abandonment to the
+	// best-practice player.
+	BestPracticeAbandon PlayerKind = "bestpractice-abandon"
+	// BolaJoint is the §5 future-work design: BOLA's utility objective
+	// over the allowed audio/video combinations.
+	BolaJoint PlayerKind = "bola-joint"
+	// MPCJoint is a model-predictive joint adapter over the allowed
+	// combinations (Yin et al. style lookahead).
+	MPCJoint PlayerKind = "mpc-joint"
+	// VBRJoint budgets actual per-chunk bytes (recovered from the media
+	// playlists' byte ranges, §4.1) instead of declared averages.
+	VBRJoint PlayerKind = "bestpractice-vbr"
+	// DynamicJoint is dash.js's DYNAMIC strategy applied jointly — the
+	// controlled counterpart of DashJS that isolates §3.4's independence.
+	DynamicJoint PlayerKind = "dynamic-joint"
+)
+
+// PlayerKinds lists every selectable model.
+func PlayerKinds() []PlayerKind {
+	return []PlayerKind{ExoPlayerDASH, ExoPlayerHLS, Shaka, DashJS, BestPractice, BestPracticeIndependent, BestPracticeAbandon, BolaJoint, MPCJoint, VBRJoint, DynamicJoint}
+}
+
+// ParsePlayerKind validates a player name.
+func ParsePlayerKind(s string) (PlayerKind, error) {
+	for _, k := range PlayerKinds() {
+		if string(k) == s {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown player %q (have %v)", s, PlayerKinds())
+}
+
+// ManifestOptions controls what the server declares.
+type ManifestOptions struct {
+	// Combos is the HLS variant list (default: the curated H_sub pairing).
+	Combos []media.Combo
+	// AudioOrder is the HLS rendition order (default: ladder order,
+	// lowest first). The first entry is what ExoPlayer-HLS pins.
+	AudioOrder []*media.Track
+}
+
+// BuildModel constructs a player model for the content, routing the
+// manifest information through the real encoders and parsers. It returns
+// the model and the combination list the server declared (nil for pure
+// DASH models, which get no combination restriction — the §2.3 gap).
+func BuildModel(kind PlayerKind, c *media.Content, mo ManifestOptions) (abr.Algorithm, []media.Combo, error) {
+	if mo.Combos == nil {
+		mo.Combos = media.HSub(c)
+	}
+	switch kind {
+	case ExoPlayerDASH, DashJS:
+		video, audio, err := roundTripMPD(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if kind == ExoPlayerDASH {
+			return exoplayer.NewDASH(video, audio), nil, nil
+		}
+		return dashjs.New(video, audio), nil, nil
+	case ExoPlayerHLS, Shaka, BestPractice, BestPracticeIndependent, BestPracticeAbandon, BolaJoint, MPCJoint, VBRJoint, DynamicJoint:
+		combos, order, err := roundTripMaster(c, mo.Combos, mo.AudioOrder)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch kind {
+		case ExoPlayerHLS:
+			return exoplayer.NewHLS(combos, order), combos, nil
+		case Shaka:
+			return shaka.NewHLS(combos), combos, nil
+		case BestPractice:
+			return jointabr.New(combos), combos, nil
+		case BestPracticeAbandon:
+			return jointabr.New(combos, jointabr.WithAbandonment()), combos, nil
+		case BolaJoint:
+			return jointabr.NewBolaJoint(combos, 0), combos, nil
+		case MPCJoint:
+			return jointabr.NewMPC(combos, 0), combos, nil
+		case VBRJoint:
+			sizer, err := chunkSizerFromPlaylists(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return jointabr.NewVBRAware(combos, sizer), combos, nil
+		case DynamicJoint:
+			return jointabr.NewDynamicJoint(combos), combos, nil
+		default:
+			return jointabr.NewIndependent(combos), combos, nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("core: unknown player kind %q", kind)
+	}
+}
+
+// chunkSizerFromPlaylists recovers per-chunk byte sizes the way a §4.1
+// client does: from the single-file media playlists' EXT-X-BYTERANGE rows.
+func chunkSizerFromPlaylists(c *media.Content) (jointabr.ChunkSizer, error) {
+	sizes := make(map[string][]int64, len(c.Tracks()))
+	for _, tr := range c.Tracks() {
+		var buf bytes.Buffer
+		if err := hls.GenerateMedia(c, tr, hls.SingleFile, false).Encode(&buf); err != nil {
+			return nil, err
+		}
+		pl, err := hls.ParseMedia(&buf)
+		if err != nil {
+			return nil, err
+		}
+		per := make([]int64, len(pl.Segments))
+		for i, seg := range pl.Segments {
+			per[i] = seg.ByteRangeLength
+		}
+		sizes[tr.ID] = per
+	}
+	return func(tr *media.Track, idx int) int64 {
+		per := sizes[tr.ID]
+		if idx < 0 || idx >= len(per) {
+			return 0
+		}
+		return per[idx]
+	}, nil
+}
+
+func roundTripMPD(c *media.Content) (media.Ladder, media.Ladder, error) {
+	var buf bytes.Buffer
+	if err := dash.Generate(c).Encode(&buf); err != nil {
+		return nil, nil, err
+	}
+	mpd, err := dash.Parse(&buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dash.Ladders(mpd)
+}
+
+func roundTripMaster(c *media.Content, combos []media.Combo, order []*media.Track) ([]media.Combo, []*media.Track, error) {
+	var buf bytes.Buffer
+	if err := hls.GenerateMaster(c, combos, order).Encode(&buf); err != nil {
+		return nil, nil, err
+	}
+	m, err := hls.ParseMaster(&buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	parsed, err := hls.CombosFromMaster(m, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	parsedOrder, err := hls.AudioOrderFromMaster(m, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return parsed, parsedOrder, nil
+}
+
+// Spec describes one streaming session.
+type Spec struct {
+	// Content is the asset (default: the paper's drama show).
+	Content *media.Content
+	// Profile is the network condition (required).
+	Profile trace.Profile
+	// Player picks a built-in model (default BestPractice). Ignored when
+	// Model is set.
+	Player PlayerKind
+	// Model overrides Player with a custom algorithm.
+	Model abr.Algorithm
+	// Manifest controls server-side declarations.
+	Manifest ManifestOptions
+	// MaxBuffer, StartupBuffer, ResumeBuffer override the player engine's
+	// defaults when non-zero.
+	MaxBuffer     time.Duration
+	StartupBuffer time.Duration
+	ResumeBuffer  time.Duration
+	// Muxed streams each combination as one combined object (the paper's
+	// muxed packaging baseline). Requires a joint player model.
+	Muxed bool
+}
+
+// Session is a finished run: the raw result plus derived metrics.
+type Session struct {
+	// Model names the algorithm that ran.
+	Model string
+	// Result is the full timeline, stall and chunk log.
+	Result *player.Result
+	// Metrics are the QoE numbers (off-manifest counted against Allowed).
+	Metrics qoe.Metrics
+	// Allowed is the server-declared combination list (may be nil).
+	Allowed []media.Combo
+}
+
+// Play runs one session in the discrete-event simulator.
+func Play(spec Spec) (*Session, error) {
+	if spec.Profile == nil {
+		return nil, fmt.Errorf("core: nil network profile")
+	}
+	if spec.Content == nil {
+		spec.Content = media.DramaShow()
+	}
+	model := spec.Model
+	allowed := spec.Manifest.Combos
+	if model == nil {
+		kind := spec.Player
+		if kind == "" {
+			kind = BestPractice
+		}
+		var err error
+		model, allowed, err = BuildModel(kind, spec.Content, spec.Manifest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, spec.Profile)
+	res, err := player.Run(link, player.Config{
+		Content:       spec.Content,
+		Model:         model,
+		MaxBuffer:     spec.MaxBuffer,
+		StartupBuffer: spec.StartupBuffer,
+		ResumeBuffer:  spec.ResumeBuffer,
+		Muxed:         spec.Muxed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Model:   model.Name(),
+		Result:  res,
+		Metrics: qoe.Compute(res, spec.Content, allowed, qoe.DefaultWeights()),
+		Allowed: allowed,
+	}, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/abr/dashjs"
+	"demuxabr/internal/abr/exoplayer"
+	"demuxabr/internal/abr/jointabr"
+	"demuxabr/internal/abr/shaka"
+	"demuxabr/internal/media"
+	"demuxabr/internal/trace"
+)
+
+// Scenario names one network condition from the paper's experiments, used
+// to compare all players head-to-head.
+type Scenario struct {
+	// Name identifies the scenario.
+	Name string
+	// Content is the asset.
+	Content *media.Content
+	// Profile is the link condition.
+	Profile trace.Profile
+}
+
+// Scenarios returns the paper's network conditions as head-to-head arenas.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "fixed-900k (Fig 2)", Content: media.DramaShow(), Profile: trace.Fig2Bandwidth()},
+		{Name: "varying-avg-600k (Fig 3)", Content: media.DramaShow(), Profile: trace.Fig3VaryingAvg600()},
+		{Name: "fixed-1M (Fig 4a)", Content: media.DramaShow(), Profile: trace.Fig4aBandwidth()},
+		{Name: "bimodal-avg-600k (Fig 4b)", Content: media.DramaShow(), Profile: trace.Fig4bBimodal600()},
+		{Name: "fixed-700k (Fig 5)", Content: media.DramaShow(), Profile: trace.Fig5Bandwidth()},
+	}
+}
+
+// buildModels constructs every player model for a content asset, each from
+// the manifest a real deployment would give it: ExoPlayer-DASH and dash.js
+// from the MPD; ExoPlayer-HLS, Shaka and the best-practice player from the
+// H_sub master playlist (A3 listed first, as in Fig. 3).
+func buildModels(c *media.Content) (models []abr.Algorithm, allowed []media.Combo, err error) {
+	video, audio, err := dashLadders(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	order := []*media.Track{c.AudioTracks[2], c.AudioTracks[1], c.AudioTracks[0]}
+	combos, parsedOrder, err := hlsMaster(c, media.HSub(c), order)
+	if err != nil {
+		return nil, nil, err
+	}
+	models = []abr.Algorithm{
+		exoplayer.NewDASH(video, audio),
+		exoplayer.NewHLS(combos, parsedOrder),
+		shaka.NewHLS(combos),
+		dashjs.New(video, audio),
+		jointabr.New(combos),
+		jointabr.NewBolaJoint(combos, 0),
+		jointabr.NewMPC(combos, 0),
+		jointabr.NewDynamicJoint(combos),
+	}
+	return models, combos, nil
+}
+
+// Compare runs every player model (the three studied players plus the
+// best-practice design) under one scenario.
+func Compare(s Scenario) ([]Outcome, error) {
+	models, allowed, err := buildModels(s.Content)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([]Outcome, 0, len(models))
+	for _, m := range models {
+		out, err := Run(s.Content, s.Profile, m, allowed)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes, nil
+}
+
+// AblationVariant names one best-practice design choice switched off.
+type AblationVariant struct {
+	Name  string
+	Model abr.Algorithm
+}
+
+// AblationVariants builds the best-practice player and its ablations for a
+// content asset:
+//
+//   - full: all four §4 practices;
+//   - no-allowed-list: adapts over all 18 combinations (practice 2 off);
+//   - separate-estimators: per-type estimates summed (practice 3, shared
+//     estimator clause, off);
+//   - no-damping: no switch hysteresis (practice 3, stability clause, off);
+//   - independent-scheduling: free-running per-type downloads (practice 4
+//     off).
+func AblationVariants(c *media.Content) []AblationVariant {
+	hsub := media.HSub(c)
+	return []AblationVariant{
+		{Name: "full", Model: jointabr.New(hsub)},
+		{Name: "no-allowed-list", Model: jointabr.New(media.HAll(c))},
+		{Name: "separate-estimators", Model: jointabr.New(hsub, jointabr.WithSeparateEstimators())},
+		{Name: "no-damping", Model: jointabr.New(hsub, jointabr.WithoutDamping())},
+		{Name: "independent-scheduling", Model: jointabr.NewIndependent(hsub)},
+	}
+}
+
+// Ablate runs the best-practice player and all ablations under a scenario.
+func Ablate(s Scenario) (map[string]Outcome, error) {
+	allowed := media.HSub(s.Content)
+	out := make(map[string]Outcome)
+	for _, v := range AblationVariants(s.Content) {
+		o, err := Run(s.Content, s.Profile, v.Model, allowed)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.Name, err)
+		}
+		out[v.Name] = o
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+// Package experiments defines one runner per table and figure of the
+// paper's evaluation, wiring the full stack end-to-end: content synthesis →
+// manifest generation and re-parsing → player model construction from the
+// parsed manifest → discrete-event streaming session → QoE metrics.
+//
+// Every runner is deterministic; the benchmark harness (bench_test.go at
+// the repository root) regenerates the paper's rows and series from these.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/qoe"
+	"demuxabr/internal/trace"
+)
+
+// Outcome bundles a session result with its computed metrics.
+type Outcome struct {
+	Model   string
+	Result  *player.Result
+	Metrics qoe.Metrics
+}
+
+// Run executes one streaming session. allowed (may be nil) is used for
+// off-manifest accounting in the metrics.
+func Run(content *media.Content, profile trace.Profile, model abr.Algorithm, allowed []media.Combo) (Outcome, error) {
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, profile)
+	res, err := player.Run(link, player.Config{Content: content, Model: model})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: %s: %w", model.Name(), err)
+	}
+	if !res.Ended {
+		return Outcome{}, fmt.Errorf("experiments: %s: session did not finish", model.Name())
+	}
+	return Outcome{
+		Model:   model.Name(),
+		Result:  res,
+		Metrics: qoe.Compute(res, content, allowed, qoe.DefaultWeights()),
+	}, nil
+}
+
+// DominantCombo returns the combination selected for the most chunk
+// positions.
+func DominantCombo(res *player.Result) media.Combo {
+	count := map[string]int{}
+	rep := map[string]media.Combo{}
+	video := map[int]*media.Track{}
+	audio := map[int]*media.Track{}
+	for _, ch := range res.Chunks {
+		if ch.Type == media.Video {
+			video[ch.Index] = ch.Track
+		} else {
+			audio[ch.Index] = ch.Track
+		}
+	}
+	for i, v := range video {
+		a := audio[i]
+		if a == nil {
+			continue
+		}
+		cb := media.Combo{Video: v, Audio: a}
+		count[cb.String()]++
+		rep[cb.String()] = cb
+	}
+	var best media.Combo
+	bestN := -1
+	for k, n := range count {
+		if n > bestN {
+			bestN = n
+			best = rep[k]
+		}
+	}
+	return best
+}
+
+// dashLadders round-trips the content through a generated-and-parsed MPD,
+// returning the ladders a real DASH client would reconstruct.
+func dashLadders(c *media.Content) (video, audio media.Ladder, err error) {
+	var buf bytes.Buffer
+	if err := dash.Generate(c).Encode(&buf); err != nil {
+		return nil, nil, err
+	}
+	mpd, err := dash.Parse(&buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dash.Ladders(mpd)
+}
+
+// hlsMaster round-trips a master playlist, returning the combination list
+// and rendition order a real HLS client would parse.
+func hlsMaster(c *media.Content, combos []media.Combo, audioOrder []*media.Track) ([]media.Combo, []*media.Track, error) {
+	var buf bytes.Buffer
+	if err := hls.GenerateMaster(c, combos, audioOrder).Encode(&buf); err != nil {
+		return nil, nil, err
+	}
+	m, err := hls.ParseMaster(&buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	parsedCombos, err := hls.CombosFromMaster(m, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	order, err := hls.AudioOrderFromMaster(m, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return parsedCombos, order, nil
+}
+
+// TimelinePoint is one figure sample: time, selected tracks, buffers,
+// estimate — the series the paper's plots show.
+type TimelinePoint struct {
+	At          time.Duration
+	Video       string
+	Audio       string
+	VideoBuffer time.Duration
+	AudioBuffer time.Duration
+	Estimate    media.Bps
+	Stalled     bool
+}
+
+// Timeline converts a result's samples into figure points.
+func Timeline(res *player.Result) []TimelinePoint {
+	out := make([]TimelinePoint, 0, len(res.Timeline))
+	for _, s := range res.Timeline {
+		p := TimelinePoint{
+			At:          s.At,
+			VideoBuffer: s.VideoBuffer,
+			AudioBuffer: s.AudioBuffer,
+			Stalled:     s.Stalled,
+		}
+		if s.Video != nil {
+			p.Video = s.Video.ID
+		}
+		if s.Audio != nil {
+			p.Audio = s.Audio.ID
+		}
+		if s.EstimateOK {
+			p.Estimate = s.Estimate
+		}
+		out = append(out, p)
+	}
+	return out
+}

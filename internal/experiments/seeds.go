@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"demuxabr/internal/abr/jointabr"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/qoe"
+	"demuxabr/internal/stats"
+	"demuxabr/internal/trace"
+)
+
+// SeedSummary aggregates one player's outcomes across many random network
+// traces — the distributional view a single-trace comparison lacks.
+type SeedSummary struct {
+	Model     string
+	QoE       stats.Summary
+	Rebuffer  stats.Summary // seconds
+	VideoKbps stats.Summary
+}
+
+// SeedSweep runs every player model over n seeded random-walk traces
+// (400–2500 Kbps, 4 s re-draws) and summarizes the distributions. Each
+// (model, seed) run is deterministic, so the whole sweep is reproducible.
+func SeedSweep(n int) ([]SeedSummary, error) {
+	if n <= 0 {
+		n = 10
+	}
+	content := media.DramaShow()
+	// One model list per seed (models are stateful), but a stable name
+	// order for the output.
+	var names []string
+	acc := map[string]*struct{ qoe, rebuffer, video []float64 }{}
+	for seed := 0; seed < n; seed++ {
+		profile := trace.RandomWalk(int64(seed)+1, media.Kbps(400), media.Kbps(2500), 4*time.Second, time.Minute)
+		models, allowed, err := buildModels(content)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range models {
+			eng := netsim.NewEngine()
+			link := netsim.NewLink(eng, profile)
+			res, err := player.Run(link, player.Config{Content: content, Model: m})
+			if err != nil {
+				return nil, fmt.Errorf("seed %d %s: %w", seed, m.Name(), err)
+			}
+			if !res.Ended {
+				return nil, fmt.Errorf("seed %d %s: did not finish", seed, m.Name())
+			}
+			met := qoe.Compute(res, content, allowed, qoe.DefaultWeights())
+			a, ok := acc[m.Name()]
+			if !ok {
+				a = &struct{ qoe, rebuffer, video []float64 }{}
+				acc[m.Name()] = a
+				names = append(names, m.Name())
+			}
+			a.qoe = append(a.qoe, met.Score)
+			a.rebuffer = append(a.rebuffer, met.RebufferTime.Seconds())
+			a.video = append(a.video, met.AvgVideoBitrate.Kbps())
+		}
+	}
+	out := make([]SeedSummary, 0, len(names))
+	for _, name := range names {
+		a := acc[name]
+		out = append(out, SeedSummary{
+			Model:     name,
+			QoE:       stats.Summarize(a.qoe),
+			Rebuffer:  stats.Summarize(a.rebuffer),
+			VideoKbps: stats.Summarize(a.video),
+		})
+	}
+	return out, nil
+}
+
+// StartupPoint records one player's time to first frame on a fixed link.
+type StartupPoint struct {
+	Model        string
+	StartupDelay time.Duration
+}
+
+// StartupDelays measures time-to-first-frame for every player model at the
+// given link rate. Startup is dominated by the initial selection: models
+// that start conservative (lowest combination) begin fastest; ExoPlayer's
+// 1 Mbps initial estimate starts mid-ladder and pays for it on slow links.
+func StartupDelays(kbps float64) ([]StartupPoint, error) {
+	content := media.DramaShow()
+	models, _, err := buildModels(content)
+	if err != nil {
+		return nil, err
+	}
+	var out []StartupPoint
+	for _, m := range models {
+		eng := netsim.NewEngine()
+		link := netsim.NewLink(eng, trace.Fixed(media.Kbps(kbps)))
+		res, err := player.Run(link, player.Config{Content: content, Model: m})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Ended {
+			return nil, fmt.Errorf("experiments: %s did not finish", m.Name())
+		}
+		out = append(out, StartupPoint{Model: m.Name(), StartupDelay: res.StartupDelay})
+	}
+	return out, nil
+}
+
+// ParetoPoint is one cell of the safety-factor sweep: how the §4 player's
+// single most influential knob trades quality against rebuffering risk.
+type ParetoPoint struct {
+	SafetyFactor float64
+	Outcome      Outcome
+}
+
+// SafetyFactorSweep runs the best-practice player across safety factors on
+// the Fig 3 link — the frontier an operator picks an operating point from.
+func SafetyFactorSweep(factors []float64) ([]ParetoPoint, error) {
+	content := media.DramaShow()
+	var out []ParetoPoint
+	for _, f := range factors {
+		combos, _, err := hlsMaster(content, media.HSub(content), nil)
+		if err != nil {
+			return nil, err
+		}
+		model := jointabr.New(combos, jointabr.WithSafetyFactor(f))
+		eng := netsim.NewEngine()
+		link := netsim.NewLink(eng, trace.Fig3VaryingAvg600())
+		res, err := player.Run(link, player.Config{Content: content, Model: model})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Ended {
+			return nil, fmt.Errorf("experiments: safety factor %v did not finish", f)
+		}
+		out = append(out, ParetoPoint{
+			SafetyFactor: f,
+			Outcome: Outcome{
+				Model:   model.Name(),
+				Result:  res,
+				Metrics: qoe.Compute(res, content, combos, qoe.DefaultWeights()),
+			},
+		})
+	}
+	return out, nil
+}

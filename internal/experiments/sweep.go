@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"demuxabr/internal/media"
+	"demuxabr/internal/trace"
+)
+
+// SweepPoint is one cell of a bandwidth sweep: a player model's outcome at
+// a fixed link rate.
+type SweepPoint struct {
+	Kbps    float64
+	Outcome Outcome
+}
+
+// DefaultSweepKbps spans the drama show's operating range: below the
+// cheapest combination (V1+A1, 239 Kbps average) up to beyond the most
+// expensive (V6+A3, 3112 Kbps average).
+func DefaultSweepKbps() []float64 {
+	return []float64{400, 600, 900, 1300, 2000, 3000, 4500}
+}
+
+// BandwidthSweep runs every player model at each fixed bandwidth — the
+// crossover analysis: who wins where across the operating range.
+func BandwidthSweep(kbps []float64) ([]SweepPoint, error) {
+	content := media.DramaShow()
+	var points []SweepPoint
+	for _, k := range kbps {
+		models, allowed, err := buildModels(content)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range models {
+			out, err := Run(content, trace.Fixed(media.Kbps(k)), m, allowed)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %v Kbps: %w", k, err)
+			}
+			points = append(points, SweepPoint{Kbps: k, Outcome: out})
+		}
+	}
+	return points, nil
+}
+
+// PrintSweep renders the sweep as a QoE matrix (rows: models, columns:
+// bandwidths) followed by a rebuffering matrix.
+func PrintSweep(w io.Writer, points []SweepPoint) {
+	var kbps []float64
+	var models []string
+	seenK := map[float64]bool{}
+	seenM := map[string]bool{}
+	cells := map[string]map[float64]Outcome{}
+	for _, p := range points {
+		if !seenK[p.Kbps] {
+			seenK[p.Kbps] = true
+			kbps = append(kbps, p.Kbps)
+		}
+		if !seenM[p.Outcome.Model] {
+			seenM[p.Outcome.Model] = true
+			models = append(models, p.Outcome.Model)
+			cells[p.Outcome.Model] = map[float64]Outcome{}
+		}
+		cells[p.Outcome.Model][p.Kbps] = p.Outcome
+	}
+	write := func(title string, value func(Outcome) string) {
+		fmt.Fprintln(w, title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "Model")
+		for _, k := range kbps {
+			fmt.Fprintf(tw, "\t%.0fK", k)
+		}
+		fmt.Fprintln(tw)
+		for _, m := range models {
+			fmt.Fprint(tw, m)
+			for _, k := range kbps {
+				fmt.Fprintf(tw, "\t%s", value(cells[m][k]))
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	write("QoE score by link bandwidth:", func(o Outcome) string {
+		return fmt.Sprintf("%.2f", o.Metrics.Score)
+	})
+	fmt.Fprintln(w)
+	write("Rebuffering seconds by link bandwidth:", func(o Outcome) string {
+		return fmt.Sprintf("%.1f", o.Metrics.RebufferTime.Seconds())
+	})
+}

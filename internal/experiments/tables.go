@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"demuxabr/internal/media"
+)
+
+// PrintTable1 renders the Table 1 ladder of a content asset.
+func PrintTable1(w io.Writer, c *media.Content) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Track\tAvg (Kbps)\tPeak (Kbps)\tDeclared (Kbps)\tDetail")
+	for _, t := range c.AudioTracks {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%d channels, %d kHz\n",
+			t.ID, t.AvgBitrate.Kbps(), t.PeakBitrate.Kbps(), t.DeclaredBitrate.Kbps(),
+			t.Channels, t.SampleRateHz/1000)
+	}
+	for _, t := range c.VideoTracks {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%s\n",
+			t.ID, t.AvgBitrate.Kbps(), t.PeakBitrate.Kbps(), t.DeclaredBitrate.Kbps(), t.Resolution)
+	}
+	tw.Flush()
+}
+
+// ComboRow is one row of Tables 2/3.
+type ComboRow struct {
+	Name    string
+	AvgKbps float64
+	PkKbps  float64
+}
+
+// ComboRows converts a combination list into table rows.
+func ComboRows(combos []media.Combo) []ComboRow {
+	rows := make([]ComboRow, len(combos))
+	for i, cb := range combos {
+		rows[i] = ComboRow{Name: cb.String(), AvgKbps: cb.AvgBitrate().Kbps(), PkKbps: cb.PeakBitrate().Kbps()}
+	}
+	return rows
+}
+
+// PrintComboTable renders Table 2 (H_all) or Table 3 (H_sub).
+func PrintComboTable(w io.Writer, title string, combos []media.Combo) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Combination\tAverage Bitrate (Kbps)\tPeak Bitrate (Kbps)")
+	for _, r := range ComboRows(combos) {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\n", r.Name, r.AvgKbps, r.PkKbps)
+	}
+	tw.Flush()
+}
+
+// PrintOutcomes renders a comparison table of session outcomes.
+func PrintOutcomes(w io.Writer, title string, outcomes []Outcome) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Model\tAvgVideo\tAvgAudio\tStalls\tRebuffer\tSwitches(V/A)\tOff-manifest\tMaxImbalance\tQoE")
+	for _, o := range outcomes {
+		m := o.Metrics
+		fmt.Fprintf(tw, "%s\t%.0fK\t%.0fK\t%d\t%.1fs\t%d/%d\t%d\t%.1fs\t%.2f\n",
+			o.Model, m.AvgVideoBitrate.Kbps(), m.AvgAudioBitrate.Kbps(),
+			m.StallCount, m.RebufferTime.Seconds(),
+			m.VideoSwitches, m.AudioSwitches, m.OffManifest,
+			m.MaxImbalance.Seconds(), m.Score)
+	}
+	tw.Flush()
+}

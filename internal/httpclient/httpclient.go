@@ -1,0 +1,312 @@
+// Package httpclient is a real-time streaming client: it fetches a DASH
+// manifest from an origin (package originserver or any server with the
+// same layout), reconstructs the track ladders, and streams chunks over
+// real HTTP while driving one of the library's ABR models — the end-to-end
+// integration path complementing the discrete-event simulator.
+package httpclient
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/media"
+)
+
+// Manifest is the client's view of the stream, reconstructed from the MPD.
+type Manifest struct {
+	Video         media.Ladder
+	Audio         media.Ladder
+	Duration      time.Duration
+	ChunkDuration time.Duration
+	// segmentTemplate maps (representation ID, index) to a URL path.
+	mediaTemplate string
+}
+
+// NumChunks returns the chunk count.
+func (m *Manifest) NumChunks() int {
+	n := int(m.Duration / m.ChunkDuration)
+	if m.Duration%m.ChunkDuration != 0 {
+		n++
+	}
+	return n
+}
+
+// SegmentPath expands the MPD's SegmentTemplate for a track and index into
+// the origin-relative path.
+func (m *Manifest) SegmentPath(tr *media.Track, idx int) string {
+	p := strings.ReplaceAll(m.mediaTemplate, "$RepresentationID$", tr.ID)
+	p = strings.ReplaceAll(p, "$Number$", fmt.Sprintf("%d", idx))
+	return strings.ReplaceAll(p, "$TYPE$", tr.Type.String())
+}
+
+// ChunkDur implements Source.
+func (m *Manifest) ChunkDur() time.Duration { return m.ChunkDuration }
+
+// Source is the client's addressing view of a stream: how many chunks, how
+// long each is, and where each track's segments live. Both the DASH
+// Manifest and the HLSManifest implement it.
+type Source interface {
+	NumChunks() int
+	ChunkDur() time.Duration
+	SegmentPath(tr *media.Track, idx int) string
+}
+
+// FetchManifest downloads and parses baseURL/manifest.mpd. A nil client
+// uses http.DefaultClient.
+func FetchManifest(ctx context.Context, client *http.Client, baseURL string) (*Manifest, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/manifest.mpd", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpclient: manifest: %s", resp.Status)
+	}
+	mpd, err := dash.Parse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	video, audio, err := dash.Ladders(mpd)
+	if err != nil {
+		return nil, err
+	}
+	dur, err := dash.ParseDuration(mpd.MediaPresentationDuration)
+	if err != nil {
+		return nil, err
+	}
+	st := mpd.Periods[0].AdaptationSets[0].SegmentTemplate
+	if st == nil || st.Timescale == 0 {
+		return nil, fmt.Errorf("httpclient: MPD lacks a usable SegmentTemplate")
+	}
+	chunk := time.Duration(st.Duration) * time.Second / time.Duration(st.Timescale)
+	if chunk <= 0 {
+		return nil, fmt.Errorf("httpclient: non-positive chunk duration")
+	}
+	tmpl := st.Media
+	tmpl = strings.TrimPrefix(tmpl, "video/")
+	return &Manifest{
+		Video:         video,
+		Audio:         audio,
+		Duration:      dur,
+		ChunkDuration: chunk,
+		mediaTemplate: "$TYPE$/" + tmpl,
+	}, nil
+}
+
+// Config parameterizes a streaming run.
+type Config struct {
+	// BaseURL is the origin root (no trailing slash).
+	BaseURL string
+	// Model is the joint adaptation algorithm (e.g. exoplayer.NewDASH or
+	// jointabr.New built from the fetched manifest).
+	Model abr.JointAlgorithm
+	// TargetBuffer pauses fetching while this much content is buffered
+	// ahead of playback. Default 10 s.
+	TargetBuffer time.Duration
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxChunks limits the session length (0 = whole content).
+	MaxChunks int
+}
+
+// ChunkFetch records one downloaded chunk.
+type ChunkFetch struct {
+	Index    int
+	Combo    media.Combo
+	Bytes    int64
+	Duration time.Duration
+}
+
+// Report summarizes a real-time streaming session.
+type Report struct {
+	Chunks     []ChunkFetch
+	TotalBytes int64
+	Elapsed    time.Duration
+	// Rebuffered is wall time during which playback would have been
+	// stalled (playback clock caught up with the downloaded frontier).
+	Rebuffered   time.Duration
+	StartupDelay time.Duration
+}
+
+// Stream plays the source's content from the origin in real time.
+func Stream(ctx context.Context, m Source, cfg Config) (*Report, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("httpclient: nil model")
+	}
+	if cfg.TargetBuffer <= 0 {
+		cfg.TargetBuffer = 10 * time.Second
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	n := m.NumChunks()
+	if cfg.MaxChunks > 0 && cfg.MaxChunks < n {
+		n = cfg.MaxChunks
+	}
+	chunkDur := m.ChunkDur()
+	rep := &Report{}
+	begin := time.Now()
+	var frontier time.Duration // downloaded content
+	var playStart time.Time    // set at first chunk
+	var stalled time.Duration
+
+	playPos := func(now time.Time) time.Duration {
+		if playStart.IsZero() {
+			return 0
+		}
+		pos := now.Sub(playStart) - stalled
+		if pos > frontier {
+			// The playback clock cannot pass the frontier; the excess is
+			// rebuffering.
+			stalled += pos - frontier
+			pos = frontier
+		}
+		return pos
+	}
+
+	for idx := 0; idx < n; idx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		now := time.Now()
+		pos := playPos(now)
+		buffered := frontier - pos
+		st := abr.State{
+			Now:           now.Sub(begin),
+			PlayPos:       pos,
+			VideoBuffer:   buffered,
+			AudioBuffer:   buffered,
+			ChunkIndex:    idx,
+			ChunkDuration: chunkDur,
+			Startup:       playStart.IsZero(),
+		}
+		combo := cfg.Model.SelectCombo(st)
+		if combo.Video == nil || combo.Audio == nil {
+			return nil, fmt.Errorf("httpclient: model returned incomplete combo at chunk %d", idx)
+		}
+		bytes, dur, err := fetchPair(ctx, client, cfg, m, combo, idx)
+		if err != nil {
+			return nil, err
+		}
+		rep.Chunks = append(rep.Chunks, ChunkFetch{Index: idx, Combo: combo, Bytes: bytes, Duration: dur})
+		rep.TotalBytes += bytes
+		frontier += chunkDur
+		if playStart.IsZero() {
+			playStart = time.Now()
+			rep.StartupDelay = playStart.Sub(begin)
+		}
+		// Pause fetching while the buffer exceeds the target.
+		if excess := (frontier - playPos(time.Now())) - cfg.TargetBuffer; excess > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(excess):
+			}
+		}
+	}
+	playPos(time.Now())
+	rep.Elapsed = time.Since(begin)
+	rep.Rebuffered = stalled
+	return rep, nil
+}
+
+// fetchPair downloads the audio and video chunk of one position
+// concurrently, feeding the model's observer hooks. ABR models are
+// intentionally unsynchronized (the simulator is single-threaded), so the
+// client serializes every observer call behind one mutex.
+func fetchPair(ctx context.Context, client *http.Client, cfg Config, m Source, combo media.Combo, idx int) (int64, time.Duration, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var obs sync.Mutex
+	var total int64
+	var firstErr error
+	for _, tr := range []*media.Track{combo.Video, combo.Audio} {
+		tr := tr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bytes, err := fetchOne(ctx, client, cfg, m, tr, idx, &obs)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			total += bytes
+		}()
+	}
+	wg.Wait()
+	return total, time.Since(start), firstErr
+}
+
+func fetchOne(ctx context.Context, client *http.Client, cfg Config, m Source, tr *media.Track, idx int, obs *sync.Mutex) (int64, error) {
+	path := m.SegmentPath(tr, idx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/"+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	begin := time.Now()
+	observe := func(fn func()) {
+		obs.Lock()
+		defer obs.Unlock()
+		fn()
+	}
+	observe(func() { cfg.Model.OnStart(abr.TransferInfo{Type: tr.Type, At: time.Since(begin)}) })
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("httpclient: %s: %s", path, resp.Status)
+	}
+	var total int64
+	buf := make([]byte, 32*1024)
+	lastReport := time.Now()
+	for {
+		nr, rerr := resp.Body.Read(buf)
+		if nr > 0 {
+			total += int64(nr)
+			now := time.Now()
+			observe(func() {
+				cfg.Model.OnProgress(abr.TransferInfo{
+					Type:     tr.Type,
+					Bytes:    float64(nr),
+					Duration: now.Sub(lastReport),
+					At:       now.Sub(begin),
+				})
+			})
+			lastReport = now
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+	observe(func() {
+		cfg.Model.OnComplete(abr.TransferInfo{
+			Type:     tr.Type,
+			Bytes:    float64(total),
+			Duration: time.Since(begin),
+			At:       time.Since(begin),
+		})
+	})
+	return total, nil
+}

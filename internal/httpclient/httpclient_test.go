@@ -1,0 +1,301 @@
+package httpclient
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"demuxabr/internal/abr/exoplayer"
+	"demuxabr/internal/abr/jointabr"
+	"demuxabr/internal/media"
+	"demuxabr/internal/originserver"
+)
+
+func tinyContent() *media.Content {
+	// 24 one-second chunks: long enough for the unshaped stream to build a
+	// >10 s buffer (ExoPlayer's up-switch hysteresis), short enough to
+	// download in well under a second on localhost.
+	return media.MustNewContent(media.ContentSpec{
+		Name:          "tiny",
+		Duration:      24 * time.Second,
+		ChunkDuration: time.Second,
+		VideoTracks:   media.DramaVideoLadder(),
+		AudioTracks:   media.DramaAudioLadder(),
+		Model:         media.CBRChunkModel(),
+	})
+}
+
+func TestFetchManifest(t *testing.T) {
+	content := tinyContent()
+	srv := httptest.NewServer(originserver.New(content, originserver.Options{}).Handler())
+	defer srv.Close()
+	m, err := FetchManifest(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Video) != 6 || len(m.Audio) != 3 {
+		t.Fatalf("ladders %d/%d, want 6/3", len(m.Video), len(m.Audio))
+	}
+	if m.NumChunks() != content.NumChunks() {
+		t.Errorf("chunks = %d, want %d", m.NumChunks(), content.NumChunks())
+	}
+	if m.ChunkDuration != time.Second {
+		t.Errorf("chunk duration = %v, want 1s", m.ChunkDuration)
+	}
+	if got := m.SegmentPath(m.Video[0], 3); got != "video/V1/seg-3.m4s" {
+		t.Errorf("segment path = %q", got)
+	}
+	if got := m.SegmentPath(m.Audio[1], 0); got != "audio/A2/seg-0.m4s" {
+		t.Errorf("audio segment path = %q", got)
+	}
+}
+
+func TestFetchManifestBadURL(t *testing.T) {
+	if _, err := FetchManifest(context.Background(), nil, "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable origin should fail")
+	}
+}
+
+func TestStreamEndToEndExoPlayer(t *testing.T) {
+	content := tinyContent()
+	srv := httptest.NewServer(originserver.New(content, originserver.Options{}).Handler())
+	defer srv.Close()
+	m, err := FetchManifest(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := exoplayer.NewDASH(m.Video, m.Audio)
+	rep, err := Stream(context.Background(), m, Config{
+		BaseURL:      srv.URL,
+		Model:        model,
+		HTTPClient:   srv.Client(),
+		TargetBuffer: 30 * time.Second, // no pacing pauses in tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Chunks) != content.NumChunks() {
+		t.Fatalf("fetched %d chunks, want %d", len(rep.Chunks), content.NumChunks())
+	}
+	if rep.TotalBytes == 0 {
+		t.Error("no bytes fetched")
+	}
+	// Unshaped localhost: the estimate should rocket, selections climb the
+	// predetermined staircase, and every pair must be predetermined.
+	pre := map[string]bool{}
+	for _, cb := range model.Combos() {
+		pre[cb.String()] = true
+	}
+	for _, ch := range rep.Chunks {
+		if !pre[ch.Combo.String()] {
+			t.Errorf("chunk %d: combo %s not predetermined", ch.Index, ch.Combo)
+		}
+	}
+	last := rep.Chunks[len(rep.Chunks)-1].Combo
+	if last.DeclaredBitrate() <= rep.Chunks[0].Combo.DeclaredBitrate() {
+		t.Errorf("no upswitch on an unshaped link: first %s, last %s", rep.Chunks[0].Combo, last)
+	}
+}
+
+func TestStreamEndToEndBestPractice(t *testing.T) {
+	content := tinyContent()
+	// Shape to ~1.5 Mbps: the best-practice player must hold a low-to-mid
+	// H_sub combination and finish without error.
+	shaper := originserver.NewTokenBucket(media.Kbps(1500), 16*1024)
+	srv := httptest.NewServer(originserver.New(content, originserver.Options{Shaper: shaper}).Handler())
+	defer srv.Close()
+	m, err := FetchManifest(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := media.PairCombos(m.Video, m.Audio)
+	model := jointabr.New(allowed)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := Stream(ctx, m, Config{
+		BaseURL:      srv.URL,
+		Model:        model,
+		HTTPClient:   srv.Client(),
+		TargetBuffer: 30 * time.Second,
+		MaxChunks:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Chunks) != 4 {
+		t.Fatalf("fetched %d chunks, want 4", len(rep.Chunks))
+	}
+	inAllowed := func(cb media.Combo) bool {
+		for _, a := range allowed {
+			if a.String() == cb.String() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ch := range rep.Chunks {
+		if !inAllowed(ch.Combo) {
+			t.Errorf("chunk %d: combo %s outside the allowed list", ch.Index, ch.Combo)
+		}
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	content := tinyContent()
+	shaper := originserver.NewTokenBucket(media.Kbps(100), 1024) // crawl
+	srv := httptest.NewServer(originserver.New(content, originserver.Options{Shaper: shaper}).Handler())
+	defer srv.Close()
+	m, err := FetchManifest(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err = Stream(ctx, m, Config{
+		BaseURL:    srv.URL,
+		Model:      exoplayer.NewDASH(m.Video, m.Audio),
+		HTTPClient: srv.Client(),
+	})
+	if err == nil {
+		t.Error("expected cancellation error on a crawling link")
+	}
+}
+
+func TestStreamRequiresModel(t *testing.T) {
+	if _, err := Stream(context.Background(), &Manifest{}, Config{}); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestFetchHLSRecoversTracks(t *testing.T) {
+	content := tinyContent()
+	srv := httptest.NewServer(originserver.New(content, originserver.Options{}).Handler())
+	defer srv.Close()
+	m, err := FetchHLS(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Variants) != 6 {
+		t.Fatalf("variants = %d, want 6 (H_sub)", len(m.Variants))
+	}
+	if len(m.AudioOrder) != 3 || m.AudioOrder[0].ID != "A1" {
+		t.Fatalf("audio order = %v", m.AudioOrder)
+	}
+	if m.NumChunks() != content.NumChunks() || m.ChunkDur() != time.Second {
+		t.Errorf("chunks = %d/%v", m.NumChunks(), m.ChunkDur())
+	}
+	// Recovered bitrates must be near the true per-track averages — the
+	// §4.1 point: the information IS available one level down.
+	for _, v := range m.Variants {
+		truth := content.TrackByID(v.Video.ID)
+		rel := float64(v.Video.AvgBitrate-truth.AvgBitrate) / float64(truth.AvgBitrate)
+		if rel < -0.1 || rel > 0.1 {
+			t.Errorf("%s recovered avg %v vs true %v", v.Video.ID, v.Video.AvgBitrate, truth.AvgBitrate)
+		}
+	}
+	if got := m.SegmentPath(m.Variants[2].Video, 1); got != "video/V3/seg-1.m4s" {
+		t.Errorf("segment path = %q", got)
+	}
+	if got := m.SegmentPath(m.Variants[0].Video, 999); got != "" {
+		t.Errorf("out-of-range segment path = %q", got)
+	}
+}
+
+func TestStreamHLSRepairedEndToEnd(t *testing.T) {
+	// The full §4.1 flow over real HTTP: master playlist -> media
+	// playlists -> per-track bitrates -> repaired joint adaptation.
+	content := tinyContent()
+	srv := httptest.NewServer(originserver.New(content, originserver.Options{}).Handler())
+	defer srv.Close()
+	m, err := FetchHLS(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := exoplayer.NewHLSRepaired(m.Variants)
+	rep, err := Stream(context.Background(), m, Config{
+		BaseURL:      srv.URL,
+		Model:        model,
+		HTTPClient:   srv.Client(),
+		TargetBuffer: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Chunks) != content.NumChunks() {
+		t.Fatalf("chunks = %d, want %d", len(rep.Chunks), content.NumChunks())
+	}
+	listed := map[string]bool{}
+	for _, v := range m.Variants {
+		listed[v.String()] = true
+	}
+	audioSeen := map[string]bool{}
+	for _, ch := range rep.Chunks {
+		if !listed[ch.Combo.String()] {
+			t.Errorf("chunk %d: %s not a listed variant", ch.Index, ch.Combo)
+		}
+		audioSeen[ch.Combo.Audio.ID] = true
+	}
+	// On an unshaped link the repaired player must climb to A3 — audio
+	// adaptation works again.
+	if !audioSeen["A3"] {
+		t.Errorf("audio never reached A3: %v", audioSeen)
+	}
+}
+
+func TestFetchHLSErrors(t *testing.T) {
+	if _, err := FetchHLS(context.Background(), nil, "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable origin should fail")
+	}
+}
+
+func TestFetchCombinationsOutOfBand(t *testing.T) {
+	// §4.1's short-term DASH workaround over real HTTP: the MPD gives the
+	// ladders, /combinations.json gives the allowed pairings, and the
+	// best-practice player streams strictly within them.
+	content := tinyContent()
+	srv := httptest.NewServer(originserver.New(content, originserver.Options{}).Handler())
+	defer srv.Close()
+	m, err := FetchManifest(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos, err := FetchCombinations(context.Background(), srv.Client(), srv.URL, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 6 {
+		t.Fatalf("combos = %d, want 6 (H_sub default)", len(combos))
+	}
+	wantNames := []string{"V1+A1", "V2+A1", "V3+A2", "V4+A2", "V5+A3", "V6+A3"}
+	for i, cb := range combos {
+		if cb.String() != wantNames[i] {
+			t.Errorf("combo %d = %s, want %s", i, cb, wantNames[i])
+		}
+	}
+	model := jointabr.New(combos)
+	rep, err := Stream(context.Background(), m, Config{
+		BaseURL:      srv.URL,
+		Model:        model,
+		HTTPClient:   srv.Client(),
+		TargetBuffer: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, cb := range combos {
+		listed[cb.String()] = true
+	}
+	for _, ch := range rep.Chunks {
+		if !listed[ch.Combo.String()] {
+			t.Errorf("chunk %d: %s outside the out-of-band list", ch.Index, ch.Combo)
+		}
+	}
+}
+
+func TestFetchCombinationsErrors(t *testing.T) {
+	if _, err := FetchCombinations(context.Background(), nil, "http://127.0.0.1:1", &Manifest{}); err == nil {
+		t.Error("unreachable origin should fail")
+	}
+}

@@ -1,0 +1,48 @@
+package dash
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"demuxabr/internal/media"
+)
+
+func FuzzParse(f *testing.F) {
+	var seed bytes.Buffer
+	_ = Generate(media.DramaShow()).Encode(&seed)
+	f.Add(seed.String())
+	f.Add("<MPD></MPD>")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("accepted MPD failed to re-encode: %v", err)
+		}
+		if _, err := Parse(&buf); err != nil {
+			t.Fatalf("re-encoded MPD failed to parse: %v", err)
+		}
+	})
+}
+
+func FuzzParseDuration(f *testing.F) {
+	f.Add("PT5M0S")
+	f.Add("PT1.5S")
+	f.Add("P1D")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseDuration(input)
+		if err != nil {
+			return
+		}
+		// Accepted durations must survive a format/parse round trip.
+		back, err := ParseDuration(FormatDuration(d))
+		if err != nil || back != d {
+			t.Fatalf("round trip failed for %q: %v -> %v (%v)", input, d, back, err)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package dash
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"demuxabr/internal/media"
+)
+
+// TestGoldenMPD pins the exact serialized MPD for the paper's content —
+// format drift (attribute order, duration rendering, indentation) breaks
+// this test deliberately, because downstream parsers key on the bytes.
+func TestGoldenMPD(t *testing.T) {
+	want, err := os.ReadFile("testdata/drama.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Generate(media.DramaShow()).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("generated MPD differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestGoldenMPDParses double-checks that the golden artifact itself round
+// trips through the parser.
+func TestGoldenMPDParses(t *testing.T) {
+	f, err := os.Open("testdata/drama.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	video, audio, err := Ladders(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(video) != 6 || len(audio) != 3 {
+		t.Errorf("golden ladders %d/%d", len(video), len(audio))
+	}
+}

@@ -1,0 +1,100 @@
+package dash
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"demuxabr/internal/media"
+)
+
+// randomContent synthesizes a valid demuxed asset with random ladders.
+func randomContent(rng *rand.Rand) *media.Content {
+	nv, na := rng.Intn(6)+1, rng.Intn(4)+1
+	video := make(media.Ladder, nv)
+	rate := 100.0 + float64(rng.Intn(200))
+	for i := range video {
+		video[i] = &media.Track{
+			ID: fmt.Sprintf("V%d", i+1), Type: media.Video,
+			AvgBitrate: media.Kbps(rate), PeakBitrate: media.Kbps(rate * 1.5),
+			DeclaredBitrate: media.Kbps(rate * 1.2),
+			Resolution:      "480p",
+		}
+		rate *= 1.4 + rng.Float64()
+	}
+	audio := make(media.Ladder, na)
+	rate = 32 + float64(rng.Intn(64))
+	for i := range audio {
+		audio[i] = &media.Track{
+			ID: fmt.Sprintf("A%d", i+1), Type: media.Audio,
+			AvgBitrate: media.Kbps(rate), PeakBitrate: media.Kbps(rate * 1.05),
+			DeclaredBitrate: media.Kbps(rate),
+			Channels:        2, SampleRateHz: 48000,
+		}
+		rate *= 1.5 + rng.Float64()
+	}
+	return media.MustNewContent(media.ContentSpec{
+		Name:          "random",
+		Duration:      time.Duration(rng.Intn(120)+10) * time.Second,
+		ChunkDuration: time.Duration(rng.Intn(8)+2) * time.Second,
+		VideoTracks:   video,
+		AudioTracks:   audio,
+		Model:         media.CBRChunkModel(),
+	})
+}
+
+// Property: any random content's MPD round trips: same track count, IDs,
+// declared bandwidths, duration, and chunking.
+func TestMPDRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomContent(rng)
+		var buf bytes.Buffer
+		if err := Generate(c).Encode(&buf); err != nil {
+			return false
+		}
+		m, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		video, audio, err := Ladders(m)
+		if err != nil {
+			return false
+		}
+		if len(video) != len(c.VideoTracks) || len(audio) != len(c.AudioTracks) {
+			return false
+		}
+		for i, v := range video {
+			if v.ID != c.VideoTracks[i].ID || v.DeclaredBitrate != c.VideoTracks[i].DeclaredBitrate {
+				return false
+			}
+		}
+		for i, a := range audio {
+			if a.ID != c.AudioTracks[i].ID || a.DeclaredBitrate != c.AudioTracks[i].DeclaredBitrate ||
+				a.Channels != c.AudioTracks[i].Channels {
+				return false
+			}
+		}
+		dur, err := ParseDuration(m.MediaPresentationDuration)
+		return err == nil && dur == c.Duration
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parser robustness: arbitrary XML-ish junk must never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(junk string) bool {
+		_, _ = Parse(bytes.NewBufferString(junk))
+		_, _ = Parse(bytes.NewBufferString("<MPD>" + junk + "</MPD>"))
+		_, _ = ParseDuration(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

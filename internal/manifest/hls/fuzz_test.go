@@ -1,0 +1,66 @@
+package hls
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"demuxabr/internal/media"
+)
+
+// Native fuzz targets: the parsers must never panic and, when they accept
+// input, re-encoding must be parseable again (weak idempotence).
+
+func FuzzParseMaster(f *testing.F) {
+	c := media.DramaShow()
+	var seed bytes.Buffer
+	_ = GenerateMaster(c, media.HSub(c), nil).Encode(&seed)
+	f.Add(seed.String())
+	f.Add("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=1\nv.m3u8\n")
+	f.Add("#EXTM3U\n#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID=\"g\",NAME=\"A\",URI=\"a.m3u8\"\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ParseMaster(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		if _, err := ParseMaster(&buf); err != nil {
+			t.Fatalf("re-encoded playlist failed to parse: %v\n%s", err, buf.String())
+		}
+	})
+}
+
+func FuzzParseMedia(f *testing.F) {
+	c := media.DramaShow()
+	var seed bytes.Buffer
+	_ = GenerateMedia(c, c.TrackByID("V1"), SingleFile, true).Encode(&seed)
+	f.Add(seed.String())
+	f.Add("#EXTM3U\n#EXTINF:5.000,\nseg.m4s\n#EXT-X-ENDLIST\n")
+	f.Add("#EXTM3U\n#EXT-X-BYTERANGE:10@0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseMedia(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		if _, err := ParseMedia(&buf); err != nil {
+			t.Fatalf("re-encoded playlist failed to parse: %v\n%s", err, buf.String())
+		}
+	})
+}
+
+func FuzzParseAttrList(f *testing.F) {
+	f.Add(`BANDWIDTH=1,CODECS="a,b"`)
+	f.Add(`KEY="`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = parseAttrList(input) // must not panic
+	})
+}

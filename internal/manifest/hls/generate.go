@@ -1,0 +1,188 @@
+package hls
+
+import (
+	"fmt"
+
+	"demuxabr/internal/media"
+)
+
+// Packaging selects how media playlists address chunk data.
+type Packaging int
+
+const (
+	// SegmentFiles packages each chunk as an individual file: no byte-range
+	// information, so per-track bitrates are only recoverable if the
+	// optional EXT-X-BITRATE tag is written (§4.1 case ii).
+	SegmentFiles Packaging = iota
+	// SingleFile packages all chunks of a track into one file addressed by
+	// EXT-X-BYTERANGE, from which per-track bitrates can always be derived
+	// (§4.1 case i).
+	SingleFile
+)
+
+// resolutionWxH maps the content's resolution labels to RESOLUTION values.
+var resolutionWxH = map[string]string{
+	"144p":  "256x144",
+	"240p":  "426x240",
+	"360p":  "640x360",
+	"480p":  "854x480",
+	"720p":  "1280x720",
+	"1080p": "1920x1080",
+}
+
+// AudioGroupID returns the rendition group ID used for an audio track.
+func AudioGroupID(a *media.Track) string { return "audio-" + a.ID }
+
+// VideoURI and AudioURI are the media playlist addresses the generator uses.
+func VideoURI(v *media.Track) string { return "video/" + v.ID + ".m3u8" }
+
+// AudioURI returns the audio rendition playlist address.
+func AudioURI(a *media.Track) string { return "audio/" + a.ID + ".m3u8" }
+
+// GenerateMaster builds the master playlist listing exactly the given
+// combinations (H_all, H_sub, or any curated list), with audio renditions
+// declared in audioOrder (nil = ladder order). Each combination becomes one
+// EXT-X-STREAM-INF whose BANDWIDTH is the pair's aggregate peak bitrate and
+// AVERAGE-BANDWIDTH the aggregate average — the only bitrate information HLS
+// exposes at the top level (§2.3).
+func GenerateMaster(c *media.Content, combos []media.Combo, audioOrder []*media.Track) *MasterPlaylist {
+	if audioOrder == nil {
+		audioOrder = c.AudioTracks
+	}
+	m := &MasterPlaylist{Version: 4}
+	for i, a := range audioOrder {
+		m.Renditions = append(m.Renditions, Rendition{
+			Type:     "AUDIO",
+			GroupID:  AudioGroupID(a),
+			Name:     a.ID,
+			Language: a.Language,
+			URI:      AudioURI(a),
+			Default:  i == 0,
+		})
+	}
+	for _, cb := range combos {
+		m.Variants = append(m.Variants, Variant{
+			Bandwidth:        int64(cb.PeakBitrate()),
+			AverageBandwidth: int64(cb.AvgBitrate()),
+			Resolution:       resolutionWxH[cb.Video.Resolution],
+			Codecs:           "avc1.4d401f,mp4a.40.2",
+			AudioGroup:       AudioGroupID(cb.Audio),
+			URI:              VideoURI(cb.Video),
+		})
+	}
+	return m
+}
+
+// GenerateMedia builds the media playlist of one track with the content's
+// real chunk sizes. withBitrateTag writes the optional EXT-X-BITRATE tag.
+func GenerateMedia(c *media.Content, tr *media.Track, pack Packaging, withBitrateTag bool) *MediaPlaylist {
+	p := &MediaPlaylist{
+		Version:        4,
+		TargetDuration: c.ChunkDuration,
+		EndList:        true,
+	}
+	var offset int64
+	for i := 0; i < c.NumChunks(); i++ {
+		dur := c.ChunkDurationAt(i)
+		size := c.ChunkSize(tr, i)
+		seg := Segment{Duration: dur}
+		switch pack {
+		case SingleFile:
+			seg.URI = fmt.Sprintf("%s/%s.mp4", tr.Type, tr.ID)
+			seg.ByteRangeLength = size
+			seg.ByteRangeOffset = offset
+			offset += size
+		default:
+			seg.URI = fmt.Sprintf("%s/%s/seg-%d.m4s", tr.Type, tr.ID, i)
+		}
+		if withBitrateTag {
+			seg.Bitrate = int64(float64(size*8) / dur.Seconds())
+		}
+		p.Segments = append(p.Segments, seg)
+	}
+	return p
+}
+
+// TrackBitrate recovers a track's bitrate from its media playlist — the
+// §4.1 client-side procedure: peak per-segment bitrate from EXT-X-BYTERANGE
+// sizes when present, else from EXT-X-BITRATE tags. It returns an error if
+// the playlist carries neither (the "lazy fetching" dead end the paper
+// warns about).
+func TrackBitrate(p *MediaPlaylist) (peak, avg media.Bps, err error) {
+	var totalBits, totalSecs, peakBps float64
+	for i, s := range p.Segments {
+		secs := s.Duration.Seconds()
+		if secs <= 0 {
+			return 0, 0, fmt.Errorf("hls: segment %d has no duration", i)
+		}
+		var bps float64
+		switch {
+		case s.ByteRangeLength > 0:
+			bps = float64(s.ByteRangeLength*8) / secs
+		case s.Bitrate > 0:
+			bps = float64(s.Bitrate)
+		default:
+			return 0, 0, fmt.Errorf("hls: segment %d carries neither EXT-X-BYTERANGE nor EXT-X-BITRATE", i)
+		}
+		totalBits += bps * secs
+		totalSecs += secs
+		if bps > peakBps {
+			peakBps = bps
+		}
+	}
+	if totalSecs == 0 {
+		return 0, 0, fmt.Errorf("hls: empty playlist")
+	}
+	return media.Bps(peakBps), media.Bps(totalBits / totalSecs), nil
+}
+
+// CombosFromMaster resolves a master playlist's variants back to track
+// combinations against known content (matching video by URI and audio by
+// rendition group).
+func CombosFromMaster(m *MasterPlaylist, c *media.Content) ([]media.Combo, error) {
+	audioByGroup := make(map[string]*media.Track)
+	for _, r := range m.Renditions {
+		if r.Type != "AUDIO" {
+			continue
+		}
+		tr := c.TrackByID(r.Name)
+		if tr == nil {
+			return nil, fmt.Errorf("hls: rendition %q has no matching track", r.Name)
+		}
+		audioByGroup[r.GroupID] = tr
+	}
+	videoByURI := make(map[string]*media.Track)
+	for _, v := range c.VideoTracks {
+		videoByURI[VideoURI(v)] = v
+	}
+	var combos []media.Combo
+	for i, v := range m.Variants {
+		video := videoByURI[v.URI]
+		if video == nil {
+			return nil, fmt.Errorf("hls: variant %d URI %q has no matching video track", i, v.URI)
+		}
+		audio := audioByGroup[v.AudioGroup]
+		if audio == nil {
+			return nil, fmt.Errorf("hls: variant %d references unknown audio group %q", i, v.AudioGroup)
+		}
+		combos = append(combos, media.Combo{Video: video, Audio: audio})
+	}
+	return combos, nil
+}
+
+// AudioOrderFromMaster returns the audio tracks in rendition-list order —
+// the order that determines which track ExoPlayer pins (§3.2).
+func AudioOrderFromMaster(m *MasterPlaylist, c *media.Content) ([]*media.Track, error) {
+	var order []*media.Track
+	for _, r := range m.Renditions {
+		if r.Type != "AUDIO" {
+			continue
+		}
+		tr := c.TrackByID(r.Name)
+		if tr == nil {
+			return nil, fmt.Errorf("hls: rendition %q has no matching track", r.Name)
+		}
+		order = append(order, tr)
+	}
+	return order, nil
+}

@@ -1,0 +1,100 @@
+package hls
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"demuxabr/internal/media"
+)
+
+func assertGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("generated playlist differs from %s.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// The golden files pin the exact playlist bytes for the paper's content.
+
+func TestGoldenMasterHAll(t *testing.T) {
+	c := media.DramaShow()
+	var buf bytes.Buffer
+	if err := GenerateMaster(c, media.HAll(c), nil).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, "testdata/master_hall.m3u8", buf.Bytes())
+}
+
+func TestGoldenMasterHSub(t *testing.T) {
+	c := media.DramaShow()
+	var buf bytes.Buffer
+	if err := GenerateMaster(c, media.HSub(c), nil).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, "testdata/master_hsub.m3u8", buf.Bytes())
+}
+
+func TestGoldenMediaPlaylist(t *testing.T) {
+	c := media.DramaShow()
+	var buf bytes.Buffer
+	if err := GenerateMedia(c, c.TrackByID("V3"), SingleFile, true).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, "testdata/V3_media.m3u8", buf.Bytes())
+}
+
+func TestGoldenFilesParse(t *testing.T) {
+	for _, name := range []string{"testdata/master_hall.m3u8", "testdata/master_hsub.m3u8"} {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseMaster(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m.Variants) == 0 || len(m.Renditions) != 3 {
+			t.Errorf("%s: %d variants / %d renditions", name, len(m.Variants), len(m.Renditions))
+		}
+	}
+	f, err := os.Open("testdata/V3_media.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pl, err := ParseMedia(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := TrackBitrate(pl); err != nil {
+		t.Errorf("golden media playlist lacks bitrate info: %v", err)
+	}
+}
+
+func TestGoldenMultiLanguageMaster(t *testing.T) {
+	c := media.MultiLanguageShow()
+	combos := media.CombosForLanguage(media.AllCombos(c.VideoTracks, c.AudioTracks), "en")
+	var buf bytes.Buffer
+	if err := GenerateMaster(c, combos, nil).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, "testdata/master_multilang.m3u8", buf.Bytes())
+	// The LANGUAGE attribute must survive a parse.
+	m, err := ParseMaster(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	langs := map[string]int{}
+	for _, r := range m.Renditions {
+		langs[r.Language]++
+	}
+	if langs["en"] != 2 || langs["es"] != 2 {
+		t.Errorf("languages = %v", langs)
+	}
+}

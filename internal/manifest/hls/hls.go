@@ -1,0 +1,343 @@
+// Package hls writes and parses the subset of HTTP Live Streaming playlists
+// (RFC 8216) the paper's experiments exercise: master playlists whose
+// EXT-X-STREAM-INF variants pair a video stream with an audio rendition
+// group (the H_all and H_sub manifests), and media playlists with EXTINF
+// segments, optional EXT-X-BYTERANGE single-file packaging, and the
+// optional EXT-X-BITRATE per-segment tag whose mandatory use §4.1
+// recommends.
+//
+// The HLS-specific property at the heart of §2.3: the top-level master
+// playlist only declares the aggregate BANDWIDTH of each variant
+// (video+audio combination); per-track bitrates live in the second-level
+// media playlists and can be recovered from byte ranges or EXT-X-BITRATE —
+// see TrackBitrate.
+package hls
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rendition is an EXT-X-MEDIA entry (we model audio renditions only).
+type Rendition struct {
+	// Type is the EXT-X-MEDIA TYPE (always "AUDIO" here).
+	Type string
+	// GroupID ties the rendition to variants' AUDIO attribute.
+	GroupID string
+	// Name is the human-readable NAME (the track ID, e.g. "A2").
+	Name string
+	// Language is the LANGUAGE attribute ("" = absent).
+	Language string
+	// URI locates the rendition's media playlist.
+	URI string
+	// Default marks DEFAULT=YES.
+	Default bool
+}
+
+// Variant is an EXT-X-STREAM-INF entry: one video/audio combination.
+type Variant struct {
+	// Bandwidth is the mandatory peak BANDWIDTH of the combination in bps.
+	Bandwidth int64
+	// AverageBandwidth is the optional AVERAGE-BANDWIDTH in bps (0 = absent).
+	AverageBandwidth int64
+	// Resolution is "WxH" ("" = absent).
+	Resolution string
+	// Codecs is the CODECS attribute ("" = absent).
+	Codecs string
+	// AudioGroup references a rendition GroupID ("" = muxed).
+	AudioGroup string
+	// URI locates the video media playlist (the line after the tag).
+	URI string
+}
+
+// MasterPlaylist is a top-level HLS playlist.
+type MasterPlaylist struct {
+	Version    int
+	Renditions []Rendition
+	Variants   []Variant
+}
+
+// Encode writes the playlist in M3U8 form.
+func (m *MasterPlaylist) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#EXTM3U")
+	version := m.Version
+	if version == 0 {
+		version = 4
+	}
+	fmt.Fprintf(bw, "#EXT-X-VERSION:%d\n", version)
+	for _, r := range m.Renditions {
+		var a attrWriter
+		a.add("TYPE", r.Type)
+		a.addQuoted("GROUP-ID", r.GroupID)
+		a.addQuoted("NAME", r.Name)
+		if r.Language != "" {
+			a.addQuoted("LANGUAGE", r.Language)
+		}
+		if r.Default {
+			a.add("DEFAULT", "YES")
+		}
+		a.addQuoted("URI", r.URI)
+		fmt.Fprintf(bw, "#EXT-X-MEDIA:%s\n", a.String())
+	}
+	for _, v := range m.Variants {
+		var a attrWriter
+		a.addInt("BANDWIDTH", v.Bandwidth)
+		if v.AverageBandwidth > 0 {
+			a.addInt("AVERAGE-BANDWIDTH", v.AverageBandwidth)
+		}
+		if v.Resolution != "" {
+			a.add("RESOLUTION", v.Resolution)
+		}
+		if v.Codecs != "" {
+			a.addQuoted("CODECS", v.Codecs)
+		}
+		if v.AudioGroup != "" {
+			a.addQuoted("AUDIO", v.AudioGroup)
+		}
+		fmt.Fprintf(bw, "#EXT-X-STREAM-INF:%s\n%s\n", a.String(), v.URI)
+	}
+	return bw.Flush()
+}
+
+// ParseMaster reads a master playlist.
+func ParseMaster(r io.Reader) (*MasterPlaylist, error) {
+	sc := bufio.NewScanner(r)
+	m := &MasterPlaylist{}
+	var pendingVariant *Variant
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if first {
+			if text != "#EXTM3U" {
+				return nil, fmt.Errorf("hls: line %d: missing #EXTM3U header", line)
+			}
+			first = false
+			continue
+		}
+		switch {
+		case pendingVariant != nil && !strings.HasPrefix(text, "#"):
+			pendingVariant.URI = text
+			m.Variants = append(m.Variants, *pendingVariant)
+			pendingVariant = nil
+		case strings.HasPrefix(text, "#EXT-X-VERSION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(text, "#EXT-X-VERSION:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad version: %w", line, err)
+			}
+			m.Version = v
+		case strings.HasPrefix(text, "#EXT-X-MEDIA:"):
+			attrs, err := parseAttrList(strings.TrimPrefix(text, "#EXT-X-MEDIA:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: %w", line, err)
+			}
+			m.Renditions = append(m.Renditions, Rendition{
+				Type:     attrs["TYPE"],
+				GroupID:  attrs["GROUP-ID"],
+				Name:     attrs["NAME"],
+				Language: attrs["LANGUAGE"],
+				URI:      attrs["URI"],
+				Default:  attrs["DEFAULT"] == "YES",
+			})
+		case strings.HasPrefix(text, "#EXT-X-STREAM-INF:"):
+			attrs, err := parseAttrList(strings.TrimPrefix(text, "#EXT-X-STREAM-INF:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: %w", line, err)
+			}
+			v := &Variant{
+				Resolution: attrs["RESOLUTION"],
+				Codecs:     attrs["CODECS"],
+				AudioGroup: attrs["AUDIO"],
+			}
+			if bw, ok := attrs["BANDWIDTH"]; ok {
+				n, err := strconv.ParseInt(bw, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("hls: line %d: bad BANDWIDTH: %w", line, err)
+				}
+				v.Bandwidth = n
+			} else {
+				return nil, fmt.Errorf("hls: line %d: EXT-X-STREAM-INF missing BANDWIDTH", line)
+			}
+			if abw, ok := attrs["AVERAGE-BANDWIDTH"]; ok {
+				n, err := strconv.ParseInt(abw, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("hls: line %d: bad AVERAGE-BANDWIDTH: %w", line, err)
+				}
+				v.AverageBandwidth = n
+			}
+			pendingVariant = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendingVariant != nil {
+		return nil, fmt.Errorf("hls: EXT-X-STREAM-INF without a URI line")
+	}
+	if first {
+		return nil, fmt.Errorf("hls: empty playlist")
+	}
+	return m, nil
+}
+
+// Segment is one media-playlist entry.
+type Segment struct {
+	// Duration is the EXTINF duration.
+	Duration time.Duration
+	// URI is the segment address (the single file's URI in byte-range mode).
+	URI string
+	// ByteRange is the EXT-X-BYTERANGE length/offset; Length 0 = absent.
+	ByteRangeLength int64
+	ByteRangeOffset int64
+	// Bitrate is the EXT-X-BITRATE value in bits/s (0 = absent).
+	Bitrate int64
+}
+
+// MediaPlaylist is a second-level playlist of one track.
+type MediaPlaylist struct {
+	Version        int
+	TargetDuration time.Duration
+	MediaSequence  int64
+	Segments       []Segment
+	EndList        bool
+}
+
+// Encode writes the media playlist.
+func (p *MediaPlaylist) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#EXTM3U")
+	version := p.Version
+	if version == 0 {
+		version = 4
+	}
+	fmt.Fprintf(bw, "#EXT-X-VERSION:%d\n", version)
+	fmt.Fprintf(bw, "#EXT-X-TARGETDURATION:%d\n", int(p.TargetDuration.Seconds()+0.999))
+	fmt.Fprintf(bw, "#EXT-X-MEDIA-SEQUENCE:%d\n", p.MediaSequence)
+	for _, s := range p.Segments {
+		if s.Bitrate > 0 {
+			fmt.Fprintf(bw, "#EXT-X-BITRATE:%d\n", s.Bitrate)
+		}
+		fmt.Fprintf(bw, "#EXTINF:%.3f,\n", s.Duration.Seconds())
+		if s.ByteRangeLength > 0 {
+			fmt.Fprintf(bw, "#EXT-X-BYTERANGE:%d@%d\n", s.ByteRangeLength, s.ByteRangeOffset)
+		}
+		fmt.Fprintln(bw, s.URI)
+	}
+	if p.EndList {
+		fmt.Fprintln(bw, "#EXT-X-ENDLIST")
+	}
+	return bw.Flush()
+}
+
+// ParseMedia reads a media playlist.
+func ParseMedia(r io.Reader) (*MediaPlaylist, error) {
+	sc := bufio.NewScanner(r)
+	p := &MediaPlaylist{}
+	var cur *Segment
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if first {
+			if text != "#EXTM3U" {
+				return nil, fmt.Errorf("hls: line %d: missing #EXTM3U header", line)
+			}
+			first = false
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "#EXT-X-VERSION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(text, "#EXT-X-VERSION:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad version: %w", line, err)
+			}
+			p.Version = v
+		case strings.HasPrefix(text, "#EXT-X-TARGETDURATION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(text, "#EXT-X-TARGETDURATION:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad target duration: %w", line, err)
+			}
+			p.TargetDuration = time.Duration(v) * time.Second
+		case strings.HasPrefix(text, "#EXT-X-MEDIA-SEQUENCE:"):
+			v, err := strconv.ParseInt(strings.TrimPrefix(text, "#EXT-X-MEDIA-SEQUENCE:"), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad media sequence: %w", line, err)
+			}
+			p.MediaSequence = v
+		case strings.HasPrefix(text, "#EXT-X-BITRATE:"):
+			v, err := strconv.ParseInt(strings.TrimPrefix(text, "#EXT-X-BITRATE:"), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad bitrate: %w", line, err)
+			}
+			if cur == nil {
+				cur = &Segment{}
+			}
+			cur.Bitrate = v
+		case strings.HasPrefix(text, "#EXTINF:"):
+			val := strings.TrimSuffix(strings.TrimPrefix(text, "#EXTINF:"), ",")
+			if i := strings.IndexByte(val, ','); i >= 0 {
+				val = val[:i]
+			}
+			secs, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad EXTINF: %w", line, err)
+			}
+			if cur == nil {
+				cur = &Segment{}
+			}
+			// Millisecond precision, computed exactly (the encoder emits
+			// three decimals).
+			cur.Duration = time.Duration(secs*1000+0.5) * time.Millisecond
+		case strings.HasPrefix(text, "#EXT-X-BYTERANGE:"):
+			val := strings.TrimPrefix(text, "#EXT-X-BYTERANGE:")
+			lenStr, offStr, hasOff := strings.Cut(val, "@")
+			n, err := strconv.ParseInt(lenStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad byterange: %w", line, err)
+			}
+			if cur == nil {
+				cur = &Segment{}
+			}
+			cur.ByteRangeLength = n
+			if hasOff {
+				off, err := strconv.ParseInt(offStr, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("hls: line %d: bad byterange offset: %w", line, err)
+				}
+				cur.ByteRangeOffset = off
+			}
+		case text == "#EXT-X-ENDLIST":
+			p.EndList = true
+		case !strings.HasPrefix(text, "#"):
+			if cur == nil {
+				return nil, fmt.Errorf("hls: line %d: segment URI without EXTINF", line)
+			}
+			cur.URI = text
+			p.Segments = append(p.Segments, *cur)
+			cur = nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("hls: empty playlist")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("hls: dangling EXTINF without a URI")
+	}
+	return p, nil
+}

@@ -1,0 +1,156 @@
+package hls
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomMaster synthesizes a structurally valid master playlist.
+func randomMaster(rng *rand.Rand) *MasterPlaylist {
+	m := &MasterPlaylist{Version: rng.Intn(7) + 1}
+	nAudio := rng.Intn(4) + 1
+	for i := 0; i < nAudio; i++ {
+		m.Renditions = append(m.Renditions, Rendition{
+			Type:    "AUDIO",
+			GroupID: fmt.Sprintf("grp-%d", i),
+			Name:    fmt.Sprintf("Aud %d", i),
+			URI:     fmt.Sprintf("audio/a%d.m3u8", i),
+			Default: i == 0 && rng.Intn(2) == 0,
+		})
+	}
+	nVar := rng.Intn(8) + 1
+	for i := 0; i < nVar; i++ {
+		v := Variant{
+			Bandwidth:  int64(rng.Intn(5_000_000) + 1),
+			AudioGroup: fmt.Sprintf("grp-%d", rng.Intn(nAudio)),
+			URI:        fmt.Sprintf("video/v%d.m3u8", i),
+		}
+		if rng.Intn(2) == 0 {
+			v.AverageBandwidth = int64(rng.Intn(int(v.Bandwidth)) + 1)
+		}
+		if rng.Intn(2) == 0 {
+			v.Resolution = fmt.Sprintf("%dx%d", rng.Intn(3840)+1, rng.Intn(2160)+1)
+		}
+		if rng.Intn(2) == 0 {
+			v.Codecs = "avc1.4d401f,mp4a.40.2"
+		}
+		m.Variants = append(m.Variants, v)
+	}
+	return m
+}
+
+// Property: any generated master playlist survives encode/parse unchanged.
+func TestMasterRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomMaster(rng)
+		var buf bytes.Buffer
+		if err := orig.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := ParseMaster(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Version != orig.Version || len(got.Renditions) != len(orig.Renditions) || len(got.Variants) != len(orig.Variants) {
+			return false
+		}
+		for i := range orig.Renditions {
+			if got.Renditions[i] != orig.Renditions[i] {
+				return false
+			}
+		}
+		for i := range orig.Variants {
+			if got.Variants[i] != orig.Variants[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomMedia synthesizes a structurally valid media playlist.
+func randomMedia(rng *rand.Rand) *MediaPlaylist {
+	p := &MediaPlaylist{
+		Version:        rng.Intn(7) + 1,
+		TargetDuration: time.Duration(rng.Intn(10)+1) * time.Second,
+		MediaSequence:  int64(rng.Intn(100)),
+		EndList:        rng.Intn(2) == 0,
+	}
+	n := rng.Intn(20) + 1
+	var offset int64
+	for i := 0; i < n; i++ {
+		seg := Segment{
+			// EXTINF is encoded with millisecond precision.
+			Duration: time.Duration(rng.Intn(10_000)+1) * time.Millisecond,
+			URI:      fmt.Sprintf("seg-%d.m4s", i),
+		}
+		if rng.Intn(2) == 0 {
+			seg.ByteRangeLength = int64(rng.Intn(1_000_000) + 1)
+			seg.ByteRangeOffset = offset
+			offset += seg.ByteRangeLength
+		}
+		if rng.Intn(2) == 0 {
+			seg.Bitrate = int64(rng.Intn(5_000_000) + 1)
+		}
+		p.Segments = append(p.Segments, seg)
+	}
+	return p
+}
+
+// Property: any generated media playlist survives encode/parse unchanged.
+func TestMediaRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomMedia(rng)
+		var buf bytes.Buffer
+		if err := orig.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := ParseMedia(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Version != orig.Version || got.MediaSequence != orig.MediaSequence ||
+			got.EndList != orig.EndList || len(got.Segments) != len(orig.Segments) {
+			return false
+		}
+		// TargetDuration is rounded up to whole seconds by the encoder.
+		if got.TargetDuration < orig.TargetDuration {
+			return false
+		}
+		for i := range orig.Segments {
+			if got.Segments[i] != orig.Segments[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parser robustness: arbitrary junk must never panic; it either parses or
+// returns an error.
+func TestParsersNeverPanic(t *testing.T) {
+	f := func(lines []string) bool {
+		in := "#EXTM3U\n"
+		for _, l := range lines {
+			in += l + "\n"
+		}
+		_, _ = ParseMaster(bytes.NewBufferString(in))
+		_, _ = ParseMedia(bytes.NewBufferString(in))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package lint checks manifests against the paper's §4.1 server-side best
+// practices for demuxed audio/video content:
+//
+//   - curate the audio/video combinations (don't list the full cross
+//     product, don't list a single variant per video either if multiple
+//     audio tracks exist);
+//   - declare bandwidth for combinations AND for individual tracks;
+//   - make per-track bitrates recoverable from media playlists
+//     (EXT-X-BYTERANGE or EXT-X-BITRATE on every segment);
+//   - order renditions deliberately (the first listed audio is what a
+//     degraded player pins).
+//
+// Findings are advisory, mirroring how the paper frames its practices.
+package lint
+
+import (
+	"fmt"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Warning marks a practice violation with QoE consequences the paper
+	// demonstrates.
+	Warning Severity = iota
+	// Info marks an observation worth reviewing.
+	Info
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Warning {
+		return "WARN"
+	}
+	return "INFO"
+}
+
+// Finding is one lint result.
+type Finding struct {
+	Severity Severity
+	// Rule is a short stable identifier (e.g. "hls-all-combinations").
+	Rule string
+	// Message explains the finding and its paper grounding.
+	Message string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s %s: %s", f.Severity, f.Rule, f.Message)
+}
+
+// Master lints an HLS master playlist.
+func Master(m *hls.MasterPlaylist) []Finding {
+	var out []Finding
+	audioGroups := map[string]bool{}
+	audioCount := 0
+	var defaults int
+	for _, r := range m.Renditions {
+		if r.Type != "AUDIO" {
+			continue
+		}
+		audioCount++
+		audioGroups[r.GroupID] = true
+		if r.Default {
+			defaults++
+		}
+	}
+	videos := map[string]bool{}
+	groupsUsed := map[string]bool{}
+	missingAvg := 0
+	for _, v := range m.Variants {
+		videos[v.URI] = true
+		groupsUsed[v.AudioGroup] = true
+		if v.AverageBandwidth == 0 {
+			missingAvg++
+		}
+	}
+	nv, na := len(videos), audioCount
+
+	if na > 1 {
+		if len(m.Variants) >= nv*na {
+			out = append(out, Finding{Warning, "hls-all-combinations",
+				fmt.Sprintf("master lists %d variants for %d videos x %d audio tracks: the full cross product invites undesirable pairings (§3.3); curate a subset (§4.1)", len(m.Variants), nv, na)})
+		}
+		if defaults == 0 {
+			out = append(out, Finding{Info, "hls-no-default-rendition",
+				"no audio rendition is marked DEFAULT; players that pin the first listed rendition (§3.2) will pin an arbitrary one"})
+		}
+	}
+	if missingAvg > 0 {
+		out = append(out, Finding{Warning, "hls-missing-average-bandwidth",
+			fmt.Sprintf("%d variants lack AVERAGE-BANDWIDTH; rate adaptation against peak-only aggregates overestimates demand (§2.3)", missingAvg)})
+	}
+	for g := range groupsUsed {
+		if g != "" && !audioGroups[g] {
+			out = append(out, Finding{Warning, "hls-dangling-audio-group",
+				fmt.Sprintf("variant references audio group %q with no rendition", g)})
+		}
+	}
+	return out
+}
+
+// MediaPlaylist lints one second-level playlist for per-track bitrate
+// recoverability (§4.1: byte ranges or the EXT-X-BITRATE tag, which the
+// paper recommends making mandatory).
+func MediaPlaylist(name string, p *hls.MediaPlaylist) []Finding {
+	missing := 0
+	for _, seg := range p.Segments {
+		if seg.ByteRangeLength == 0 && seg.Bitrate == 0 {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	return []Finding{{Warning, "hls-unrecoverable-track-bitrate",
+		fmt.Sprintf("%s: %d/%d segments carry neither EXT-X-BYTERANGE nor EXT-X-BITRATE; clients cannot recover the per-track bitrate (§4.1)", name, missing, len(p.Segments))}}
+}
+
+// MPD lints a DASH manifest.
+func MPD(m *dash.MPD) []Finding {
+	var out []Finding
+	video, audio, err := dash.Ladders(m)
+	if err != nil {
+		return []Finding{{Warning, "dash-invalid-ladders", err.Error()}}
+	}
+	if len(audio) > 1 {
+		out = append(out, Finding{Info, "dash-no-combination-mechanism",
+			fmt.Sprintf("MPD declares %d video x %d audio Representations; DASH cannot restrict their pairing — publish an out-of-band allowed-combination list (§4.1)", len(video), len(audio))})
+	}
+	// Audio rivaling low-rung video is exactly when joint adaptation
+	// matters (§1): flag it so operators know the stakes.
+	if len(audio) > 0 && len(video) > 1 {
+		top := audio[len(audio)-1]
+		if top.DeclaredBitrate >= video[1].DeclaredBitrate {
+			out = append(out, Finding{Info, "dash-audio-rivals-video",
+				fmt.Sprintf("top audio track (%v) meets or exceeds the second video rung (%v): audio selection will materially affect video selection (§1)", top.DeclaredBitrate, video[1].DeclaredBitrate)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+)
+
+func ruleSet(fs []Finding) map[string]Finding {
+	out := map[string]Finding{}
+	for _, f := range fs {
+		out[f.Rule] = f
+	}
+	return out
+}
+
+func TestMasterFlagsAllCombinations(t *testing.T) {
+	c := media.DramaShow()
+	all := hls.GenerateMaster(c, media.HAll(c), nil)
+	rules := ruleSet(Master(all))
+	if _, ok := rules["hls-all-combinations"]; !ok {
+		t.Errorf("H_all should trigger hls-all-combinations; got %v", rules)
+	}
+	sub := hls.GenerateMaster(c, media.HSub(c), nil)
+	rules = ruleSet(Master(sub))
+	if _, ok := rules["hls-all-combinations"]; ok {
+		t.Errorf("H_sub should not trigger hls-all-combinations")
+	}
+}
+
+func TestMasterFlagsMissingAverageBandwidth(t *testing.T) {
+	m := &hls.MasterPlaylist{
+		Renditions: []hls.Rendition{{Type: "AUDIO", GroupID: "g", Name: "A1", URI: "a.m3u8", Default: true}},
+		Variants:   []hls.Variant{{Bandwidth: 1000, AudioGroup: "g", URI: "v.m3u8"}},
+	}
+	rules := ruleSet(Master(m))
+	if _, ok := rules["hls-missing-average-bandwidth"]; !ok {
+		t.Errorf("missing AVERAGE-BANDWIDTH not flagged: %v", rules)
+	}
+}
+
+func TestMasterFlagsDanglingGroupAndNoDefault(t *testing.T) {
+	m := &hls.MasterPlaylist{
+		Renditions: []hls.Rendition{
+			{Type: "AUDIO", GroupID: "g1", Name: "A1", URI: "a1.m3u8"},
+			{Type: "AUDIO", GroupID: "g2", Name: "A2", URI: "a2.m3u8"},
+		},
+		Variants: []hls.Variant{
+			{Bandwidth: 1000, AverageBandwidth: 900, AudioGroup: "missing", URI: "v.m3u8"},
+		},
+	}
+	rules := ruleSet(Master(m))
+	if _, ok := rules["hls-dangling-audio-group"]; !ok {
+		t.Errorf("dangling group not flagged: %v", rules)
+	}
+	if _, ok := rules["hls-no-default-rendition"]; !ok {
+		t.Errorf("missing DEFAULT not flagged: %v", rules)
+	}
+}
+
+func TestMediaPlaylistRecoverability(t *testing.T) {
+	c := media.DramaShow()
+	good := hls.GenerateMedia(c, c.TrackByID("V1"), hls.SingleFile, false)
+	if fs := MediaPlaylist("V1", good); len(fs) != 0 {
+		t.Errorf("byte-range playlist flagged: %v", fs)
+	}
+	alsoGood := hls.GenerateMedia(c, c.TrackByID("V1"), hls.SegmentFiles, true)
+	if fs := MediaPlaylist("V1", alsoGood); len(fs) != 0 {
+		t.Errorf("bitrate-tag playlist flagged: %v", fs)
+	}
+	bad := hls.GenerateMedia(c, c.TrackByID("V1"), hls.SegmentFiles, false)
+	fs := MediaPlaylist("V1", bad)
+	if len(fs) != 1 || fs[0].Rule != "hls-unrecoverable-track-bitrate" {
+		t.Errorf("unrecoverable playlist not flagged: %v", fs)
+	}
+	if !strings.Contains(fs[0].String(), "WARN") {
+		t.Errorf("finding string = %q", fs[0])
+	}
+}
+
+func TestMPDFindings(t *testing.T) {
+	c := media.DramaShow()
+	rules := ruleSet(MPD(dash.Generate(c)))
+	if _, ok := rules["dash-no-combination-mechanism"]; !ok {
+		t.Errorf("multi-audio MPD should note the combination gap: %v", rules)
+	}
+	// A3 (384) > V2 (246): the §1 audio-rivals-video condition holds for
+	// the drama show.
+	if _, ok := rules["dash-audio-rivals-video"]; !ok {
+		t.Errorf("audio-rivals-video should fire for Table 1: %v", rules)
+	}
+	// Single-audio content: neither applies.
+	single := media.MustNewContent(media.ContentSpec{
+		Name:          "single",
+		Duration:      media.DramaDuration,
+		ChunkDuration: media.DramaChunkDuration,
+		VideoTracks:   media.DramaVideoLadder(),
+		AudioTracks:   media.Ladder{media.DramaAudioLadder()[0]},
+	})
+	rules = ruleSet(MPD(dash.Generate(single)))
+	if _, ok := rules["dash-no-combination-mechanism"]; ok {
+		t.Errorf("single-audio MPD flagged: %v", rules)
+	}
+}

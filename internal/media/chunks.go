@@ -1,0 +1,139 @@
+package media
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ChunkModel controls how per-chunk sizes are synthesized for a track.
+//
+// Real ABR content is VBR: chunk bitrates scatter around the track average
+// with occasional excursions toward the peak. The model draws deterministic
+// per-chunk multipliers from a seeded source, normalizes them so the track's
+// realized average bitrate matches AvgBitrate closely, and clamps every chunk
+// at the track's peak bitrate.
+type ChunkModel struct {
+	// Seed makes chunk sizes reproducible. Tracks derive per-track streams
+	// from Seed and the track ID, so two contents built with equal seeds and
+	// ladders have identical chunks.
+	Seed int64
+	// Spread is the relative standard deviation of chunk bitrates around the
+	// average, before clamping (0 gives CBR chunks). Typical video: 0.3.
+	Spread float64
+	// PeakEvery inserts a near-peak chunk every PeakEvery chunks (0 disables),
+	// modelling scene-complexity spikes that define the track peak bitrate.
+	PeakEvery int
+}
+
+// DefaultChunkModel is the model used by the content presets: moderately
+// variable video chunks with a peak excursion every 8 chunks.
+func DefaultChunkModel() ChunkModel {
+	return ChunkModel{Seed: 1, Spread: 0.25, PeakEvery: 8}
+}
+
+// CBRChunkModel produces constant-bitrate chunks at the track average.
+func CBRChunkModel() ChunkModel { return ChunkModel{} }
+
+// trackSeed derives a stable per-track seed from the model seed and track ID.
+func (m ChunkModel) trackSeed(id string) int64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return m.Seed ^ int64(h&math.MaxInt64)
+}
+
+// sizes generates the per-chunk byte sizes of one track.
+func (m ChunkModel) sizes(tr *Track, n int, chunkDur func(int) time.Duration) []int64 {
+	rng := rand.New(rand.NewSource(m.trackSeed(tr.ID)))
+	avg := float64(tr.AvgBitrate)
+	peak := float64(tr.PeakBitrate)
+	if peak < avg {
+		peak = avg
+	}
+	mult := make([]float64, n)
+	var sum float64
+	for i := range mult {
+		f := 1.0
+		if m.Spread > 0 {
+			f += m.Spread * rng.NormFloat64()
+		}
+		// Keep chunks within a plausible envelope before normalization.
+		f = math.Max(0.4, math.Min(f, peak/avg))
+		if m.PeakEvery > 0 && (i+1)%m.PeakEvery == 0 {
+			f = peak / avg
+		}
+		mult[i] = f
+		sum += f
+	}
+	// Normalize so the mean multiplier is 1 (realized average == AvgBitrate),
+	// then clamp at the peak. Clamping can pull the mean slightly below 1;
+	// acceptable since the peak rows are rare.
+	norm := float64(n) / sum
+	out := make([]int64, n)
+	for i := range mult {
+		f := math.Min(mult[i]*norm, peak/avg)
+		secs := chunkDur(i).Seconds()
+		bits := avg * f * secs
+		out[i] = int64(bits / 8)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ContentSpec describes a content asset to synthesize.
+type ContentSpec struct {
+	Name          string
+	Duration      time.Duration
+	ChunkDuration time.Duration
+	VideoTracks   Ladder
+	AudioTracks   Ladder
+	Model         ChunkModel
+}
+
+// NewContent synthesizes a Content from the spec, generating deterministic
+// chunk sizes for every track.
+func NewContent(spec ContentSpec) (*Content, error) {
+	c := &Content{
+		Name:          spec.Name,
+		Duration:      spec.Duration,
+		ChunkDuration: spec.ChunkDuration,
+		VideoTracks:   spec.VideoTracks,
+		AudioTracks:   spec.AudioTracks,
+		sizes:         make(map[string][]int64),
+	}
+	if c.ChunkDuration <= 0 {
+		return nil, fmt.Errorf("media: chunk duration must be positive")
+	}
+	if c.Duration < c.ChunkDuration {
+		return nil, fmt.Errorf("media: duration %v shorter than one chunk %v", c.Duration, c.ChunkDuration)
+	}
+	n := c.NumChunks()
+	for _, tr := range c.Tracks() {
+		model := spec.Model
+		if tr.Type == Audio {
+			// Audio is near-CBR: tight spread, no scene spikes.
+			model.Spread = math.Min(model.Spread, 0.02)
+			model.PeakEvery = 0
+		}
+		c.sizes[tr.ID] = model.sizes(tr, n, c.ChunkDurationAt)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustNewContent is NewContent that panics on error; for presets and tests.
+func MustNewContent(spec ContentSpec) *Content {
+	c, err := NewContent(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

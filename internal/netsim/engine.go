@@ -1,0 +1,142 @@
+// Package netsim is a discrete-event network simulator with virtual time.
+//
+// It models the paper's testbed: an HTTP origin reached through a single
+// tc-shaped bottleneck link. The link has a piecewise-constant capacity
+// profile (trace.Profile) and serves any number of concurrent transfers,
+// splitting capacity equally among active flows (the steady-state behaviour
+// of competing TCP flows sharing one bottleneck). Transfers progress as a
+// fluid; events fire at transfer activations, completions, profile
+// breakpoints, and optional fixed-interval progress samples (used to model
+// Shaka's 0.125 s throughput sampler).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a virtual-time discrete-event scheduler. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Event is a scheduled callback; it can be cancelled before it fires.
+type Event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	idx int // heap index; -1 once fired or cancelled
+}
+
+// At returns the time the event is scheduled for.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Schedule runs fn at virtual time at. Scheduling in the past panics: it
+// indicates a simulator bug, not a recoverable condition.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After runs fn d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.idx)
+	ev.idx = -1
+}
+
+// Step fires the next event. It reports false when no events remain or the
+// engine is stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	ev.idx = -1
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain, Stop is called, or the event count
+// budget is exhausted (a safeguard against runaway simulations).
+func (e *Engine) Run(maxEvents int) error {
+	for i := 0; i < maxEvents; i++ {
+		if !e.Step() {
+			return nil
+		}
+	}
+	return fmt.Errorf("netsim: event budget %d exhausted at t=%v", maxEvents, e.now)
+}
+
+// RunUntil fires events with time ≤ t, then sets the clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// eventHeap orders events by time, then by scheduling order for stability.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,339 @@
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"demuxabr/internal/trace"
+)
+
+// completionSlack treats a transfer as finished once less than half a byte
+// remains, absorbing float rounding in the fluid integration.
+const completionSlack = 0.5
+
+// Link is a single shared bottleneck with a time-varying capacity profile.
+// Concurrent transfers receive weight-proportional shares of the
+// instantaneous capacity (equal shares by default).
+type Link struct {
+	eng     *Engine
+	profile trace.Profile
+	// RTT delays each transfer's first byte (request round trip). Zero by
+	// default; the paper's single-server testbed had negligible RTT.
+	RTT time.Duration
+
+	active     []*Transfer
+	lastUpdate time.Duration
+	wake       *Event // pending recompute (completion or profile breakpoint)
+}
+
+// NewLink creates a link driven by the engine with the given capacity
+// profile.
+func NewLink(eng *Engine, profile trace.Profile) *Link {
+	if profile == nil {
+		panic("netsim: nil profile")
+	}
+	return &Link{eng: eng, profile: profile}
+}
+
+// Engine returns the engine that drives this link.
+func (l *Link) Engine() *Engine { return l.eng }
+
+// ActiveTransfers returns the number of currently transferring flows.
+func (l *Link) ActiveTransfers() int { return len(l.active) }
+
+// RateAt exposes the link capacity at time t.
+func (l *Link) RateAt(t time.Duration) float64 { return float64(l.profile.RateAt(t)) }
+
+// Transfer is one in-flight download over the link.
+type Transfer struct {
+	link *Link
+	// Label tags the transfer (e.g. "video"/"audio") for observers.
+	Label string
+	// UserData carries caller context (e.g. chunk identity).
+	UserData any
+	// weight is the transfer's share weight (default 1).
+	weight float64
+
+	size       int64   // total bytes
+	done       float64 // bytes transferred
+	started    time.Duration
+	finished   time.Duration
+	completed  bool
+	cancelled  bool
+	onComplete func(*Transfer)
+
+	sampleEvery  time.Duration
+	onSample     func(tr *Transfer, bytes float64, interval time.Duration)
+	sampleMark   float64       // bytes at last sample boundary
+	lastSampleAt time.Duration // time of last sample boundary
+	sampleEv     *Event
+}
+
+// Size returns the transfer's total size in bytes.
+func (tr *Transfer) Size() int64 { return tr.size }
+
+// Done returns the bytes transferred so far (fluid, fractional).
+func (tr *Transfer) Done() float64 { return tr.done }
+
+// Started returns the time the first byte moved (after RTT).
+func (tr *Transfer) Started() time.Duration { return tr.started }
+
+// Finished returns the completion time; zero if not complete.
+func (tr *Transfer) Finished() time.Duration { return tr.finished }
+
+// Completed reports whether the transfer finished.
+func (tr *Transfer) Completed() bool { return tr.completed }
+
+// Duration returns the transfer time (first byte to completion).
+func (tr *Transfer) Duration() time.Duration {
+	if !tr.completed {
+		return 0
+	}
+	return tr.finished - tr.started
+}
+
+// Throughput returns the achieved goodput in bits/s; zero if not complete or
+// instantaneous.
+func (tr *Transfer) Throughput() float64 {
+	d := tr.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(tr.size) * 8 / d.Seconds()
+}
+
+// StartOptions configures a transfer.
+type StartOptions struct {
+	// Label tags the transfer for observers ("video", "audio", ...).
+	Label string
+	// UserData carries caller context through to callbacks.
+	UserData any
+	// OnComplete fires when the last byte arrives.
+	OnComplete func(*Transfer)
+	// Weight scales this transfer's share of the bottleneck relative to
+	// other active transfers (default 1). Use >1 to model aggressive
+	// cross-traffic (e.g. several TCP flows behaving as one transfer).
+	Weight float64
+	// SampleEvery, when positive, fires OnSample every interval with the
+	// bytes moved during that interval (Shaka's δ sampler). At completion a
+	// final sample covers the remaining partial interval; observers that
+	// must ignore partials (Shaka does) can test the interval argument
+	// against SampleEvery.
+	SampleEvery time.Duration
+	OnSample    func(tr *Transfer, bytes float64, interval time.Duration)
+}
+
+// Start begins a transfer of size bytes. The first byte moves after the
+// link RTT. A zero-size transfer completes immediately upon activation.
+func (l *Link) Start(size int64, opts StartOptions) *Transfer {
+	if size < 0 {
+		panic("netsim: negative transfer size")
+	}
+	weight := opts.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	tr := &Transfer{
+		link:        l,
+		Label:       opts.Label,
+		UserData:    opts.UserData,
+		weight:      weight,
+		size:        size,
+		onComplete:  opts.OnComplete,
+		sampleEvery: opts.SampleEvery,
+		onSample:    opts.OnSample,
+	}
+	l.eng.After(l.RTT, func() { l.activate(tr) })
+	return tr
+}
+
+// Cancel aborts an in-flight (or not-yet-activated) transfer. Its
+// OnComplete never fires.
+func (l *Link) Cancel(tr *Transfer) {
+	if tr.completed || tr.cancelled {
+		return
+	}
+	l.advance() // may complete the transfer at this very instant
+	if tr.completed {
+		return
+	}
+	tr.cancelled = true
+	for i, a := range l.active {
+		if a == tr {
+			l.active = append(l.active[:i], l.active[i+1:]...)
+			break
+		}
+	}
+	if tr.sampleEv != nil {
+		l.eng.Cancel(tr.sampleEv)
+		tr.sampleEv = nil
+	}
+	l.reschedule()
+}
+
+func (l *Link) activate(tr *Transfer) {
+	if tr.cancelled {
+		return
+	}
+	l.advance()
+	tr.started = l.eng.Now()
+	if tr.size == 0 {
+		tr.completed = true
+		tr.finished = l.eng.Now()
+		if tr.onComplete != nil {
+			tr.onComplete(tr)
+		}
+		return
+	}
+	l.active = append(l.active, tr)
+	tr.lastSampleAt = tr.started
+	if tr.sampleEvery > 0 && tr.onSample != nil {
+		tr.scheduleSample()
+	}
+	l.reschedule()
+}
+
+func (tr *Transfer) scheduleSample() {
+	tr.sampleEv = tr.link.eng.After(tr.sampleEvery, func() {
+		tr.link.advance()
+		if tr.completed || tr.cancelled {
+			return
+		}
+		bytes := tr.done - tr.sampleMark
+		tr.sampleMark = tr.done
+		tr.lastSampleAt = tr.link.eng.Now()
+		tr.onSample(tr, bytes, tr.sampleEvery)
+		tr.scheduleSample()
+	})
+}
+
+// advance integrates all active transfers from lastUpdate to now at the
+// capacity that applied over that span. The link guarantees (via wake
+// events at profile breakpoints) that capacity is constant over the span.
+func (l *Link) advance() {
+	now := l.eng.Now()
+	if now <= l.lastUpdate {
+		l.lastUpdate = now
+		return
+	}
+	if len(l.active) > 0 {
+		rate := float64(l.profile.RateAt(l.lastUpdate))
+		totalWeight := 0.0
+		for _, tr := range l.active {
+			totalWeight += tr.weight
+		}
+		elapsed := (now - l.lastUpdate).Seconds()
+		for _, tr := range l.active {
+			share := rate * tr.weight / totalWeight
+			tr.done += share * elapsed / 8
+			if tr.done > float64(tr.size) {
+				tr.done = float64(tr.size)
+			}
+		}
+	}
+	l.lastUpdate = now
+	l.finishCompleted()
+}
+
+// finishCompleted removes and notifies transfers that have reached their
+// full size.
+func (l *Link) finishCompleted() {
+	var finished []*Transfer
+	remaining := l.active[:0]
+	for _, tr := range l.active {
+		if float64(tr.size)-tr.done < completionSlack {
+			tr.done = float64(tr.size)
+			tr.completed = true
+			tr.finished = l.eng.Now()
+			if tr.sampleEv != nil {
+				l.eng.Cancel(tr.sampleEv)
+				tr.sampleEv = nil
+			}
+			finished = append(finished, tr)
+		} else {
+			remaining = append(remaining, tr)
+		}
+	}
+	l.active = remaining
+	for _, tr := range finished {
+		// Report the final partial sampling interval so byte-flow observers
+		// account for every byte.
+		if tr.onSample != nil && tr.sampleEvery > 0 {
+			if bytes := tr.done - tr.sampleMark; bytes > 0 {
+				tr.sampleMark = tr.done
+				tr.onSample(tr, bytes, tr.finished-tr.lastSampleAt)
+			}
+		}
+		if tr.onComplete != nil {
+			tr.onComplete(tr)
+		}
+	}
+}
+
+// reschedule computes the next interesting instant (first completion or
+// profile breakpoint) and arms a wake event for it.
+func (l *Link) reschedule() {
+	if l.wake != nil {
+		l.eng.Cancel(l.wake)
+		l.wake = nil
+	}
+	// With no active transfers there is nothing to integrate; the next
+	// activation re-arms the wake. (Arming breakpoint wakes while idle would
+	// keep cyclic profiles generating events forever.)
+	if len(l.active) == 0 {
+		return
+	}
+	now := l.eng.Now()
+	next := time.Duration(math.MaxInt64)
+	if bp, ok := l.profile.NextChange(now); ok && bp < next {
+		next = bp
+	}
+	{
+		rate := float64(l.profile.RateAt(now))
+		if rate > 0 {
+			totalWeight := 0.0
+			for _, tr := range l.active {
+				totalWeight += tr.weight
+			}
+			for _, tr := range l.active {
+				share := rate * tr.weight / totalWeight
+				remaining := float64(tr.size) - tr.done
+				eta := now + time.Duration(remaining*8/share*float64(time.Second))
+				if eta <= now {
+					eta = now + 1 // guarantee progress
+				}
+				if eta < next {
+					next = eta
+				}
+			}
+		}
+	}
+	if next == time.Duration(math.MaxInt64) {
+		return
+	}
+	l.wake = l.eng.Schedule(next, func() {
+		l.wake = nil
+		l.advance()
+		l.reschedule()
+	})
+}
+
+// StartCrossTraffic occupies the link with a persistent competing flow of
+// the given weight between start and stop — e.g. another household device
+// streaming. It is implemented as a sequence of large transfers so the
+// fair-sharing machinery applies unchanged.
+func (l *Link) StartCrossTraffic(weight float64, start, stop time.Duration) {
+	if weight <= 0 || stop <= start {
+		return
+	}
+	const blockBytes = 1 << 30 // effectively endless within any experiment
+	var tr *Transfer
+	l.eng.Schedule(start, func() {
+		tr = l.Start(blockBytes, StartOptions{Label: "cross-traffic", Weight: weight})
+	})
+	l.eng.Schedule(stop, func() {
+		if tr != nil {
+			l.Cancel(tr)
+		}
+	})
+}

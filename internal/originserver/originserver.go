@@ -1,0 +1,230 @@
+// Package originserver is a real net/http origin for demuxed ABR content:
+// it serves a generated DASH MPD, HLS master and media playlists, and
+// synthetic chunk payloads of the content's exact per-chunk sizes, with an
+// optional shared token-bucket bandwidth shaper standing in for the
+// tc-shaped bottleneck of the paper's testbed.
+//
+// Together with package httpclient it forms the end-to-end integration
+// path: the same ABR models that run in the discrete-event simulator can
+// stream from this server over real TCP connections.
+package originserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+)
+
+// TokenBucket is a blocking byte-rate limiter shared by all responses —
+// one bottleneck link, like tc on the server's egress.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket creates a limiter at rate bits/s with the given burst in
+// bytes. A nil *TokenBucket is unlimited.
+func NewTokenBucket(rate media.Bps, burstBytes int) *TokenBucket {
+	if rate <= 0 {
+		panic("originserver: non-positive shaping rate")
+	}
+	if burstBytes <= 0 {
+		burstBytes = 16 * 1024
+	}
+	return &TokenBucket{
+		rate:   float64(rate) / 8,
+		burst:  float64(burstBytes),
+		tokens: float64(burstBytes),
+		last:   time.Now(),
+	}
+}
+
+// Take blocks until n bytes' worth of tokens are available. Tokens are
+// reserved immediately (the balance may go negative) and the caller sleeps
+// off the deficit, so concurrent takers share the configured rate.
+func (b *TokenBucket) Take(n int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= float64(n)
+	var wait time.Duration
+	if b.tokens < 0 {
+		wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
+	}
+	b.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Options configures the origin.
+type Options struct {
+	// Shaper limits egress; nil serves at full speed.
+	Shaper *TokenBucket
+	// Combos is the variant list for the HLS master playlist (default
+	// H_sub pairing).
+	Combos []media.Combo
+	// AudioOrder is the HLS rendition order (default ladder order).
+	AudioOrder []*media.Track
+	// WriteQuantum is the shaped write size (default 8 KiB).
+	WriteQuantum int
+}
+
+// Server serves one content asset.
+type Server struct {
+	content *media.Content
+	opts    Options
+	mux     *http.ServeMux
+}
+
+// New creates the origin for a content asset.
+func New(content *media.Content, opts Options) *Server {
+	if opts.Combos == nil {
+		opts.Combos = media.HSub(content)
+	}
+	if opts.WriteQuantum <= 0 {
+		opts.WriteQuantum = 8 * 1024
+	}
+	s := &Server{content: content, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /manifest.mpd", s.handleMPD)
+	s.mux.HandleFunc("GET /master.m3u8", s.handleMaster)
+	s.mux.HandleFunc("GET /combinations.json", s.handleCombinations)
+	s.mux.HandleFunc("GET /video/", s.handleMedia(media.Video))
+	s.mux.HandleFunc("GET /audio/", s.handleMedia(media.Audio))
+	return s
+}
+
+// handleMedia dispatches /<type>/<track>.m3u8 (media playlist) and
+// /<type>/<track>/seg-<idx>.m4s (segment) requests.
+func (s *Server) handleMedia(typ media.Type) http.HandlerFunc {
+	prefix := "/" + typ.String() + "/"
+	return func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, prefix)
+		if name, ok := strings.CutSuffix(rest, ".m3u8"); ok && !strings.Contains(name, "/") {
+			s.serveMediaPlaylist(w, r, typ, name)
+			return
+		}
+		if track, seg, ok := strings.Cut(rest, "/"); ok {
+			idxStr, ok := strings.CutSuffix(strings.TrimPrefix(seg, "seg-"), ".m4s")
+			if ok && strings.HasPrefix(seg, "seg-") {
+				s.serveSegment(w, r, typ, track, idxStr)
+				return
+			}
+		}
+		http.NotFound(w, r)
+	}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/dash+xml")
+	if err := dash.Generate(s.content).Encode(w); err != nil {
+		// Response already started; nothing to do but drop the connection.
+		return
+	}
+}
+
+// CombinationEntry is one allowed audio/video pairing in the out-of-band
+// combination document — the §4.1 "short term workaround" for DASH's
+// missing pairing mechanism: since an MPD cannot restrict combinations,
+// the server publishes the allowed list over plain HTTP for clients that
+// ask.
+type CombinationEntry struct {
+	Video string `json:"video"`
+	Audio string `json:"audio"`
+}
+
+func (s *Server) handleCombinations(w http.ResponseWriter, r *http.Request) {
+	entries := make([]CombinationEntry, len(s.opts.Combos))
+	for i, cb := range s.opts.Combos {
+		entries[i] = CombinationEntry{Video: cb.Video.ID, Audio: cb.Audio.ID}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(entries)
+}
+
+func (s *Server) handleMaster(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+	m := hls.GenerateMaster(s.content, s.opts.Combos, s.opts.AudioOrder)
+	_ = m.Encode(w)
+}
+
+func (s *Server) serveMediaPlaylist(w http.ResponseWriter, r *http.Request, typ media.Type, name string) {
+	tr := s.content.TrackByID(name)
+	if tr == nil || tr.Type != typ {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+	pl := hls.GenerateMedia(s.content, tr, hls.SegmentFiles, true)
+	_ = pl.Encode(w)
+}
+
+func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request, typ media.Type, track, idxStr string) {
+	tr := s.content.TrackByID(track)
+	if tr == nil || tr.Type != typ {
+		http.NotFound(w, r)
+		return
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 || idx >= s.content.NumChunks() {
+		http.NotFound(w, r)
+		return
+	}
+	size := s.content.ChunkSize(tr, idx)
+	w.Header().Set("Content-Type", "video/iso.segment")
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", size))
+	s.writeShaped(w, r, tr, idx, size)
+}
+
+// writeShaped streams size bytes of deterministic payload through the
+// shared shaper in quanta, respecting client cancellation.
+func (s *Server) writeShaped(w http.ResponseWriter, r *http.Request, tr *media.Track, idx int, size int64) {
+	quantum := s.opts.WriteQuantum
+	buf := make([]byte, quantum)
+	fill := byte(len(tr.ID) + idx) // deterministic, content-free payload
+	for i := range buf {
+		buf[i] = fill
+	}
+	flusher, _ := w.(http.Flusher)
+	remaining := size
+	for remaining > 0 {
+		n := int64(quantum)
+		if n > remaining {
+			n = remaining
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		s.opts.Shaper.Take(int(n))
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		remaining -= n
+	}
+}

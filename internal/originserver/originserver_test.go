@@ -1,0 +1,173 @@
+package originserver
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+)
+
+// tinyContent builds a fast-to-serve asset for HTTP tests.
+func tinyContent() *media.Content {
+	return media.MustNewContent(media.ContentSpec{
+		Name:          "tiny",
+		Duration:      8 * time.Second,
+		ChunkDuration: time.Second,
+		VideoTracks:   media.DramaVideoLadder(),
+		AudioTracks:   media.DramaAudioLadder(),
+		Model:         media.CBRChunkModel(),
+	})
+}
+
+func TestServesMPD(t *testing.T) {
+	srv := httptest.NewServer(New(tinyContent(), Options{}).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mpd, err := dash.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	video, audio, err := dash.Ladders(mpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(video) != 6 || len(audio) != 3 {
+		t.Errorf("ladders %d/%d, want 6/3", len(video), len(audio))
+	}
+}
+
+func TestServesMasterAndMediaPlaylists(t *testing.T) {
+	content := tinyContent()
+	srv := httptest.NewServer(New(content, Options{}).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/master.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := hls.ParseMaster(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(master.Variants) != 6 {
+		t.Errorf("variants = %d, want 6 (H_sub default)", len(master.Variants))
+	}
+
+	resp, err = http.Get(srv.URL + "/video/V2.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := hls.ParseMedia(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Segments) != content.NumChunks() {
+		t.Errorf("segments = %d, want %d", len(pl.Segments), content.NumChunks())
+	}
+	// The media playlist must expose per-chunk bitrates (§4.1).
+	if _, _, err := hls.TrackBitrate(pl); err != nil {
+		t.Errorf("TrackBitrate: %v", err)
+	}
+}
+
+func TestServesSegmentsWithExactSizes(t *testing.T) {
+	content := tinyContent()
+	srv := httptest.NewServer(New(content, Options{}).Handler())
+	defer srv.Close()
+	tr := content.TrackByID("V3")
+	resp, err := http.Get(srv.URL + "/video/V3/seg-2.m4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(body)) != content.ChunkSize(tr, 2) {
+		t.Errorf("segment size = %d, want %d", len(body), content.ChunkSize(tr, 2))
+	}
+}
+
+func TestSegment404s(t *testing.T) {
+	srv := httptest.NewServer(New(tinyContent(), Options{}).Handler())
+	defer srv.Close()
+	for _, path := range []string{
+		"/video/V9/seg-0.m4s",  // unknown track
+		"/video/V1/seg-99.m4s", // out of range
+		"/video/A1/seg-0.m4s",  // type mismatch
+		"/audio/V1/seg-0.m4s",  // type mismatch
+		"/video/V1/seg-x.m4s",  // bad index
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	// 800 Kbps = 100 KB/s. Taking 50 KB beyond the 4 KB burst should take
+	// roughly 0.46 s.
+	b := NewTokenBucket(media.Kbps(800), 4*1024)
+	start := time.Now()
+	b.Take(50 * 1024)
+	elapsed := time.Since(start).Seconds()
+	want := float64(50*1024-4*1024) / (100 * 1000)
+	if math.Abs(elapsed-want) > 0.25 {
+		t.Errorf("50 KB at 800 Kbps took %.2fs, want ~%.2fs", elapsed, want)
+	}
+}
+
+func TestTokenBucketNilUnlimited(t *testing.T) {
+	var b *TokenBucket
+	start := time.Now()
+	b.Take(10 << 20)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("nil bucket must not block")
+	}
+}
+
+func TestShapedSegmentDelivery(t *testing.T) {
+	content := tinyContent()
+	// 2 Mbps shaping: V3's ~45 KB one-second chunk should take ~0.18 s.
+	shaper := NewTokenBucket(media.Kbps(2000), 8*1024)
+	srv := httptest.NewServer(New(content, Options{Shaper: shaper}).Handler())
+	defer srv.Close()
+	tr := content.TrackByID("V3")
+	size := content.ChunkSize(tr, 0)
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/video/V3/seg-0.m4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	if n != size {
+		t.Fatalf("got %d bytes, want %d", n, size)
+	}
+	wantMin := float64(size-8*1024) * 8 / 2_000_000 * 0.5
+	if elapsed < wantMin {
+		t.Errorf("shaped transfer took %.3fs, want >= %.3fs", elapsed, wantMin)
+	}
+}

@@ -1,0 +1,740 @@
+// Package player is the streaming session engine: it drives an ABR
+// algorithm against a simulated bottleneck link, maintaining separate audio
+// and video playback buffers, and records the timeline the paper's figures
+// are drawn from.
+//
+// Two download scheduling disciplines are provided, matching the behaviours
+// the paper contrasts in §3.5:
+//
+//   - chunk-synced (ExoPlayer, Shaka, best practice): audio and video chunk
+//     i are requested together and chunk i+1 waits for both — audio and
+//     video prefetching stays balanced at chunk granularity;
+//   - independent (dash.js): each type runs its own free-running loop
+//     against its own buffer target — buffers can diverge arbitrarily.
+//
+// The discipline is chosen by the algorithm's interface: a
+// abr.JointAlgorithm runs chunk-synced, a abr.PerTypeAlgorithm runs
+// independent loops.
+package player
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+)
+
+// Config parameterizes a streaming session.
+type Config struct {
+	// Content is the asset to stream.
+	Content *media.Content
+	// Model is the adaptation algorithm; it must implement either
+	// abr.JointAlgorithm or abr.PerTypeAlgorithm.
+	Model abr.Algorithm
+	// Muxed streams each combination as one combined object (the paper's
+	// muxed packaging baseline): a single download per chunk position
+	// carries both components, so the audio/video balance problem cannot
+	// arise — at the §1 storage and CDN costs. Requires a JointAlgorithm.
+	Muxed bool
+	// AudioResets schedules mid-session audio stream resets (e.g. the
+	// viewer switches audio language): at each instant, buffered audio
+	// beyond the playhead is discarded and refetched from the playback
+	// position. Buffered video survives — a property only demuxed
+	// packaging has; in Muxed mode the whole buffer is discarded.
+	// Requires a per-type model or SyncWindow > 0 (strict chunk pairing
+	// cannot express the audio catch-up), or Muxed mode.
+	AudioResets []time.Duration
+	// SyncWindow loosens joint scheduling from strict chunk pairing to
+	// bounded skew: each stream may run up to SyncWindow chunk positions
+	// ahead of the other, with the combination still decided jointly per
+	// position. This is §4.2's "synchronize ... at the chunk level or in
+	// terms of a small number of chunks" dial. 0 (default) keeps strict
+	// pairing. Ignored for per-type models and in muxed mode.
+	SyncWindow int
+	// MaxBuffer caps each buffer; fetching pauses while a gate buffer is at
+	// or above it. Default 30 s.
+	MaxBuffer time.Duration
+	// StartupBuffer is the buffered duration (per type) required before the
+	// first frame plays. Default: one chunk.
+	StartupBuffer time.Duration
+	// ResumeBuffer is the buffered duration required to resume after a
+	// stall. Default: one chunk.
+	ResumeBuffer time.Duration
+	// SampleInterval is the δ-interval of progress events to the algorithm.
+	// Byte-flow meters (ExoPlayer's, the best-practice shared meter) and
+	// Shaka's sampler both consume these. Zero selects the default 125 ms;
+	// negative disables progress events.
+	SampleInterval time.Duration
+	// LogInterval is the timeline sampling period. Default 500 ms.
+	LogInterval time.Duration
+	// Deadline aborts the session (Ended == false) if playback has not
+	// finished by this virtual time — e.g. a link too slow to ever drain
+	// the content. Default: 5× content duration + 5 minutes.
+	Deadline time.Duration
+	// MaxEvents bounds the simulation (safety). Default 20 million.
+	MaxEvents int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Content == nil {
+		return errors.New("player: nil content")
+	}
+	if c.Model == nil {
+		return errors.New("player: nil model")
+	}
+	if c.MaxBuffer == 0 {
+		c.MaxBuffer = 30 * time.Second
+	}
+	if c.StartupBuffer == 0 {
+		c.StartupBuffer = c.Content.ChunkDuration
+	}
+	if c.ResumeBuffer == 0 {
+		c.ResumeBuffer = c.Content.ChunkDuration
+	}
+	if c.LogInterval == 0 {
+		c.LogInterval = 500 * time.Millisecond
+	}
+	switch {
+	case c.SampleInterval == 0:
+		c.SampleInterval = 125 * time.Millisecond
+	case c.SampleInterval < 0:
+		c.SampleInterval = 0
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 20_000_000
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 5*c.Content.Duration + 5*time.Minute
+	}
+	if c.StartupBuffer > c.MaxBuffer || c.ResumeBuffer > c.MaxBuffer {
+		return fmt.Errorf("player: startup/resume buffer exceeds max buffer %v", c.MaxBuffer)
+	}
+	return nil
+}
+
+// supportsAudioReset reports whether the configured scheduler can express
+// an audio-only catch-up.
+func (c *Config) supportsAudioReset(joint bool) bool {
+	return c.Muxed || !joint || c.SyncWindow > 0
+}
+
+// session holds the live state of one streaming run.
+type session struct {
+	cfg     Config
+	eng     *netsim.Engine
+	links   [2]*netsim.Link // per media.Type; both entries equal on a shared bottleneck
+	content *media.Content
+
+	joint     abr.JointAlgorithm
+	perType   abr.PerTypeAlgorithm
+	abandoner abr.Abandoner
+
+	numChunks   int
+	chunkStarts []time.Duration // start offset of each chunk; [n] = duration
+
+	// Per-type download state, indexed by media.Type.
+	next     [2]int           // next chunk index to fetch
+	frontier [2]time.Duration // contiguous downloaded content end
+	lastSel  [2]*media.Track
+
+	// Joint scheduling state.
+	jointPending int                 // transfers in flight for the current chunk
+	comboFor     map[int]media.Combo // windowed mode: joint decision per position
+	inflight     [2]bool             // windowed mode: per-type transfer in flight
+	transfers    [2]*netsim.Transfer // most recent in-flight transfer per type
+
+	// Playback state.
+	started  bool
+	playing  bool
+	ended    bool
+	playPos  time.Duration
+	lastTick time.Duration
+	underrun *netsim.Event
+	stallAt  time.Duration
+
+	res Result
+}
+
+// Run executes a full streaming session of cfg.Content over the link and
+// returns the recorded result. A session that cannot finish (e.g. the link
+// is dead forever) returns a result with Ended == false and a nil error;
+// exhausting the event budget returns an error.
+func Run(link *netsim.Link, cfg Config) (*Result, error) {
+	return RunSplit(link, link, cfg)
+}
+
+// RunSplit executes a session with the video and audio streams on separate
+// links — the §4.1 scenario where the demuxed tracks live on different
+// servers and do not share a bottleneck. Both links must be driven by the
+// same engine.
+func RunSplit(videoLink, audioLink *netsim.Link, cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if videoLink.Engine() != audioLink.Engine() {
+		return nil, errors.New("player: video and audio links use different engines")
+	}
+	s := &session{
+		cfg:     cfg,
+		eng:     videoLink.Engine(),
+		content: cfg.Content,
+	}
+	s.links[media.Video] = videoLink
+	s.links[media.Audio] = audioLink
+	switch m := cfg.Model.(type) {
+	case abr.JointAlgorithm:
+		s.joint = m
+	case abr.PerTypeAlgorithm:
+		s.perType = m
+	default:
+		return nil, fmt.Errorf("player: model %q implements neither JointAlgorithm nor PerTypeAlgorithm", cfg.Model.Name())
+	}
+	s.abandoner, _ = cfg.Model.(abr.Abandoner)
+	if cfg.Muxed && s.joint == nil {
+		return nil, errors.New("player: muxed mode requires a JointAlgorithm")
+	}
+	if len(cfg.AudioResets) > 0 && !cfg.supportsAudioReset(s.joint != nil) {
+		return nil, errors.New("player: AudioResets require a per-type model, SyncWindow > 0, or Muxed mode")
+	}
+	s.numChunks = s.content.NumChunks()
+	s.chunkStarts = make([]time.Duration, s.numChunks+1)
+	for i := 0; i < s.numChunks; i++ {
+		s.chunkStarts[i+1] = s.chunkStarts[i] + s.content.ChunkDurationAt(i)
+	}
+	s.res = Result{
+		ModelName:       cfg.Model.Name(),
+		ContentDuration: s.content.Duration,
+	}
+
+	// Kick off downloading and timeline logging.
+	if s.joint != nil {
+		if cfg.SyncWindow > 0 && !cfg.Muxed {
+			s.comboFor = make(map[int]media.Combo)
+			s.eng.Schedule(s.eng.Now(), func() { s.fetchWindowed(media.Video) })
+			s.eng.Schedule(s.eng.Now(), func() { s.fetchWindowed(media.Audio) })
+		} else {
+			s.eng.Schedule(s.eng.Now(), s.fetchJoint)
+		}
+	} else {
+		s.eng.Schedule(s.eng.Now(), func() { s.fetchIndependent(media.Video) })
+		s.eng.Schedule(s.eng.Now(), func() { s.fetchIndependent(media.Audio) })
+	}
+	s.scheduleLog()
+	for _, at := range cfg.AudioResets {
+		at := at
+		s.eng.Schedule(at, func() { s.resetAudio(at) })
+	}
+
+	if err := s.eng.Run(cfg.MaxEvents); err != nil {
+		return nil, err
+	}
+	return &s.res, nil
+}
+
+// --- Playback ---------------------------------------------------------
+
+// playPosAt returns the playback position at time now.
+func (s *session) playPosAt(now time.Duration) time.Duration {
+	if s.playing {
+		return s.playPos + (now - s.lastTick)
+	}
+	return s.playPos
+}
+
+// syncPlay folds elapsed playing time into playPos.
+func (s *session) syncPlay(now time.Duration) {
+	s.playPos = s.playPosAt(now)
+	s.lastTick = now
+}
+
+func (s *session) minFrontier() time.Duration {
+	if s.frontier[media.Video] < s.frontier[media.Audio] {
+		return s.frontier[media.Video]
+	}
+	return s.frontier[media.Audio]
+}
+
+// bufferOf returns the buffered duration of one type at time now.
+func (s *session) bufferOf(t media.Type, now time.Duration) time.Duration {
+	b := s.frontier[t] - s.playPosAt(now)
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// onFrontierAdvance reacts to new downloaded content: start playback, resume
+// from a stall, and keep the underrun alarm accurate.
+func (s *session) onFrontierAdvance() {
+	now := s.eng.Now()
+	needed := func(threshold time.Duration) time.Duration {
+		// Near the end of the content the full threshold may exceed what
+		// remains; require only the remainder.
+		remaining := s.content.Duration - s.playPosAt(now)
+		if threshold > remaining {
+			return remaining
+		}
+		return threshold
+	}
+	if !s.started {
+		if s.minFrontier()-s.playPos >= needed(s.cfg.StartupBuffer) {
+			s.started = true
+			s.playing = true
+			s.lastTick = now
+			s.res.StartupDelay = now
+			s.rescheduleUnderrun()
+		}
+		return
+	}
+	if !s.playing && !s.ended {
+		if s.minFrontier()-s.playPos >= needed(s.cfg.ResumeBuffer) {
+			if now > s.stallAt {
+				s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallAt, End: now})
+			}
+			s.playing = true
+			s.lastTick = now
+			s.rescheduleUnderrun()
+		}
+		return
+	}
+	if s.playing {
+		s.rescheduleUnderrun()
+	}
+}
+
+// rescheduleUnderrun arms the alarm for the instant playback catches up with
+// the downloaded frontier (a stall) or reaches the end of the content.
+func (s *session) rescheduleUnderrun() {
+	if s.underrun != nil {
+		s.eng.Cancel(s.underrun)
+		s.underrun = nil
+	}
+	if !s.playing || s.ended {
+		return
+	}
+	now := s.eng.Now()
+	target := s.minFrontier()
+	if target > s.content.Duration {
+		target = s.content.Duration
+	}
+	at := now + (target - s.playPosAt(now))
+	if at < now {
+		at = now
+	}
+	s.underrun = s.eng.Schedule(at, s.onUnderrun)
+}
+
+func (s *session) onUnderrun() {
+	s.underrun = nil
+	now := s.eng.Now()
+	s.syncPlay(now)
+	if s.playPos >= s.content.Duration {
+		s.finish(now)
+		return
+	}
+	// Ran out of one (or both) buffers: stall.
+	s.playing = false
+	s.stallAt = now
+}
+
+func (s *session) finish(now time.Duration) {
+	s.ended = true
+	s.playing = false
+	s.res.Ended = true
+	s.res.EndedAt = now
+	s.logSample(now)
+	s.eng.Stop()
+}
+
+// --- Timeline logging --------------------------------------------------
+
+func (s *session) scheduleLog() {
+	s.eng.After(s.cfg.LogInterval, func() {
+		if s.ended {
+			return
+		}
+		now := s.eng.Now()
+		if now >= s.cfg.Deadline {
+			// Session is not making it to the end; abort without marking
+			// playback complete.
+			s.ended = true
+			s.logSample(now)
+			s.eng.Stop()
+			return
+		}
+		s.logSample(now)
+		s.scheduleLog()
+	})
+}
+
+func (s *session) logSample(now time.Duration) {
+	sample := Sample{
+		At:          now,
+		PlayPos:     s.playPosAt(now),
+		VideoBuffer: s.bufferOf(media.Video, now),
+		AudioBuffer: s.bufferOf(media.Audio, now),
+		Video:       s.lastSel[media.Video],
+		Audio:       s.lastSel[media.Audio],
+		Stalled:     s.started && !s.playing && !s.ended,
+	}
+	if br, ok := s.cfg.Model.(abr.BandwidthReporter); ok {
+		sample.Estimate, sample.EstimateOK = br.BandwidthEstimate()
+	}
+	s.res.Timeline = append(s.res.Timeline, sample)
+}
+
+// --- Decision state ----------------------------------------------------
+
+func (s *session) state(chunkIdx int) abr.State {
+	now := s.eng.Now()
+	return abr.State{
+		Now:           now,
+		PlayPos:       s.playPosAt(now),
+		VideoBuffer:   s.bufferOf(media.Video, now),
+		AudioBuffer:   s.bufferOf(media.Audio, now),
+		ChunkIndex:    chunkIdx,
+		ChunkDuration: s.content.ChunkDuration,
+		Startup:       !s.started,
+		LastVideo:     s.lastSel[media.Video],
+		LastAudio:     s.lastSel[media.Audio],
+	}
+}
+
+// --- Downloading: joint (chunk-synced) ----------------------------------
+
+// fetchJoint drives the chunk-synced loop: decide a combination for chunk
+// `next`, download audio and video together, then advance.
+func (s *session) fetchJoint() {
+	if s.ended || s.jointPending > 0 {
+		return
+	}
+	idx := s.next[media.Video] // both types share the index in joint mode
+	if idx >= s.numChunks {
+		return
+	}
+	now := s.eng.Now()
+	// Gate on the fuller buffer: in synced mode both buffers advance
+	// together, but the playhead drains them equally, so min==max except
+	// for in-flight skew.
+	gate := s.bufferOf(media.Video, now)
+	if b := s.bufferOf(media.Audio, now); b > gate {
+		gate = b
+	}
+	if gate >= s.cfg.MaxBuffer {
+		// Wake when the buffer has drained just below the cap.
+		s.eng.Schedule(now+(gate-s.cfg.MaxBuffer)+time.Millisecond, s.fetchJoint)
+		return
+	}
+	combo := s.joint.SelectCombo(s.state(idx))
+	if combo.Video == nil || combo.Audio == nil {
+		panic(fmt.Sprintf("player: model %q returned incomplete combo %v", s.joint.Name(), combo))
+	}
+	s.lastSel[media.Video] = combo.Video
+	s.lastSel[media.Audio] = combo.Audio
+	if s.cfg.Muxed {
+		s.jointPending = 1
+		s.startMuxedChunk(idx, combo, func() { s.jointChunkDone() })
+		return
+	}
+	s.jointPending = 2
+	s.startChunk(media.Video, idx, combo.Video, 0, func() { s.jointChunkDone() })
+	s.startChunk(media.Audio, idx, combo.Audio, 0, func() { s.jointChunkDone() })
+}
+
+// startMuxedChunk downloads one combined audio+video object. Observer
+// events carry the video type (the muxed stream is one flow).
+func (s *session) startMuxedChunk(idx int, combo media.Combo, then func()) {
+	size := s.content.ChunkSize(combo.Video, idx) + s.content.ChunkSize(combo.Audio, idx)
+	now := s.eng.Now()
+	decidedAt := now
+	link := s.links[media.Video]
+	s.cfg.Model.OnStart(abr.TransferInfo{
+		Type:       media.Video,
+		At:         now,
+		Concurrent: link.ActiveTransfers() + 1,
+	})
+	opts := netsim.StartOptions{
+		Label: "muxed",
+		OnComplete: func(tr *netsim.Transfer) {
+			done := s.eng.Now()
+			s.frontier[media.Video] = s.chunkStarts[idx+1]
+			s.frontier[media.Audio] = s.chunkStarts[idx+1]
+			s.res.Chunks = append(s.res.Chunks,
+				ChunkDecision{Index: idx, Type: media.Video, Track: combo.Video, DecidedAt: decidedAt, CompletedAt: done, Bytes: s.content.ChunkSize(combo.Video, idx)},
+				ChunkDecision{Index: idx, Type: media.Audio, Track: combo.Audio, DecidedAt: decidedAt, CompletedAt: done, Bytes: s.content.ChunkSize(combo.Audio, idx)},
+			)
+			s.cfg.Model.OnComplete(abr.TransferInfo{
+				Type:       media.Video,
+				Bytes:      float64(tr.Size()),
+				Duration:   tr.Duration(),
+				At:         done,
+				Concurrent: link.ActiveTransfers() + 1,
+			})
+			s.onFrontierAdvance()
+			then()
+		},
+	}
+	if s.cfg.SampleInterval > 0 {
+		opts.SampleEvery = s.cfg.SampleInterval
+		opts.OnSample = func(tr *netsim.Transfer, bytes float64, interval time.Duration) {
+			s.cfg.Model.OnProgress(abr.TransferInfo{
+				Type:       media.Video,
+				Bytes:      bytes,
+				Duration:   interval,
+				At:         s.eng.Now(),
+				Concurrent: link.ActiveTransfers(),
+			})
+		}
+	}
+	s.transfers[media.Video] = link.Start(size, opts)
+}
+
+func (s *session) jointChunkDone() {
+	s.jointPending--
+	if s.jointPending == 0 {
+		s.next[media.Video]++
+		s.next[media.Audio]++
+		s.fetchJoint()
+	}
+}
+
+// --- Mid-session audio reset (language switch) ---------------------------
+
+// resetAudio discards the buffered audio (or, in muxed mode, both streams)
+// beyond the playback position and restarts fetching from there, recording
+// the waste.
+func (s *session) resetAudio(at time.Duration) {
+	if s.ended {
+		return
+	}
+	now := s.eng.Now()
+	playPos := s.playPosAt(now)
+	// First chunk whose start is at or past the playhead: the partially
+	// played chunk keeps playing; everything after it is refetched.
+	idx := 0
+	for idx < s.numChunks && s.chunkStarts[idx] < playPos {
+		idx++
+	}
+	rec := AudioReset{At: now, RefetchFrom: idx}
+
+	discard := func(t media.Type) {
+		if tr := s.transfers[t]; tr != nil && !tr.Completed() {
+			rec.DiscardedBytes += int64(tr.Done())
+			s.links[t].Cancel(tr)
+			s.transfers[t] = nil
+			s.inflight[t] = false
+		}
+		for _, ch := range s.res.Chunks {
+			if ch.Type == t && ch.Index >= idx {
+				rec.DiscardedBytes += ch.Bytes
+				rec.DiscardedSeconds += s.content.ChunkDurationAt(ch.Index)
+			}
+		}
+		if s.next[t] > idx {
+			s.next[t] = idx
+		}
+		if s.frontier[t] > s.chunkStarts[idx] {
+			s.frontier[t] = s.chunkStarts[idx]
+		}
+	}
+
+	if s.cfg.Muxed {
+		discard(media.Audio)
+		discard(media.Video)
+		s.jointPending = 0
+		s.res.AudioResets = append(s.res.AudioResets, rec)
+		s.rescheduleUnderrun()
+		s.fetchJoint()
+		return
+	}
+	discard(media.Audio)
+	// Drop cached joint decisions for refetched positions so the model
+	// re-decides them (a language switch changes the allowed pairings).
+	for k := range s.comboFor {
+		if k >= idx {
+			delete(s.comboFor, k)
+		}
+	}
+	s.res.AudioResets = append(s.res.AudioResets, rec)
+	s.rescheduleUnderrun()
+	if s.perType != nil {
+		s.fetchIndependent(media.Audio)
+	} else {
+		s.fetchWindowed(media.Audio)
+		s.fetchWindowed(media.Video) // skew bound may have shifted
+	}
+}
+
+// --- Downloading: joint with bounded skew (SyncWindow > 0) ---------------
+
+// fetchWindowed runs one stream's loop under the skew bound: a stream may
+// lead the other by at most SyncWindow chunk positions. The combination is
+// still decided jointly, once per position, by whichever stream reaches it
+// first.
+func (s *session) fetchWindowed(t media.Type) {
+	if s.ended || s.inflight[t] {
+		return
+	}
+	idx := s.next[t]
+	if idx >= s.numChunks {
+		return
+	}
+	other := media.Audio
+	if t == media.Audio {
+		other = media.Video
+	}
+	// Skew bound: wait for the other stream (its completion re-kicks us).
+	if idx-s.next[other] > s.cfg.SyncWindow {
+		return
+	}
+	now := s.eng.Now()
+	if b := s.bufferOf(t, now); b >= s.cfg.MaxBuffer {
+		s.eng.Schedule(now+(b-s.cfg.MaxBuffer)+time.Millisecond, func() { s.fetchWindowed(t) })
+		return
+	}
+	combo, ok := s.comboFor[idx]
+	if !ok {
+		combo = s.joint.SelectCombo(s.state(idx))
+		if combo.Video == nil || combo.Audio == nil {
+			panic(fmt.Sprintf("player: model %q returned incomplete combo %v", s.joint.Name(), combo))
+		}
+		s.comboFor[idx] = combo
+		delete(s.comboFor, idx-2*s.cfg.SyncWindow-2) // bound the map
+	}
+	track := combo.Video
+	if t == media.Audio {
+		track = combo.Audio
+	}
+	s.lastSel[t] = track
+	s.inflight[t] = true
+	s.startChunk(t, idx, track, 0, func() {
+		s.inflight[t] = false
+		s.next[t]++
+		s.fetchWindowed(t)
+		s.fetchWindowed(other) // it may have been skew-blocked on us
+	})
+}
+
+// --- Downloading: independent per-type loops ----------------------------
+
+func (s *session) fetchIndependent(t media.Type) {
+	if s.ended {
+		return
+	}
+	idx := s.next[t]
+	if idx >= s.numChunks {
+		return
+	}
+	now := s.eng.Now()
+	if b := s.bufferOf(t, now); b >= s.cfg.MaxBuffer {
+		s.eng.Schedule(now+(b-s.cfg.MaxBuffer)+time.Millisecond, func() { s.fetchIndependent(t) })
+		return
+	}
+	track := s.perType.SelectTrack(t, s.state(idx))
+	if track == nil || track.Type != t {
+		panic(fmt.Sprintf("player: model %q returned bad track for %s", s.perType.Name(), t))
+	}
+	s.lastSel[t] = track
+	s.startChunk(t, idx, track, 0, func() {
+		s.next[t]++
+		s.fetchIndependent(t)
+	})
+}
+
+// --- Transfer plumbing ---------------------------------------------------
+
+func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt int, then func()) {
+	size := s.content.ChunkSize(track, idx)
+	now := s.eng.Now()
+	decidedAt := now
+	var transfer *netsim.Transfer
+	link := s.links[t]
+	info := abr.TransferInfo{
+		Type:       t,
+		At:         now,
+		Concurrent: link.ActiveTransfers() + 1,
+	}
+	s.cfg.Model.OnStart(info)
+	opts := netsim.StartOptions{
+		Label: t.String(),
+		OnComplete: func(tr *netsim.Transfer) {
+			done := s.eng.Now()
+			s.frontier[t] = s.chunkStarts[idx+1]
+			s.res.Chunks = append(s.res.Chunks, ChunkDecision{
+				Index:       idx,
+				Type:        t,
+				Track:       track,
+				DecidedAt:   decidedAt,
+				CompletedAt: done,
+				Bytes:       tr.Size(),
+			})
+			s.cfg.Model.OnComplete(abr.TransferInfo{
+				Type:       t,
+				Bytes:      float64(tr.Size()),
+				Duration:   tr.Duration(),
+				At:         done,
+				Concurrent: link.ActiveTransfers() + 1,
+			})
+			s.onFrontierAdvance()
+			then()
+		},
+	}
+	if s.cfg.SampleInterval > 0 {
+		opts.SampleEvery = s.cfg.SampleInterval
+		opts.OnSample = func(tr *netsim.Transfer, bytes float64, interval time.Duration) {
+			s.cfg.Model.OnProgress(abr.TransferInfo{
+				Type:       t,
+				Bytes:      bytes,
+				Duration:   interval,
+				At:         s.eng.Now(),
+				Concurrent: link.ActiveTransfers(),
+			})
+			s.maybeAbandon(tr, t, idx, track, attempt, then)
+		}
+	}
+	transfer = link.Start(size, opts)
+	s.transfers[t] = transfer
+}
+
+// maybeAbandon consults the model's abandonment rule for an in-flight
+// chunk; a replacement track cancels the transfer and refetches the chunk.
+func (s *session) maybeAbandon(tr *netsim.Transfer, t media.Type, idx int, track *media.Track, attempt int, then func()) {
+	if s.abandoner == nil || tr.Completed() {
+		return
+	}
+	now := s.eng.Now()
+	repl := s.abandoner.Abandon(abr.DownloadProgress{
+		Type:       t,
+		Track:      track,
+		ChunkIndex: idx,
+		BytesDone:  tr.Done(),
+		BytesTotal: tr.Size(),
+		Elapsed:    now - tr.Started(),
+		Buffer:     s.bufferOf(t, now),
+		Attempt:    attempt,
+	})
+	if repl == nil || repl == track {
+		return
+	}
+	if repl.Type != t {
+		panic(fmt.Sprintf("player: model %q abandoned to a %s track for a %s download", s.cfg.Model.Name(), repl.Type, t))
+	}
+	s.links[t].Cancel(tr)
+	// Close the observer's view of the aborted transfer with what actually
+	// moved, then record and refetch.
+	s.cfg.Model.OnComplete(abr.TransferInfo{
+		Type:       t,
+		Bytes:      tr.Done(),
+		Duration:   now - tr.Started(),
+		At:         now,
+		Concurrent: s.links[t].ActiveTransfers() + 1,
+	})
+	s.res.Abandonments = append(s.res.Abandonments, Abandonment{
+		Index: idx, Type: t, From: track, To: repl, At: now,
+	})
+	s.lastSel[t] = repl
+	s.startChunk(t, idx, repl, attempt+1, then)
+}

@@ -1,0 +1,208 @@
+package player
+
+import (
+	"time"
+
+	"demuxabr/internal/media"
+)
+
+// Sample is one row of the session timeline, logged every LogInterval — the
+// raw material of the paper's figures (track selections, buffer levels and
+// bandwidth estimates over time).
+type Sample struct {
+	At          time.Duration
+	PlayPos     time.Duration
+	VideoBuffer time.Duration
+	AudioBuffer time.Duration
+	// Video and Audio are the most recently selected tracks (nil before the
+	// first decision).
+	Video *media.Track
+	Audio *media.Track
+	// Estimate is the algorithm's bandwidth estimate at the sample, if the
+	// algorithm exposes one.
+	Estimate   media.Bps
+	EstimateOK bool
+	// Stalled is true while playback is rebuffering (after startup).
+	Stalled bool
+}
+
+// Stall is one rebuffering event.
+type Stall struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the stall length.
+func (s Stall) Duration() time.Duration { return s.End - s.Start }
+
+// ChunkDecision records one downloaded chunk and the track chosen for it.
+type ChunkDecision struct {
+	// Index is the chunk position.
+	Index int
+	// Type is the media type of this download.
+	Type media.Type
+	// Track is the selected track.
+	Track *media.Track
+	// DecidedAt is when the download was issued; CompletedAt when it
+	// finished.
+	DecidedAt   time.Duration
+	CompletedAt time.Duration
+	// Bytes is the chunk size.
+	Bytes int64
+}
+
+// Abandonment records one cancelled-and-replaced chunk download (an
+// abandonment-capable model decided the in-flight track was too expensive).
+type Abandonment struct {
+	Index int
+	Type  media.Type
+	From  *media.Track
+	To    *media.Track
+	At    time.Duration
+}
+
+// AudioReset records a mid-session audio stream reset (language switch):
+// how much already-downloaded content was thrown away to honor it.
+type AudioReset struct {
+	// At is when the reset fired.
+	At time.Duration
+	// RefetchFrom is the first chunk index refetched.
+	RefetchFrom int
+	// DiscardedBytes counts downloaded bytes thrown away (both streams in
+	// muxed mode, audio only in demuxed mode).
+	DiscardedBytes int64
+	// DiscardedSeconds counts the buffered content duration thrown away.
+	DiscardedSeconds time.Duration
+}
+
+// Result is the complete outcome of a streaming session.
+type Result struct {
+	// ModelName identifies the algorithm that ran.
+	ModelName string
+	// ContentDuration is the length of the asset.
+	ContentDuration time.Duration
+	// StartupDelay is the time from session start to first frame.
+	StartupDelay time.Duration
+	// Ended reports whether playback reached the end of the content.
+	Ended bool
+	// EndedAt is the virtual time playback finished.
+	EndedAt time.Duration
+	// Stalls lists every rebuffering event.
+	Stalls []Stall
+	// Timeline holds periodic samples.
+	Timeline []Sample
+	// Chunks holds one entry per downloaded chunk per type, in completion
+	// order.
+	Chunks []ChunkDecision
+	// Abandonments lists cancelled-and-replaced downloads, in order.
+	Abandonments []Abandonment
+	// AudioResets lists mid-session audio resets (language switches).
+	AudioResets []AudioReset
+}
+
+// RebufferTime returns the total stall duration (excluding startup).
+func (r *Result) RebufferTime() time.Duration {
+	var total time.Duration
+	for _, s := range r.Stalls {
+		total += s.Duration()
+	}
+	return total
+}
+
+// ChunksOf returns the chunk decisions of one media type, in index order.
+func (r *Result) ChunksOf(t media.Type) []ChunkDecision {
+	var out []ChunkDecision
+	for _, c := range r.Chunks {
+		if c.Type == t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TrackTime returns, per track ID, the played duration attributed to each
+// selected track of the given type (chunk durations summed by selection).
+func (r *Result) TrackTime(t media.Type, chunkDur func(int) time.Duration) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, c := range r.ChunksOf(t) {
+		out[c.Track.ID] += chunkDur(c.Index)
+	}
+	return out
+}
+
+// Switches counts selection changes of the given type across consecutive
+// chunk indexes.
+func (r *Result) Switches(t media.Type) int {
+	chunks := r.ChunksOf(t)
+	n := 0
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i].Track != chunks[i-1].Track {
+			n++
+		}
+	}
+	return n
+}
+
+// CombosSelected returns the distinct audio/video combinations selected
+// across chunk positions, in first-use order. It pairs the video and audio
+// decisions of equal chunk index.
+func (r *Result) CombosSelected() []media.Combo {
+	video := map[int]*media.Track{}
+	audio := map[int]*media.Track{}
+	maxIdx := -1
+	for _, c := range r.Chunks {
+		if c.Type == media.Video {
+			video[c.Index] = c.Track
+		} else {
+			audio[c.Index] = c.Track
+		}
+		if c.Index > maxIdx {
+			maxIdx = c.Index
+		}
+	}
+	var out []media.Combo
+	seen := map[string]bool{}
+	for i := 0; i <= maxIdx; i++ {
+		v, a := video[i], audio[i]
+		if v == nil || a == nil {
+			continue
+		}
+		cb := media.Combo{Video: v, Audio: a}
+		if !seen[cb.String()] {
+			seen[cb.String()] = true
+			out = append(out, cb)
+		}
+	}
+	return out
+}
+
+// AvgSelectedBitrate returns the mean average-bitrate of the selected tracks
+// of a type, weighted by chunk duration — the y-axis of Fig. 2.
+func (r *Result) AvgSelectedBitrate(t media.Type, chunkDur func(int) time.Duration) media.Bps {
+	var bitSeconds, seconds float64
+	for _, c := range r.ChunksOf(t) {
+		d := chunkDur(c.Index).Seconds()
+		bitSeconds += float64(c.Track.AvgBitrate) * d
+		seconds += d
+	}
+	if seconds == 0 {
+		return 0
+	}
+	return media.Bps(bitSeconds / seconds)
+}
+
+// MaxBufferImbalance returns the largest |audio buffer − video buffer|
+// observed on the timeline — the Fig. 5(b) quantity.
+func (r *Result) MaxBufferImbalance() time.Duration {
+	var max time.Duration
+	for _, s := range r.Timeline {
+		d := s.AudioBuffer - s.VideoBuffer
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

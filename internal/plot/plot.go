@@ -1,0 +1,206 @@
+// Package plot renders time series as ASCII charts — a dependency-free way
+// to look at the paper's figures (buffer levels, bandwidth estimates, track
+// selections) straight in the terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Values are uniform samples left to right.
+	Values []float64
+	// Marker is the glyph used for this series (assigned from a default
+	// cycle when zero).
+	Marker byte
+}
+
+var defaultMarkers = []byte{'*', '+', 'o', 'x', '#'}
+
+// Chart renders the series into a width×height character grid with a
+// y-axis, an x-range footer and a legend. Series are downsampled (mean per
+// column) to the chart width.
+func Chart(w io.Writer, title string, width, height int, xMax float64, series ...Series) error {
+	if width < 10 || height < 3 {
+		return fmt.Errorf("plot: chart too small (%dx%d)", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("plot: empty series")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if lo > 0 && lo < hi/4 {
+		lo = 0 // anchor near-zero ranges at zero for readability
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		cols := downsample(s.Values, width)
+		for x, v := range cols {
+			if math.IsNaN(v) {
+				continue
+			}
+			y := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[height-1-y][x] = marker
+		}
+	}
+
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.1f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", lo)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s 0 .. %.1f   %s\n", strings.Repeat(" ", 8), xMax, strings.Join(legend, "   "))
+	return err
+}
+
+// downsample reduces values to n columns by averaging; empty buckets are
+// NaN.
+func downsample(values []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		loIdx := i * len(values) / n
+		hiIdx := (i + 1) * len(values) / n
+		if hiIdx <= loIdx {
+			hiIdx = loIdx + 1
+		}
+		if hiIdx > len(values) {
+			hiIdx = len(values)
+		}
+		if loIdx >= len(values) {
+			out[i] = math.NaN()
+			continue
+		}
+		var sum float64
+		for _, v := range values[loIdx:hiIdx] {
+			sum += v
+		}
+		out[i] = sum / float64(hiIdx-loIdx)
+	}
+	return out
+}
+
+// Steps renders a categorical step chart: one row per category, a mark in
+// every column where the series is in that category — the shape of the
+// paper's track-selection figures.
+func Steps(w io.Writer, title string, width int, xMax float64, categories []string, values []string) error {
+	if len(categories) == 0 {
+		return fmt.Errorf("plot: no categories")
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	// Downsample by majority per column.
+	cols := make([]string, width)
+	for i := 0; i < width; i++ {
+		loIdx := i * len(values) / width
+		hiIdx := (i + 1) * len(values) / width
+		if hiIdx <= loIdx {
+			hiIdx = loIdx + 1
+		}
+		if hiIdx > len(values) {
+			hiIdx = len(values)
+		}
+		if loIdx >= len(values) {
+			continue
+		}
+		counts := map[string]int{}
+		best, bestN := "", 0
+		for _, v := range values[loIdx:hiIdx] {
+			counts[v]++
+			if counts[v] > bestN {
+				best, bestN = v, counts[v]
+			}
+		}
+		cols[i] = best
+	}
+	width = len(cols)
+	maxName := 0
+	for _, c := range categories {
+		if len(c) > maxName {
+			maxName = len(c)
+		}
+	}
+	for i := len(categories) - 1; i >= 0; i-- {
+		cat := categories[i]
+		row := make([]byte, width)
+		for x := range row {
+			if cols[x] == cat {
+				row[x] = '#'
+			} else {
+				row[x] = ' '
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%*s |%s\n", maxName, cat, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%*s +%s\n", maxName, "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%*s 0 .. %.1f\n", maxName, "", xMax)
+	return err
+}

@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "buffers", 40, 8, 300,
+		Series{Name: "video", Values: []float64{0, 5, 10, 20, 30, 30, 25, 10, 0}},
+		Series{Name: "audio", Values: []float64{0, 8, 16, 24, 30, 28, 20, 8, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "buffers") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* video") || !strings.Contains(out, "+ audio") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "30.0") || !strings.Contains(out, "0.0") {
+		t.Errorf("missing y labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + footer
+	if len(lines) != 1+8+1+1 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "0 .. 300.0") {
+		t.Errorf("missing x range:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "", 5, 2, 1, Series{Values: []float64{1}}); err == nil {
+		t.Error("tiny chart should fail")
+	}
+	if err := Chart(&buf, "", 40, 8, 1); err == nil {
+		t.Error("no series should fail")
+	}
+	if err := Chart(&buf, "", 40, 8, 1, Series{Name: "x"}); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	// The Fig 4(a) flat estimate: constant values must render mid-range
+	// without dividing by zero.
+	var buf bytes.Buffer
+	if err := Chart(&buf, "", 30, 5, 300, Series{Name: "est", Values: []float64{500, 500, 500}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	got := downsample([]float64{1, 1, 3, 3}, 2)
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("downsample = %v", got)
+	}
+	got = downsample(nil, 3)
+	for _, v := range got {
+		if !math.IsNaN(v) {
+			t.Errorf("empty input should give NaN columns: %v", got)
+		}
+	}
+	// Upsampling (fewer values than columns) must not panic and must keep
+	// values in range.
+	got = downsample([]float64{2, 4}, 5)
+	for _, v := range got {
+		if !math.IsNaN(v) && (v < 2 || v > 4) {
+			t.Errorf("upsample out of range: %v", got)
+		}
+	}
+}
+
+func TestSteps(t *testing.T) {
+	var buf bytes.Buffer
+	values := []string{"V1", "V1", "V2", "V2", "V3", "V3", "V2", "V2"}
+	err := Steps(&buf, "video track", 16, 300, []string{"V1", "V2", "V3"}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, cat := range []string{"V1", "V2", "V3"} {
+		if !strings.Contains(out, cat+" |") {
+			t.Errorf("missing category row %s:\n%s", cat, out)
+		}
+	}
+	// The top row (V3) must have marks only in the middle region.
+	lines := strings.Split(out, "\n")
+	var v3row, v1row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "V3 |") {
+			v3row = l
+		}
+		if strings.HasPrefix(l, "V1 |") {
+			v1row = l
+		}
+	}
+	if !strings.Contains(v3row, "#") || !strings.Contains(v1row, "#") {
+		t.Errorf("rows missing marks:\n%s", out)
+	}
+	if strings.HasPrefix(strings.TrimPrefix(v3row, "V3 |"), "#") {
+		t.Errorf("V3 marked at t=0:\n%s", out)
+	}
+}
+
+func TestStepsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Steps(&buf, "", 10, 1, nil, nil); err == nil {
+		t.Error("no categories should fail")
+	}
+}

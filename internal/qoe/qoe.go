@@ -1,0 +1,169 @@
+// Package qoe computes quality-of-experience metrics from a streaming
+// session result: the quantities the paper reports (rebuffering time, stall
+// counts, selected-track quality, buffer imbalance, selection churn,
+// off-manifest selections) and a composite score in the style of Yin et
+// al. [25] extended with an audio term.
+package qoe
+
+import (
+	"math"
+	"time"
+
+	"demuxabr/internal/media"
+	"demuxabr/internal/player"
+	"demuxabr/internal/stats"
+)
+
+// Weights parameterizes the composite score.
+type Weights struct {
+	// AudioWeight scales audio quality relative to video quality.
+	AudioWeight float64
+	// SwitchPenalty is charged per unit of quality changed across
+	// consecutive chunks (both types).
+	SwitchPenalty float64
+	// RebufferPenalty is charged per second of rebuffering.
+	RebufferPenalty float64
+	// StartupPenalty is charged per second of startup delay.
+	StartupPenalty float64
+}
+
+// DefaultWeights follows the common control-theoretic QoE instantiation:
+// full audio weight, unit switch penalty, a heavy rebuffer penalty and a
+// light startup penalty.
+func DefaultWeights() Weights {
+	return Weights{AudioWeight: 1, SwitchPenalty: 1, RebufferPenalty: 4.3, StartupPenalty: 1}
+}
+
+// Metrics summarizes one session.
+type Metrics struct {
+	// AvgVideoBitrate / AvgAudioBitrate are duration-weighted averages of
+	// the selected tracks' average bitrates.
+	AvgVideoBitrate media.Bps
+	AvgAudioBitrate media.Bps
+	// AvgVideoQuality / AvgAudioQuality are duration-weighted mean ladder
+	// utilities (log bitrate relative to the lowest rung; 0 = lowest).
+	AvgVideoQuality float64
+	AvgAudioQuality float64
+	// VideoSwitches / AudioSwitches count track changes between consecutive
+	// chunk positions.
+	VideoSwitches int
+	AudioSwitches int
+	// DistinctCombos counts the distinct audio/video pairings used.
+	DistinctCombos int
+	// OffManifest counts chunk positions whose pairing is outside the
+	// allowed list (zero when no list is supplied).
+	OffManifest int
+	// StallCount / RebufferTime / RebufferRatio describe stalls after
+	// startup. RebufferRatio is rebuffer time over (content + rebuffer).
+	StallCount    int
+	RebufferTime  time.Duration
+	RebufferRatio float64
+	// StartupDelay is the time to first frame.
+	StartupDelay time.Duration
+	// MaxImbalance / MeanImbalance summarize |audio − video| buffer skew.
+	MaxImbalance  time.Duration
+	MeanImbalance time.Duration
+	// BufferHealth summarizes the min(audio, video) buffer level in
+	// seconds across the timeline — low percentiles close to zero mean the
+	// session lived near the stall boundary.
+	BufferHealth stats.Summary
+	// Score is the composite QoE (higher is better).
+	Score float64
+}
+
+// utility returns the log-relative quality of a track within its ladder.
+func utility(l media.Ladder, t *media.Track) float64 {
+	return math.Log(float64(t.AvgBitrate) / float64(l[0].AvgBitrate))
+}
+
+// Compute derives metrics for a finished session. allowed may be nil when
+// no server-side combination list applies.
+func Compute(res *player.Result, content *media.Content, allowed []media.Combo, w Weights) Metrics {
+	var m Metrics
+	m.AvgVideoBitrate = res.AvgSelectedBitrate(media.Video, content.ChunkDurationAt)
+	m.AvgAudioBitrate = res.AvgSelectedBitrate(media.Audio, content.ChunkDurationAt)
+	m.VideoSwitches = res.Switches(media.Video)
+	m.AudioSwitches = res.Switches(media.Audio)
+	m.DistinctCombos = len(res.CombosSelected())
+	m.StallCount = len(res.Stalls)
+	m.RebufferTime = res.RebufferTime()
+	if total := content.Duration + m.RebufferTime; total > 0 {
+		m.RebufferRatio = m.RebufferTime.Seconds() / total.Seconds()
+	}
+	m.StartupDelay = res.StartupDelay
+	m.MaxImbalance = res.MaxBufferImbalance()
+
+	var imbSum time.Duration
+	minBuffers := make([]float64, 0, len(res.Timeline))
+	for _, s := range res.Timeline {
+		d := s.AudioBuffer - s.VideoBuffer
+		if d < 0 {
+			d = -d
+		}
+		imbSum += d
+		lo := s.VideoBuffer
+		if s.AudioBuffer < lo {
+			lo = s.AudioBuffer
+		}
+		minBuffers = append(minBuffers, lo.Seconds())
+	}
+	if n := len(res.Timeline); n > 0 {
+		m.MeanImbalance = imbSum / time.Duration(n)
+		m.BufferHealth = stats.Summarize(minBuffers)
+	}
+
+	// Duration-weighted utilities and switch magnitudes.
+	var vQual, aQual, seconds, switchMag float64
+	var prev [2]*media.Track
+	byIdx := map[int][2]*media.Track{}
+	maxIdx := -1
+	for _, ch := range res.Chunks {
+		e := byIdx[ch.Index]
+		e[ch.Type] = ch.Track
+		byIdx[ch.Index] = e
+		if ch.Index > maxIdx {
+			maxIdx = ch.Index
+		}
+	}
+	for i := 0; i <= maxIdx; i++ {
+		pair := byIdx[i]
+		v, a := pair[media.Video], pair[media.Audio]
+		if v == nil || a == nil {
+			continue
+		}
+		d := content.ChunkDurationAt(i).Seconds()
+		vQual += utility(content.VideoTracks, v) * d
+		aQual += utility(content.AudioTracks, a) * d
+		seconds += d
+		if prev[media.Video] != nil {
+			switchMag += math.Abs(utility(content.VideoTracks, v) - utility(content.VideoTracks, prev[media.Video]))
+			switchMag += math.Abs(utility(content.AudioTracks, a) - utility(content.AudioTracks, prev[media.Audio]))
+		}
+		prev = pair
+		if len(allowed) > 0 && !comboAllowed(allowed, v, a) {
+			m.OffManifest++
+		}
+	}
+	if seconds > 0 {
+		m.AvgVideoQuality = vQual / seconds
+		m.AvgAudioQuality = aQual / seconds
+	}
+
+	m.Score = m.AvgVideoQuality + w.AudioWeight*m.AvgAudioQuality -
+		w.SwitchPenalty*switchMag/math.Max(seconds/60, 1) - // switch churn per minute
+		w.RebufferPenalty*m.RebufferTime.Seconds()/math.Max(seconds, 1)*60 - // rebuffer per minute
+		w.StartupPenalty*m.StartupDelay.Seconds()/math.Max(seconds, 1)*60
+	return m
+}
+
+func comboAllowed(allowed []media.Combo, v, a *media.Track) bool {
+	for _, c := range allowed {
+		// Compare by ID: clients that reconstruct tracks from manifests
+		// (§4.1 media-playlist recovery) hold distinct Track values for the
+		// same underlying track.
+		if c.Video.ID == v.ID && c.Audio.ID == a.ID {
+			return true
+		}
+	}
+	return false
+}

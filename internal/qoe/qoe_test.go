@@ -1,0 +1,169 @@
+package qoe
+
+import (
+	"testing"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/trace"
+)
+
+type fixedJoint struct {
+	abr.NopObserver
+	combo media.Combo
+}
+
+func (f *fixedJoint) Name() string                      { return "fixed" }
+func (f *fixedJoint) SelectCombo(abr.State) media.Combo { return f.combo }
+
+func run(t *testing.T, combo media.Combo, rate media.Bps) (*player.Result, *media.Content) {
+	t.Helper()
+	c := media.DramaShow()
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, trace.Fixed(rate))
+	res, err := player.Run(link, player.Config{Content: c, Model: &fixedJoint{combo: combo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, c
+}
+
+func TestMetricsBasics(t *testing.T) {
+	c := media.DramaShow()
+	combo := media.Combo{Video: c.VideoTracks[2], Audio: c.AudioTracks[1]}
+	res, content := run(t, combo, media.Kbps(5000))
+	m := Compute(res, content, nil, DefaultWeights())
+	if m.StallCount != 0 || m.RebufferTime != 0 {
+		t.Errorf("unexpected stalls: %+v", m)
+	}
+	if m.AvgVideoBitrate != c.VideoTracks[2].AvgBitrate {
+		t.Errorf("avg video bitrate = %v, want %v", m.AvgVideoBitrate, c.VideoTracks[2].AvgBitrate)
+	}
+	if m.VideoSwitches != 0 || m.AudioSwitches != 0 {
+		t.Errorf("switches = %d/%d, want 0/0", m.VideoSwitches, m.AudioSwitches)
+	}
+	if m.DistinctCombos != 1 {
+		t.Errorf("distinct combos = %d, want 1", m.DistinctCombos)
+	}
+	if m.AvgVideoQuality <= 0 {
+		t.Errorf("video quality = %v, want > 0 for V3", m.AvgVideoQuality)
+	}
+	if m.RebufferRatio != 0 {
+		t.Errorf("rebuffer ratio = %v, want 0", m.RebufferRatio)
+	}
+}
+
+func TestRebufferingHurtsScore(t *testing.T) {
+	c := media.DramaShow()
+	smoothCombo := media.Combo{Video: c.VideoTracks[1], Audio: c.AudioTracks[0]}
+	stallCombo := media.Combo{Video: c.VideoTracks[4], Audio: c.AudioTracks[2]}
+	resSmooth, content := run(t, smoothCombo, media.Kbps(1200))
+	resStall, _ := run(t, stallCombo, media.Kbps(1200))
+	mSmooth := Compute(resSmooth, content, nil, DefaultWeights())
+	mStall := Compute(resStall, content, nil, DefaultWeights())
+	if mStall.RebufferTime == 0 {
+		t.Fatal("expected rebuffering in the stalling run")
+	}
+	if mStall.Score >= mSmooth.Score {
+		t.Errorf("stalling score %.2f >= smooth score %.2f", mStall.Score, mSmooth.Score)
+	}
+}
+
+func TestOffManifestCounting(t *testing.T) {
+	c := media.DramaShow()
+	// V2+A3 is not in H_sub: every chunk position is off-manifest.
+	combo := media.Combo{Video: c.VideoTracks[1], Audio: c.AudioTracks[2]}
+	res, content := run(t, combo, media.Kbps(5000))
+	m := Compute(res, content, media.HSub(c), DefaultWeights())
+	if m.OffManifest != content.NumChunks() {
+		t.Errorf("off-manifest = %d, want %d", m.OffManifest, content.NumChunks())
+	}
+	// V3+A2 is in H_sub: zero.
+	res2, _ := run(t, media.Combo{Video: c.VideoTracks[2], Audio: c.AudioTracks[1]}, media.Kbps(5000))
+	m2 := Compute(res2, content, media.HSub(c), DefaultWeights())
+	if m2.OffManifest != 0 {
+		t.Errorf("off-manifest = %d, want 0", m2.OffManifest)
+	}
+}
+
+func TestHigherQualityScoresHigher(t *testing.T) {
+	c := media.DramaShow()
+	low, content := run(t, media.Combo{Video: c.VideoTracks[0], Audio: c.AudioTracks[0]}, media.Kbps(8000))
+	high, _ := run(t, media.Combo{Video: c.VideoTracks[4], Audio: c.AudioTracks[2]}, media.Kbps(8000))
+	mLow := Compute(low, content, nil, DefaultWeights())
+	mHigh := Compute(high, content, nil, DefaultWeights())
+	if mHigh.Score <= mLow.Score {
+		t.Errorf("high-quality score %.2f <= low-quality score %.2f", mHigh.Score, mLow.Score)
+	}
+	if mLow.AvgVideoQuality != 0 {
+		t.Errorf("lowest rung quality = %v, want 0", mLow.AvgVideoQuality)
+	}
+}
+
+func TestBufferHealthSummary(t *testing.T) {
+	c := media.DramaShow()
+	combo := media.Combo{Video: c.VideoTracks[1], Audio: c.AudioTracks[0]}
+	res, content := run(t, combo, media.Kbps(5000))
+	m := Compute(res, content, nil, DefaultWeights())
+	if m.BufferHealth.N == 0 {
+		t.Fatal("buffer health not computed")
+	}
+	if m.BufferHealth.Max <= 0 || m.BufferHealth.Max > 36 {
+		t.Errorf("buffer health max = %v, want within (0, maxbuffer+chunk]", m.BufferHealth.Max)
+	}
+	// On a fast link the session should spend most time with a deep buffer.
+	if m.BufferHealth.Median < 10 {
+		t.Errorf("median min-buffer = %.1f s, want deep on a 5 Mbps link", m.BufferHealth.Median)
+	}
+}
+
+func TestBufferHealthNearStallBoundary(t *testing.T) {
+	c := media.DramaShow()
+	// V5+A3 on 1.8 Mbps: lives at the edge, stalls repeatedly.
+	combo := media.Combo{Video: c.VideoTracks[4], Audio: c.AudioTracks[2]}
+	res, content := run(t, combo, media.Kbps(1800))
+	m := Compute(res, content, nil, DefaultWeights())
+	if m.StallCount == 0 {
+		t.Skip("no stalls; content/link calibration changed")
+	}
+	if m.BufferHealth.P10 > 5 {
+		t.Errorf("p10 min-buffer = %.1f s; a stalling session must live near zero", m.BufferHealth.P10)
+	}
+}
+
+func TestAudioWeightChangesRanking(t *testing.T) {
+	// The §2.1 scoring principle: with audio weighted heavily, a high-audio
+	// session outranks a high-video one, and vice versa.
+	c := media.DramaShow()
+	audioHeavy, content := run(t, media.Combo{Video: c.VideoTracks[1], Audio: c.AudioTracks[2]}, media.Kbps(5000))
+	videoHeavy, _ := run(t, media.Combo{Video: c.VideoTracks[4], Audio: c.AudioTracks[0]}, media.Kbps(5000))
+
+	wAudio := DefaultWeights()
+	wAudio.AudioWeight = 3
+	if Compute(audioHeavy, content, nil, wAudio).Score <= Compute(videoHeavy, content, nil, wAudio).Score {
+		t.Error("audio-weighted scoring should prefer the high-audio session")
+	}
+	wVideo := DefaultWeights()
+	wVideo.AudioWeight = 0.1
+	if Compute(videoHeavy, content, nil, wVideo).Score <= Compute(audioHeavy, content, nil, wVideo).Score {
+		t.Error("video-weighted scoring should prefer the high-video session")
+	}
+}
+
+func TestSwitchPenaltyCounted(t *testing.T) {
+	c := media.DramaShow()
+	combo := media.Combo{Video: c.VideoTracks[2], Audio: c.AudioTracks[1]}
+	res, content := run(t, combo, media.Kbps(5000))
+	noPenalty := DefaultWeights()
+	noPenalty.SwitchPenalty = 0
+	withPenalty := DefaultWeights()
+	withPenalty.SwitchPenalty = 10
+	// A fixed model never switches: the two scores must be identical.
+	a := Compute(res, content, nil, noPenalty).Score
+	b := Compute(res, content, nil, withPenalty).Score
+	if a != b {
+		t.Errorf("switch penalty charged without switches: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,202 @@
+// Package report serializes streaming-session outcomes to a stable JSON
+// document for offline analysis and plotting — the machine-readable
+// counterpart of the text tables in package experiments.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"demuxabr/internal/media"
+	"demuxabr/internal/player"
+	"demuxabr/internal/qoe"
+)
+
+// Session is the export schema. Durations are serialized in seconds to be
+// directly plottable.
+type Session struct {
+	Model           string  `json:"model"`
+	Content         string  `json:"content"`
+	ContentDuration float64 `json:"content_duration_s"`
+	StartupDelay    float64 `json:"startup_delay_s"`
+	Ended           bool    `json:"ended"`
+
+	Metrics Metrics `json:"metrics"`
+
+	Timeline     []Point       `json:"timeline"`
+	Chunks       []Chunk       `json:"chunks"`
+	Stalls       []Stall       `json:"stalls"`
+	Abandonments []Abandonment `json:"abandonments,omitempty"`
+}
+
+// Metrics mirrors qoe.Metrics in plottable units.
+type Metrics struct {
+	AvgVideoKbps    float64 `json:"avg_video_kbps"`
+	AvgAudioKbps    float64 `json:"avg_audio_kbps"`
+	VideoQuality    float64 `json:"video_quality"`
+	AudioQuality    float64 `json:"audio_quality"`
+	VideoSwitches   int     `json:"video_switches"`
+	AudioSwitches   int     `json:"audio_switches"`
+	DistinctCombos  int     `json:"distinct_combos"`
+	OffManifest     int     `json:"off_manifest_chunks"`
+	StallCount      int     `json:"stall_count"`
+	RebufferSecs    float64 `json:"rebuffer_s"`
+	RebufferRatio   float64 `json:"rebuffer_ratio"`
+	StartupSecs     float64 `json:"startup_s"`
+	MaxImbalanceS   float64 `json:"max_imbalance_s"`
+	MeanImbalanceS  float64 `json:"mean_imbalance_s"`
+	BufferHealthP10 float64 `json:"buffer_health_p10_s"`
+	Score           float64 `json:"qoe_score"`
+}
+
+// Point is one timeline sample.
+type Point struct {
+	At           float64 `json:"t_s"`
+	PlayPos      float64 `json:"playpos_s"`
+	Video        string  `json:"video,omitempty"`
+	Audio        string  `json:"audio,omitempty"`
+	VideoBuffer  float64 `json:"vbuf_s"`
+	AudioBuffer  float64 `json:"abuf_s"`
+	EstimateKbps float64 `json:"estimate_kbps,omitempty"`
+	Stalled      bool    `json:"stalled,omitempty"`
+}
+
+// Chunk is one downloaded chunk.
+type Chunk struct {
+	Index     int     `json:"index"`
+	Type      string  `json:"type"`
+	Track     string  `json:"track"`
+	Bytes     int64   `json:"bytes"`
+	Decided   float64 `json:"decided_s"`
+	Completed float64 `json:"completed_s"`
+}
+
+// Stall is one rebuffering event.
+type Stall struct {
+	Start float64 `json:"start_s"`
+	End   float64 `json:"end_s"`
+}
+
+// Abandonment is one cancelled-and-replaced download.
+type Abandonment struct {
+	Index int     `json:"index"`
+	Type  string  `json:"type"`
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	At    float64 `json:"t_s"`
+}
+
+// FromResult flattens a session result and its metrics into the schema.
+func FromResult(contentName string, res *player.Result, m qoe.Metrics) *Session {
+	s := &Session{
+		Model:           res.ModelName,
+		Content:         contentName,
+		ContentDuration: res.ContentDuration.Seconds(),
+		StartupDelay:    res.StartupDelay.Seconds(),
+		Ended:           res.Ended,
+		Metrics: Metrics{
+			AvgVideoKbps:    m.AvgVideoBitrate.Kbps(),
+			AvgAudioKbps:    m.AvgAudioBitrate.Kbps(),
+			VideoQuality:    m.AvgVideoQuality,
+			AudioQuality:    m.AvgAudioQuality,
+			VideoSwitches:   m.VideoSwitches,
+			AudioSwitches:   m.AudioSwitches,
+			DistinctCombos:  m.DistinctCombos,
+			OffManifest:     m.OffManifest,
+			StallCount:      m.StallCount,
+			RebufferSecs:    m.RebufferTime.Seconds(),
+			RebufferRatio:   m.RebufferRatio,
+			StartupSecs:     m.StartupDelay.Seconds(),
+			MaxImbalanceS:   m.MaxImbalance.Seconds(),
+			MeanImbalanceS:  m.MeanImbalance.Seconds(),
+			BufferHealthP10: m.BufferHealth.P10,
+			Score:           m.Score,
+		},
+	}
+	for _, p := range res.Timeline {
+		point := Point{
+			At:          p.At.Seconds(),
+			PlayPos:     p.PlayPos.Seconds(),
+			VideoBuffer: p.VideoBuffer.Seconds(),
+			AudioBuffer: p.AudioBuffer.Seconds(),
+			Stalled:     p.Stalled,
+		}
+		if p.Video != nil {
+			point.Video = p.Video.ID
+		}
+		if p.Audio != nil {
+			point.Audio = p.Audio.ID
+		}
+		if p.EstimateOK {
+			point.EstimateKbps = p.Estimate.Kbps()
+		}
+		s.Timeline = append(s.Timeline, point)
+	}
+	for _, c := range res.Chunks {
+		s.Chunks = append(s.Chunks, Chunk{
+			Index:     c.Index,
+			Type:      c.Type.String(),
+			Track:     c.Track.ID,
+			Bytes:     c.Bytes,
+			Decided:   c.DecidedAt.Seconds(),
+			Completed: c.CompletedAt.Seconds(),
+		})
+	}
+	for _, st := range res.Stalls {
+		s.Stalls = append(s.Stalls, Stall{Start: st.Start.Seconds(), End: st.End.Seconds()})
+	}
+	for _, ab := range res.Abandonments {
+		s.Abandonments = append(s.Abandonments, Abandonment{
+			Index: ab.Index, Type: ab.Type.String(),
+			From: ab.From.ID, To: ab.To.ID, At: ab.At.Seconds(),
+		})
+	}
+	return s
+}
+
+// WriteJSON serializes the session with indentation.
+func (s *Session) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON loads a session document.
+func ReadJSON(r io.Reader) (*Session, error) {
+	var s Session
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	if s.Model == "" {
+		return nil, fmt.Errorf("report: document has no model field")
+	}
+	return &s, nil
+}
+
+// ComboTimeline reduces the chunk log to the per-position combination names
+// — the series the paper's track-selection figures plot.
+func (s *Session) ComboTimeline() []string {
+	video := map[int]string{}
+	audio := map[int]string{}
+	maxIdx := -1
+	for _, c := range s.Chunks {
+		if c.Type == media.Video.String() {
+			video[c.Index] = c.Track
+		} else {
+			audio[c.Index] = c.Track
+		}
+		if c.Index > maxIdx {
+			maxIdx = c.Index
+		}
+	}
+	out := make([]string, 0, maxIdx+1)
+	for i := 0; i <= maxIdx; i++ {
+		if video[i] == "" || audio[i] == "" {
+			out = append(out, "")
+			continue
+		}
+		out = append(out, video[i]+"+"+audio[i])
+	}
+	return out
+}

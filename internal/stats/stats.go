@@ -1,0 +1,101 @@
+// Package stats provides the small summary-statistics helpers the QoE and
+// experiment layers share: percentiles, means, and distribution summaries
+// over float64 samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return Min(xs)
+	}
+	if p >= 100 {
+		return Max(xs)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean; NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest value; NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary is a five-number distribution sketch.
+type Summary struct {
+	Min, P10, Median, P90, Max float64
+	Mean                       float64
+	N                          int
+}
+
+// Summarize computes a Summary over the samples.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		Min:    Min(xs),
+		P10:    Percentile(xs, 10),
+		Median: Percentile(xs, 50),
+		P90:    Percentile(xs, 90),
+		Max:    Max(xs),
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p10=%.2f med=%.2f p90=%.2f max=%.2f mean=%.2f",
+		s.N, s.Min, s.P10, s.Median, s.P90, s.Max, s.Mean)
+}

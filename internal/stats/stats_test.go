@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Interpolation: p90 of [0..4] = 3.6.
+	if got := Percentile([]float64{0, 1, 2, 3, 4}, 90); math.Abs(got-3.6) > 1e-9 {
+		t.Errorf("p90 = %v, want 3.6", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) || !math.IsNaN(Mean(nil)) ||
+		!math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty inputs must yield NaN")
+	}
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Median) {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.Min != 1 || s.Max != 10 || s.Mean != 5.5 || s.N != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Median != 5.5 {
+		t.Errorf("median = %v, want 5.5", s.Median)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Properties: percentiles are monotone in p, bounded by min/max, and do not
+// mutate the input.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		orig := make([]float64, len(xs))
+		copy(orig, xs)
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(xs, pa), Percentile(xs, pb)
+		for i := range xs {
+			if xs[i] != orig[i] {
+				return false
+			}
+		}
+		return va <= vb && va >= Min(xs)-1e-9 && vb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
