@@ -1,0 +1,27 @@
+#!/bin/sh
+# check.sh — the full verification gate, run before every merge:
+#
+#   1. go vet        standard suspicious-construct checks
+#   2. go build      every package compiles
+#   3. go test -race full test suite (includes TestVetABR and the
+#                    determinism regression test) under the race detector
+#   4. vetabr        project-specific static analysis: simclock, maporder,
+#                    floateq, units (see docs/STATIC_ANALYSIS.md)
+#
+# Exits non-zero on the first failing step.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== go run ./cmd/vetabr ./..."
+go run ./cmd/vetabr ./...
+
+echo "check.sh: all gates passed"

@@ -3,17 +3,26 @@
 //
 // Usage:
 //
-//	lintmanifest manifest.mpd master.m3u8 audio/A1.m3u8 ...
+//	lintmanifest [-json] manifest.mpd master.m3u8 audio/A1.m3u8 ...
 //
 // File type is detected from the extension (.mpd vs .m3u8) and, for m3u8,
-// from the content (master vs media playlist). Exit status 1 when any
-// warning fires, 2 on usage or parse errors.
+// from the content (master vs media playlist). A directory argument is
+// expanded to every .mpd/.m3u8 under it, so `lintmanifest manifests/`
+// lints a whole mkmanifest output tree. When media playlists are passed
+// alongside a master, their recovered peak bitrates cross-check the
+// master's declared BANDWIDTH values (matching URIs by base name). Every
+// file is linted even when earlier files fail to parse. Exit status 1 when
+// any warning fires, 2 on usage or parse errors.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path"
 	"path/filepath"
 	"strings"
 
@@ -23,70 +32,193 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: lintmanifest <manifest files...>")
+	jsonOut := flag.Bool("json", false, "emit findings and errors as JSON")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lintmanifest [-json] <manifest files...>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	warnings, err := run(os.Args[1:], os.Stdout)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lintmanifest:", err)
+	warnings, errs := run(flag.Args(), *jsonOut, os.Stdout, os.Stderr)
+	switch {
+	case errs > 0:
 		os.Exit(2)
-	}
-	if warnings > 0 {
+	case warnings > 0:
 		os.Exit(1)
 	}
 }
 
-// run lints each file, printing findings; it returns the warning count.
-func run(paths []string, out *os.File) (int, error) {
-	warnings := 0
-	for _, path := range paths {
-		findings, err := lintFile(path)
-		if err != nil {
-			return warnings, fmt.Errorf("%s: %w", path, err)
+// parsed is one input file after type detection and parsing.
+type parsed struct {
+	path   string
+	master *hls.MasterPlaylist
+	media  *hls.MediaPlaylist
+	mpd    *dash.MPD
+	err    error
+}
+
+// jsonFinding is the machine-readable finding schema (-json), shared in
+// shape with cmd/vetabr.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Severity string `json:"severity"`
+	Rule     string `json:"rule"`
+	Message  string `json:"message"`
+}
+
+// jsonError is one unparseable input in the -json document.
+type jsonError struct {
+	File  string `json:"file"`
+	Error string `json:"error"`
+}
+
+// run lints every file — parse failures are reported per file, never
+// aborting the rest — and renders text or JSON. It returns the warning
+// and error counts.
+func run(paths []string, jsonOut bool, out, errOut io.Writer) (warnings, errs int) {
+	var inputs []parsed
+	peaks := lint.TrackPeaks{}
+	for _, p := range expandDirs(paths) {
+		inputs = append(inputs, parseFile(p))
+		i := len(inputs) - 1
+		// Media playlists feed the master BANDWIDTH cross-check, keyed by
+		// base name to match however the master spells the URI.
+		if mp := inputs[i].media; mp != nil {
+			if peak, _, err := hls.TrackBitrate(mp); err == nil {
+				peaks[filepath.Base(p)] = peak
+			}
 		}
-		if len(findings) == 0 {
-			fmt.Fprintf(out, "%s: ok\n", path)
+	}
+	doc := struct {
+		Findings []jsonFinding `json:"findings"`
+		Errors   []jsonError   `json:"errors,omitempty"`
+	}{Findings: []jsonFinding{}}
+	for _, in := range inputs {
+		if in.err != nil {
+			errs++
+			if jsonOut {
+				doc.Errors = append(doc.Errors, jsonError{File: in.path, Error: in.err.Error()})
+			} else {
+				fmt.Fprintf(errOut, "lintmanifest: %s: %v\n", in.path, in.err)
+			}
 			continue
 		}
+		findings := lintParsed(in, peaks)
 		for _, f := range findings {
-			fmt.Fprintf(out, "%s: %s\n", path, f)
 			if f.Severity == lint.Warning {
 				warnings++
 			}
+			if jsonOut {
+				doc.Findings = append(doc.Findings, jsonFinding{
+					File:     in.path,
+					Severity: f.Severity.String(),
+					Rule:     f.Rule,
+					Message:  f.Message,
+				})
+			} else {
+				fmt.Fprintf(out, "%s: %s\n", in.path, f)
+			}
+		}
+		if len(findings) == 0 && !jsonOut {
+			fmt.Fprintf(out, "%s: ok\n", in.path)
 		}
 	}
-	return warnings, nil
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(errOut, "lintmanifest:", err)
+			errs++
+		}
+	}
+	return warnings, errs
 }
 
-func lintFile(path string) ([]lint.Finding, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// lintParsed applies every applicable rule set to one parsed file.
+func lintParsed(in parsed, peaks lint.TrackPeaks) []lint.Finding {
+	switch {
+	case in.mpd != nil:
+		return lint.MPD(in.mpd)
+	case in.master != nil:
+		findings := lint.Master(in.master)
+		return append(findings, lint.MasterBandwidth(in.master, resolvePeaks(in.master, peaks))...)
+	case in.media != nil:
+		return lint.MediaPlaylist(filepath.Base(in.path), in.media)
 	}
-	switch filepath.Ext(path) {
-	case ".mpd":
-		m, err := dash.Parse(bytes.NewReader(data))
-		if err != nil {
-			return nil, err
+	return nil
+}
+
+// resolvePeaks rekeys base-name peaks onto the URIs the master uses.
+func resolvePeaks(m *hls.MasterPlaylist, byBase lint.TrackPeaks) lint.TrackPeaks {
+	out := lint.TrackPeaks{}
+	add := func(uri string) {
+		if peak, ok := byBase[path.Base(uri)]; ok {
+			out[uri] = peak
 		}
-		return lint.MPD(m), nil
+	}
+	for _, r := range m.Renditions {
+		add(r.URI)
+	}
+	for _, v := range m.Variants {
+		add(v.URI)
+	}
+	return out
+}
+
+// expandDirs replaces each directory argument with the manifest files
+// (.mpd, .m3u8) beneath it, in lexical walk order so output stays
+// deterministic. Non-directories pass through unchanged; an unwalkable
+// directory passes through too and is reported as a per-file error later.
+func expandDirs(paths []string) []string {
+	var out []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil || !info.IsDir() {
+			out = append(out, p)
+			continue
+		}
+		expanded := false
+		walkErr := filepath.WalkDir(p, func(sub string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if ext := filepath.Ext(sub); !d.IsDir() && (ext == ".mpd" || ext == ".m3u8") {
+				out = append(out, sub)
+				expanded = true
+			}
+			return nil
+		})
+		if walkErr != nil || !expanded {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseFile reads and type-detects one manifest.
+func parseFile(p string) parsed {
+	in := parsed{path: p}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		in.err = err
+		return in
+	}
+	switch filepath.Ext(p) {
+	case ".mpd":
+		in.mpd, in.err = dash.Parse(bytes.NewReader(data))
 	case ".m3u8":
 		if isMaster(data) {
-			m, err := hls.ParseMaster(bytes.NewReader(data))
-			if err != nil {
-				return nil, err
-			}
-			return lint.Master(m), nil
+			in.master, in.err = hls.ParseMaster(bytes.NewReader(data))
+		} else {
+			in.media, in.err = hls.ParseMedia(bytes.NewReader(data))
 		}
-		p, err := hls.ParseMedia(bytes.NewReader(data))
-		if err != nil {
-			return nil, err
-		}
-		return lint.MediaPlaylist(filepath.Base(path), p), nil
 	default:
-		return nil, fmt.Errorf("unknown manifest type (want .mpd or .m3u8)")
+		in.err = fmt.Errorf("unknown manifest type (want .mpd or .m3u8)")
 	}
+	return in
 }
 
 // isMaster distinguishes master from media playlists by their defining tags.

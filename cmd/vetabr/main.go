@@ -1,0 +1,107 @@
+// Command vetabr runs the project's static-analysis suite
+// (internal/analysis) over the repository's own source, enforcing the
+// simulator-determinism and unit-safety invariants every regenerated
+// figure depends on: simclock, maporder, floateq, units.
+//
+// Usage:
+//
+//	vetabr [-json] [dir ...]
+//
+// Each dir is a module root or package tree ("./..." suffixes are
+// accepted and stripped; the walk always recurses). With no argument the
+// current directory's module is analyzed. Exit status 1 when any
+// unsuppressed warning fires, 2 on load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"demuxabr/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vetabr [-json] [dir ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	code, err := run(flag.Args(), *jsonOut, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetabr:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// jsonFinding is the machine-readable finding schema (-json), shared in
+// shape with cmd/lintmanifest.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Severity string `json:"severity"`
+	Rule     string `json:"rule"`
+	Message  string `json:"message"`
+}
+
+// run analyzes each root and renders findings; it returns the exit code.
+func run(roots []string, jsonOut bool, out io.Writer) (int, error) {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var all []analysis.Finding
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, string(filepath.Separator))
+		if root == "" {
+			root = "."
+		}
+		findings, err := analysis.RunDir(root, analysis.DefaultAnalyzers())
+		if err != nil {
+			return 2, err
+		}
+		all = append(all, findings...)
+	}
+	warnings := 0
+	for _, f := range all {
+		if f.Severity == analysis.Warning {
+			warnings++
+		}
+	}
+	if jsonOut {
+		doc := struct {
+			Findings []jsonFinding `json:"findings"`
+		}{Findings: []jsonFinding{}}
+		for _, f := range all {
+			doc.Findings = append(doc.Findings, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Severity: f.Severity.String(),
+				Rule:     f.Rule,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintln(out, f)
+		}
+		if len(all) == 0 {
+			fmt.Fprintln(out, "vetabr: ok")
+		}
+	}
+	if warnings > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -77,8 +77,11 @@ func PredeterminedCombos(video, audio media.Ladder) []media.Combo {
 	}
 	steps := append(points(video, media.Video), points(audio, media.Audio)...)
 	sort.SliceStable(steps, func(i, j int) bool {
-		if steps[i].point != steps[j].point {
-			return steps[i].point < steps[j].point
+		if steps[i].point < steps[j].point {
+			return true
+		}
+		if steps[j].point < steps[i].point {
+			return false
 		}
 		// Ties: video steps first (stable order of the merged lists).
 		return steps[i].typ == media.Video && steps[j].typ == media.Audio

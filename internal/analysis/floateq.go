@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewFloatEq builds the floateq analyzer: it flags ==/!= where either
+// operand is floating point. Exact float comparison silently diverges
+// across compilers and optimization levels (fused multiply-add, 80-bit
+// intermediates), drifting QoE metrics between runs; compare against an
+// epsilon or restructure instead.
+func NewFloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "flag == and != between floating-point operands",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					bin, ok := n.(*ast.BinaryExpr)
+					if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+						return true
+					}
+					if isFloat(pass.TypeOf(bin.X)) || isFloat(pass.TypeOf(bin.Y)) {
+						pass.Reportf(bin.OpPos, Warning,
+							"%s between floating-point values is exact and non-portable; compare with a tolerance", bin.Op)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isFloat reports whether t (possibly nil) is floating point.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

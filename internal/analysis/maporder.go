@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewMapOrder builds the maporder analyzer: it flags `for range` over a
+// map whose body accumulates into a slice declared outside the loop (or
+// prints directly) when no sort of that slice follows in the same
+// function. Map iteration order is randomized per run, so such loops make
+// figure and report output differ between identical invocations.
+func NewMapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag map iteration feeding slices or output without a subsequent sort",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncMapRanges inspects one function body for unordered map ranges.
+// Nested function literals are checked by their own runMapOrder visit.
+func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMapType(pass.TypeOf(rng.X)) {
+			return true
+		}
+		for _, name := range appendTargets(rng) {
+			if !sortedAfter(body, rng, name) {
+				pass.Reportf(rng.Pos(), Warning,
+					"map range appends to %q with no subsequent sort: iteration order is randomized per run, making output non-reproducible", name)
+			}
+		}
+		if pos, fn := printsInside(pass, rng); pos != token.NoPos {
+			pass.Reportf(pos, Warning,
+				"map range calls %s directly: iteration order is randomized per run, making printed output non-reproducible", fn)
+		}
+		return true
+	})
+}
+
+// isMapType reports whether t (possibly nil) has a map underlying type.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// appendTargets returns names of variables declared outside the range
+// body that its statements grow via append.
+func appendTargets(rng *ast.RangeStmt) []string {
+	declared := map[string]bool{}
+	// The loop variables themselves are per-iteration.
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			declared[id.Name] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						declared[id.Name] = true
+					}
+				}
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(st.Lhs) {
+					continue
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok || declared[id.Name] || seen[id.Name] {
+					continue
+				}
+				seen[id.Name] = true
+				out = append(out, id.Name)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							declared[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, after the range statement ends, the
+// function body contains a sort-like call mentioning name.
+func sortedAfter(body *ast.BlockStmt, rng *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		if !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsIdent(arg, name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort.X / slices.SortX calls and method calls whose
+// name contains "Sort".
+func isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+		return true
+	}
+	return sel.Sel.Name == "Sort"
+}
+
+// mentionsIdent reports whether expr contains an identifier named name.
+func mentionsIdent(expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// printsInside returns the position and name of the first fmt print call
+// inside the range body writing to output, or NoPos.
+func printsInside(pass *Pass, rng *ast.RangeStmt) (token.Pos, string) {
+	var pos token.Pos
+	var fn string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, file := range pass.Files {
+			if file.Pos() <= call.Pos() && call.Pos() <= file.End() {
+				if pass.PkgName(file, base) == "fmt" && isPrintName(sel.Sel.Name) {
+					pos, fn = call.Pos(), "fmt."+sel.Sel.Name
+				}
+				break
+			}
+		}
+		return true
+	})
+	return pos, fn
+}
+
+// isPrintName matches fmt's printing functions (not Sprintf-style, whose
+// result may be sorted later).
+func isPrintName(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}

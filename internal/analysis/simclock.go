@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallClockFuncs are the time functions that read or wait on the real
+// clock. Inside the discrete-event simulator, virtual time comes from
+// netsim.Engine.Now; any of these makes a replay non-deterministic.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// seededRandFuncs are the math/rand names that construct explicitly
+// seeded generators (or name types); everything else on the package is
+// the process-global source, which breaks same-seed replay.
+var seededRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Zipf":      true,
+}
+
+// NewSimClock builds the simclock analyzer. It fires only in packages
+// whose import path starts with one of simPrefixes: the discrete-event
+// simulation packages where wall-clock time or the global math/rand
+// source silently breaks bit-for-bit replay determinism.
+func NewSimClock(simPrefixes ...string) *Analyzer {
+	return &Analyzer{
+		Name: "simclock",
+		Doc:  "forbid wall-clock time and global math/rand in simulation packages",
+		Run: func(pass *Pass) {
+			if !pathHasPrefix(pass.Path, simPrefixes) {
+				return
+			}
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					base, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch pass.PkgName(file, base) {
+					case "time":
+						if wallClockFuncs[sel.Sel.Name] {
+							pass.Reportf(sel.Pos(), Warning,
+								"time.%s reads the wall clock: simulation packages must use virtual time (netsim.Engine) for replay determinism", sel.Sel.Name)
+						}
+					case "math/rand", "math/rand/v2":
+						if !seededRandFuncs[sel.Sel.Name] {
+							pass.Reportf(sel.Pos(), Warning,
+								"rand.%s uses the process-global random source: simulation packages must thread an explicitly seeded *rand.Rand for replay determinism", sel.Sel.Name)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// pathHasPrefix reports whether path is one of the prefixes or below it.
+func pathHasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package analysis
+
+// SimPackagePrefixes are the discrete-event simulation packages where
+// simclock enforces virtual-time and seeded-randomness discipline. The
+// real-network packages (httpclient, originserver) legitimately read the
+// wall clock and are deliberately absent.
+var SimPackagePrefixes = []string{
+	"demuxabr/internal/netsim",
+	"demuxabr/internal/core",
+	"demuxabr/internal/player",
+	"demuxabr/internal/abr",
+	"demuxabr/internal/experiments",
+	"demuxabr/internal/cdnsim",
+	"demuxabr/internal/trace",
+	"demuxabr/internal/media",
+}
+
+// DefaultAnalyzers is the vetabr suite: every project invariant the repo
+// enforces over its own source. TestVetABR runs it under go test ./...;
+// cmd/vetabr runs it from the command line.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewSimClock(SimPackagePrefixes...),
+		NewMapOrder(),
+		NewFloatEq(),
+		NewUnits(),
+	}
+}

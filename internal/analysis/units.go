@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// unitClass is one heuristic unit family inferred from identifier names.
+type unitClass int
+
+const (
+	unitNone unitClass = iota
+	unitBits
+	unitBytes
+	unitSec
+	unitMs
+	unitMixed // operand converts between units itself; not comparable
+)
+
+// String names the class for messages.
+func (u unitClass) String() string {
+	switch u {
+	case unitBits:
+		return "bits"
+	case unitBytes:
+		return "bytes"
+	case unitSec:
+		return "seconds"
+	case unitMs:
+		return "milliseconds"
+	}
+	return "?"
+}
+
+// dimension groups classes that measure the same quantity.
+func (u unitClass) dimension() int {
+	switch u {
+	case unitBits, unitBytes:
+		return 1
+	case unitSec, unitMs:
+		return 2
+	}
+	return 0
+}
+
+// NewUnits builds the units analyzer: it heuristically flags +, - and
+// comparisons whose operands' identifier names carry different units of
+// the same dimension (bits vs bytes, seconds vs milliseconds) with no
+// conversion constant in sight — the silent unit-mixing bug class that
+// corrupts throughput and timing bookkeeping without crashing anything.
+func NewUnits() *Analyzer {
+	return &Analyzer{
+		Name: "units",
+		Doc:  "flag arithmetic mixing bits/bytes or sec/ms identifiers without a conversion",
+		Run:  runUnits,
+	}
+}
+
+// unitOps are the operators where mixed units are meaningless. Products
+// and quotients are excluded: multiplying or dividing IS the conversion.
+var unitOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func runUnits(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || !unitOps[bin.Op] {
+				return true
+			}
+			left := classify(bin.X)
+			right := classify(bin.Y)
+			if left.dimension() != 0 && left.dimension() == right.dimension() && left != right {
+				pass.Reportf(bin.OpPos, Warning,
+					"%q mixes %s (left) with %s (right) without an explicit conversion constant", bin.Op, left, right)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// conversionFactors are literals whose presence marks an operand as an
+// explicit unit conversion (bits<->bytes, s<->ms, and kbps/Mbps scales).
+var conversionFactors = map[string]bool{
+	"8": true, "8.0": true, "1000": true, "1e3": true, "1_000": true,
+	"1024": true, "8000": true, "1e6": true, "1_000_000": true,
+	"1e9": true, "0.001": true, "0.008": true, "125": true,
+}
+
+// conversionCalls are method/function names that perform a unit
+// conversion, neutralizing the operand they appear in.
+var conversionCalls = map[string]bool{
+	"Seconds": true, "Milliseconds": true, "Microseconds": true,
+	"Nanoseconds": true, "Duration": true, "Kbps": true, "Bps": true,
+}
+
+// classify infers the unit family of one operand subtree. A subtree that
+// carries a conversion factor, a conversion call, or identifiers of more
+// than one class in a dimension is converting units itself and returns
+// unitMixed (never flagged against anything).
+func classify(expr ast.Expr) unitClass {
+	found := unitNone
+	mixed := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if mixed {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BasicLit:
+			if (e.Kind == token.INT || e.Kind == token.FLOAT) && conversionFactors[e.Value] {
+				mixed = true
+			}
+		case *ast.CallExpr:
+			name := ""
+			switch fn := e.Fun.(type) {
+			case *ast.Ident:
+				name = fn.Name
+			case *ast.SelectorExpr:
+				name = fn.Sel.Name
+			}
+			if conversionCalls[name] || hasConversionWord(name) {
+				mixed = true
+				return false
+			}
+		case *ast.Ident:
+			if hasConversionWord(e.Name) {
+				mixed = true
+				return false
+			}
+			c := classOfName(e.Name)
+			if c == unitNone {
+				return true
+			}
+			if found == unitNone {
+				found = c
+			} else if found != c {
+				mixed = true
+			}
+		}
+		return true
+	})
+	if mixed {
+		return unitMixed
+	}
+	return found
+}
+
+// classOfName maps an identifier to a unit class via its camelCase /
+// snake_case words: sizeBytes -> bytes, totalBits -> bits, durMs -> ms.
+func classOfName(name string) unitClass {
+	c := unitNone
+	for _, w := range splitWords(name) {
+		var wc unitClass
+		switch w {
+		case "bit", "bits":
+			wc = unitBits
+		case "byte", "bytes":
+			wc = unitBytes
+		case "sec", "secs", "second", "seconds":
+			wc = unitSec
+		case "ms", "msec", "msecs", "milli", "millis", "millisecond", "milliseconds":
+			wc = unitMs
+		default:
+			continue
+		}
+		if c != unitNone && c != wc {
+			return unitMixed
+		}
+		c = wc
+	}
+	return c
+}
+
+// hasConversionWord reports whether a name's words advertise a conversion
+// ("toBytes", "bitsPerSec", "convFactor", "msScale").
+func hasConversionWord(name string) bool {
+	for _, w := range splitWords(name) {
+		switch w {
+		case "per", "to", "conv", "convert", "factor", "scale", "ratio":
+			return true
+		}
+	}
+	return false
+}
+
+// splitWords lowercases and splits an identifier on case and underscore
+// boundaries.
+func splitWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// Boundary unless continuing an acronym run.
+			if i > 0 && !unicode.IsUpper(runes[i-1]) {
+				flush()
+			} else if i+1 < len(runes) && unicode.IsLower(runes[i+1]) {
+				flush()
+			}
+			cur.WriteRune(unicode.ToLower(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"demuxabr/internal/media"
+	"demuxabr/internal/report"
+	"demuxabr/internal/trace"
+)
+
+// TestDeterministicReport is the replay-determinism regression test the
+// vetabr suite exists to protect: one full scenario — seeded random-walk
+// trace, every player model, full JSON report — run repeatedly must
+// produce byte-identical output. Any wall-clock read, global randomness,
+// or map-ordered serialization anywhere in the stack shows up here as a
+// byte diff.
+func TestDeterministicReport(t *testing.T) {
+	const seed = 7
+	render := func() []byte {
+		content := media.DramaShow()
+		profile := trace.RandomWalk(seed, media.Kbps(400), media.Kbps(2500), 4*time.Second, time.Minute)
+		models, allowed, err := buildModels(content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, m := range models {
+			out, err := Run(content, profile, m, allowed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc := report.FromResult(content.Name, out.Result, out.Metrics)
+			if err := doc.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	if len(first) == 0 {
+		t.Fatal("empty report")
+	}
+	for i := 0; i < 2; i++ {
+		if again := render(); !bytes.Equal(first, again) {
+			t.Fatalf("run %d produced different report bytes (len %d vs %d): simulator or serialization is non-deterministic", i+2, len(again), len(first))
+		}
+	}
+}

@@ -71,11 +71,15 @@ func DominantCombo(res *player.Result) media.Combo {
 		count[cb.String()]++
 		rep[cb.String()] = cb
 	}
+	// Ties broken by name so the answer never depends on map iteration
+	// order.
 	var best media.Combo
 	bestN := -1
+	bestKey := ""
 	for k, n := range count {
-		if n > bestN {
+		if n > bestN || (n == bestN && k < bestKey) {
 			bestN = n
+			bestKey = k
 			best = rep[k]
 		}
 	}

@@ -82,7 +82,7 @@ func windowedVideoKbps(res *player.Result, c *media.Content, from, to time.Durat
 		bitSeconds += float64(ch.Track.AvgBitrate) * d
 		seconds += d
 	}
-	if seconds == 0 {
+	if seconds <= 0 {
 		return 0
 	}
 	return bitSeconds / seconds / 1000

@@ -154,6 +154,7 @@ func FormatDuration(d time.Duration) string {
 	if minutes > 0 {
 		fmt.Fprintf(&b, "%dM", minutes)
 	}
+	//lint:ignore floateq exact integrality test only picks the rendering; both branches format correctly
 	if seconds == float64(int(seconds)) {
 		fmt.Fprintf(&b, "%dS", int(seconds))
 	} else {

@@ -130,7 +130,7 @@ func TrackBitrate(p *MediaPlaylist) (peak, avg media.Bps, err error) {
 			peakBps = bps
 		}
 	}
-	if totalSecs == 0 {
+	if totalSecs <= 0 {
 		return 0, 0, fmt.Errorf("hls: empty playlist")
 	}
 	return media.Bps(peakBps), media.Bps(totalBits / totalSecs), nil

@@ -15,9 +15,12 @@ package lint
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"demuxabr/internal/manifest/dash"
 	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
 )
 
 // Severity grades a finding.
@@ -95,10 +98,49 @@ func Master(m *hls.MasterPlaylist) []Finding {
 		out = append(out, Finding{Warning, "hls-missing-average-bandwidth",
 			fmt.Sprintf("%d variants lack AVERAGE-BANDWIDTH; rate adaptation against peak-only aggregates overestimates demand (§2.3)", missingAvg)})
 	}
+	// Sorted so finding order does not depend on map iteration order.
+	var dangling []string
 	for g := range groupsUsed {
 		if g != "" && !audioGroups[g] {
-			out = append(out, Finding{Warning, "hls-dangling-audio-group",
-				fmt.Sprintf("variant references audio group %q with no rendition", g)})
+			dangling = append(dangling, g)
+		}
+	}
+	sort.Strings(dangling)
+	for _, g := range dangling {
+		out = append(out, Finding{Warning, "hls-dangling-audio-group",
+			fmt.Sprintf("variant references audio group %q with no rendition", g)})
+	}
+	return out
+}
+
+// TrackPeaks maps a media-playlist URI (as written in the master) to the
+// track's peak bitrate recovered from that playlist — the §4.1 client-side
+// recovery via hls.TrackBitrate.
+type TrackPeaks map[string]media.Bps
+
+// MasterBandwidth cross-checks each variant's declared BANDWIDTH against
+// the sum of its referenced audio and video track peak bitrates. BANDWIDTH
+// below the real aggregate makes every §2.3 rate decision optimistic: the
+// player admits combinations the link cannot sustain. Variants whose
+// track peaks are not both known are skipped.
+func MasterBandwidth(m *hls.MasterPlaylist, peaks TrackPeaks) []Finding {
+	renditionURI := map[string]string{}
+	for _, r := range m.Renditions {
+		if r.Type == "AUDIO" {
+			renditionURI[r.GroupID] = r.URI
+		}
+	}
+	var out []Finding
+	for i, v := range m.Variants {
+		videoPeak, okV := peaks[v.URI]
+		audioPeak, okA := peaks[renditionURI[v.AudioGroup]]
+		if !okV || !okA {
+			continue
+		}
+		if sum := videoPeak + audioPeak; v.Bandwidth < int64(sum) {
+			out = append(out, Finding{Warning, "hls-bandwidth-below-track-sum",
+				fmt.Sprintf("variant %d declares BANDWIDTH %d below the %v sum of its tracks' peak bitrates (video %v + audio %v); rate adaptation against it admits unsustainable combinations (§4.1)",
+					i, v.Bandwidth, sum, videoPeak, audioPeak)})
 		}
 	}
 	return out
@@ -124,6 +166,25 @@ func MediaPlaylist(name string, p *hls.MediaPlaylist) []Finding {
 // MPD lints a DASH manifest.
 func MPD(m *dash.MPD) []Finding {
 	var out []Finding
+	// §4.1: bandwidth must be declared for individual tracks. A
+	// Representation without @bandwidth leaves the client no way to budget
+	// the pair, so flag it before ladder reconstruction (which needs the
+	// very attribute that is missing).
+	var missing []string
+	for _, p := range m.Periods {
+		for _, as := range p.AdaptationSets {
+			for _, rep := range as.Representations {
+				if rep.Bandwidth <= 0 {
+					missing = append(missing, rep.ID)
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		return []Finding{{Warning, "dash-missing-bandwidth",
+			fmt.Sprintf("%d Representations omit @bandwidth (%s); clients cannot compute the pair's bandwidth requirement (§4.1)",
+				len(missing), strings.Join(missing, ", "))}}
+	}
 	video, audio, err := dash.Ladders(m)
 	if err != nil {
 		return []Finding{{Warning, "dash-invalid-ladders", err.Error()}}

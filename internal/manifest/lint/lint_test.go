@@ -61,6 +61,49 @@ func TestMasterFlagsDanglingGroupAndNoDefault(t *testing.T) {
 	}
 }
 
+func TestMasterBandwidthCrossCheck(t *testing.T) {
+	m := &hls.MasterPlaylist{
+		Renditions: []hls.Rendition{{Type: "AUDIO", GroupID: "g", Name: "A1", URI: "audio/A1.m3u8", Default: true}},
+		Variants: []hls.Variant{
+			{Bandwidth: 500_000, AverageBandwidth: 450_000, AudioGroup: "g", URI: "video/V1.m3u8"},
+			{Bandwidth: 900_000, AverageBandwidth: 800_000, AudioGroup: "g", URI: "video/V2.m3u8"},
+		},
+	}
+	peaks := TrackPeaks{
+		"video/V1.m3u8": 520_000, // 520k + 128k > declared 500k: understated
+		"video/V2.m3u8": 700_000, // 700k + 128k < declared 900k: fine
+		"audio/A1.m3u8": 128_000,
+	}
+	fs := MasterBandwidth(m, peaks)
+	if len(fs) != 1 || fs[0].Rule != "hls-bandwidth-below-track-sum" {
+		t.Fatalf("findings = %v, want one hls-bandwidth-below-track-sum", fs)
+	}
+	if fs[0].Severity != Warning {
+		t.Errorf("severity = %v, want Warning", fs[0].Severity)
+	}
+	// Unknown peaks: no finding rather than a false positive.
+	if fs := MasterBandwidth(m, TrackPeaks{}); len(fs) != 0 {
+		t.Errorf("missing peaks should be skipped, got %v", fs)
+	}
+}
+
+func TestMPDMissingBandwidth(t *testing.T) {
+	c := media.DramaShow()
+	m := dash.Generate(c)
+	m.Periods[0].AdaptationSets[0].Representations[0].Bandwidth = 0
+	m.Periods[0].AdaptationSets[1].Representations[0].Bandwidth = 0
+	fs := MPD(m)
+	if len(fs) != 1 || fs[0].Rule != "dash-missing-bandwidth" {
+		t.Fatalf("findings = %v, want one dash-missing-bandwidth", fs)
+	}
+	if fs[0].Severity != Warning {
+		t.Errorf("severity = %v, want Warning", fs[0].Severity)
+	}
+	if !strings.Contains(fs[0].Message, "2 Representations") {
+		t.Errorf("message should count both omissions: %q", fs[0].Message)
+	}
+}
+
 func TestMediaPlaylistRecoverability(t *testing.T) {
 	c := media.DramaShow()
 	good := hls.GenerateMedia(c, c.TrackByID("V1"), hls.SingleFile, false)

@@ -185,7 +185,7 @@ func (r *Result) AvgSelectedBitrate(t media.Type, chunkDur func(int) time.Durati
 		bitSeconds += float64(c.Track.AvgBitrate) * d
 		seconds += d
 	}
-	if seconds == 0 {
+	if seconds <= 0 {
 		return 0
 	}
 	return media.Bps(bitSeconds / seconds)

@@ -43,7 +43,7 @@ func Chart(w io.Writer, title string, width, height int, xMax float64, series ..
 	if math.IsInf(lo, 1) {
 		return fmt.Errorf("plot: empty series")
 	}
-	if hi == lo {
+	if hi <= lo {
 		hi = lo + 1
 	}
 	if lo > 0 && lo < hi/4 {
