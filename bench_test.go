@@ -9,6 +9,7 @@ package demuxabr_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"demuxabr/internal/cdnsim"
@@ -544,6 +545,30 @@ func BenchmarkBandwidthSweep(b *testing.B) {
 	}
 	for _, p := range points {
 		b.ReportMetric(p.Outcome.Metrics.Score, fmt.Sprintf("%s@%.0fK-qoe", p.Outcome.Model, p.Kbps))
+	}
+}
+
+// BenchmarkFleet measures the session-fleet fan-out itself: the same
+// bandwidth sweep (7 bandwidths × 8 models = 56 sessions) run serially
+// and across GOMAXPROCS runpool workers. The output is byte-identical
+// either way (TestParallelEquivalence* in internal/experiments); this
+// benchmark tracks the wall-clock speedup.
+func BenchmarkFleet(b *testing.B) {
+	kbps := experiments.DefaultSweepKbps()
+	for _, bc := range []struct {
+		name     string
+		parallel int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.BandwidthSweepParallel(kbps, bc.parallel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

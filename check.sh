@@ -7,6 +7,10 @@
 #                    determinism regression test) under the race detector
 #   4. vetabr        project-specific static analysis: simclock, maporder,
 #                    floateq, units (see docs/STATIC_ANALYSIS.md)
+#   5. equivalence   fleet runners must be byte-identical serial vs
+#                    GOMAXPROCS-parallel (see docs/PERFORMANCE.md)
+#   6. benchmem      fleet benchmarks compile and run once, so the
+#                    allocs/op trajectory is always measurable
 #
 # Exits non-zero on the first failing step.
 set -eu
@@ -23,5 +27,14 @@ go test -race ./...
 
 echo "== go run ./cmd/vetabr ./..."
 go run ./cmd/vetabr ./...
+
+echo "== parallel-vs-serial equivalence"
+go test -race -count=1 \
+	-run 'TestParallelEquivalence|TestCacheSweepParallelMatchesSerial|TestMapCollectsInSubmissionOrder' \
+	./internal/experiments ./internal/cdnsim ./internal/runpool
+
+echo "== benchmem smoke (1 iteration per fleet benchmark)"
+go test -run=NONE -bench 'BenchmarkBandwidthSweep|BenchmarkSeedSweep|BenchmarkCDNCacheSweep|BenchmarkFleet' \
+	-benchtime=1x -benchmem .
 
 echo "check.sh: all gates passed"

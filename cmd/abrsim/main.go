@@ -5,6 +5,7 @@
 //
 //	abrsim -player bestpractice -kbps 700 [-content drama] [-timeline out.csv]
 //	abrsim -player shaka -trace profile.csv [-manifest hall] [-audio-first A3]
+//	abrsim -compare -kbps 700 [-parallel n]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"demuxabr/internal/core"
 	"demuxabr/internal/media"
 	"demuxabr/internal/report"
+	"demuxabr/internal/runpool"
 	"demuxabr/internal/trace"
 )
 
@@ -31,10 +33,11 @@ func main() {
 	timelineOut := flag.String("timeline", "", "write the session timeline as CSV to this file")
 	jsonOut := flag.String("json", "", "write the full session report as JSON to this file")
 	compare := flag.Bool("compare", false, "run every player model and print a comparison table (ignores -player)")
+	parallel := flag.Int("parallel", 0, "worker count for -compare (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *compare {
-		if err := runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst); err != nil {
+		if err := runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "abrsim:", err)
 			os.Exit(1)
 		}
@@ -47,15 +50,25 @@ func main() {
 	}
 }
 
-// runCompare runs every player kind under the same conditions.
-func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string) error {
+// runCompare runs every player kind under the same conditions. Sessions
+// fan out across parallel workers (each on its own simulation engine);
+// collection is in PlayerKinds order, so the table is identical at any
+// worker count.
+func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int) error {
+	kinds := core.PlayerKinds()
+	sessions, err := runpool.Map(parallel, len(kinds), func(i int) (*core.Session, error) {
+		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", kinds[i], err)
+		}
+		return sess, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Model\tVideo\tAudio\tStalls\tRebuffer\tSwitches\tOff-manifest\tQoE")
-	for _, kind := range core.PlayerKinds() {
-		sess, err := playOnce(string(kind), kbps, traceFile, profileName, contentName, manifest, audioFirst)
-		if err != nil {
-			return fmt.Errorf("%s: %w", kind, err)
-		}
+	for _, sess := range sessions {
 		m := sess.Metrics
 		fmt.Fprintf(tw, "%s\t%.0fK\t%.0fK\t%d\t%.1fs\t%d/%d\t%d\t%.2f\n",
 			sess.Model, m.AvgVideoBitrate.Kbps(), m.AvgAudioBitrate.Kbps(),

@@ -95,10 +95,10 @@ func TestRunNamedProfile(t *testing.T) {
 }
 
 func TestRunCompare(t *testing.T) {
-	if err := runCompare(900, "", "", "drama", "hsub", ""); err != nil {
+	if err := runCompare(900, "", "", "drama", "hsub", "", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(0, "", "", "drama", "hsub", ""); err == nil {
+	if err := runCompare(0, "", "", "drama", "hsub", "", 1); err == nil {
 		t.Error("compare without bandwidth should fail")
 	}
 }

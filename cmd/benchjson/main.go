@@ -1,0 +1,151 @@
+// Command benchjson measures the repo's fleet workloads and writes a
+// BENCH_<date>.json of ns/op, allocs/op and bytes/op, so successive PRs
+// can track the performance trajectory without parsing `go test -bench`
+// text output.
+//
+// Usage:
+//
+//	benchjson [-out path] [-reps n] [-parallel n]
+//
+// The default output path is BENCH_<today>.json in the working directory.
+// Each workload is measured twice: once serial (-parallel 1) and once with
+// the runpool fan-out (-parallel value, default GOMAXPROCS), so the JSON
+// also records the fleet speedup on the machine that produced it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"demuxabr/internal/cdnsim"
+	"demuxabr/internal/experiments"
+	"demuxabr/internal/media"
+	"demuxabr/internal/runpool"
+)
+
+// result is one measured workload.
+type result struct {
+	Name        string `json:"name"`
+	Parallel    int    `json:"parallel"`
+	Reps        int    `json:"reps"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+// doc is the emitted file.
+type doc struct {
+	Date       string   `json:"date"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
+}
+
+// workload is one named fleet run, parameterized by worker count.
+type workload struct {
+	name string
+	fn   func(parallel int) error
+}
+
+// fleetWorkloads are the multi-session runners the PR-over-PR trajectory
+// tracks.
+func fleetWorkloads() []workload {
+	return []workload{
+		{"bandwidth-sweep", func(p int) error {
+			_, err := experiments.BandwidthSweepParallel(experiments.DefaultSweepKbps(), p)
+			return err
+		}},
+		{"seed-sweep-5", func(p int) error {
+			_, err := experiments.SeedSweepParallel(5, p)
+			return err
+		}},
+		{"compare-fig3", func(p int) error {
+			_, err := experiments.CompareParallel(experiments.Scenarios()[1], p)
+			return err
+		}},
+		{"cdn-cache-sweep", func(p int) error {
+			content := media.DramaShow()
+			pop := cdnsim.Population{Viewers: 60, VideoZipf: 1.2, AudioSpread: 3, Seed: 11}
+			cdnsim.CacheSweepParallel(content, pop, []int64{32 << 20, 128 << 20, 512 << 20}, p)
+			return nil
+		}},
+	}
+}
+
+// measure runs fn reps times and reports per-op wall time and allocation
+// deltas. Not a sim package: wall clock here times real execution.
+func measure(name string, parallel, reps int, fn func(parallel int) error) (result, error) {
+	// One untimed warm-up fills the lazy caches (preset contents, combo
+	// expansions) so the steady state is what gets recorded.
+	if err := fn(parallel); err != nil {
+		return result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(parallel); err != nil {
+			return result{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return result{
+		Name:        name,
+		Parallel:    runpool.Workers(parallel),
+		Reps:        reps,
+		NsPerOp:     elapsed.Nanoseconds() / int64(reps),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(reps),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(reps),
+	}, nil
+}
+
+// run measures every workload serial and parallel and writes the JSON doc.
+func run(out string, date string, reps, parallel int, workloads []workload) error {
+	d := doc{Date: date, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	ps := []int{1}
+	if runpool.Workers(parallel) > 1 {
+		ps = append(ps, parallel) // on a single core the fan-out run would just duplicate serial
+	}
+	for _, w := range workloads {
+		for _, p := range ps {
+			r, err := measure(w.name, p, reps, w.fn)
+			if err != nil {
+				return err
+			}
+			d.Results = append(d.Results, r)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	date := time.Now().Format("2006-01-02")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	reps := flag.Int("reps", 3, "repetitions per workload")
+	parallel := flag.Int("parallel", 0, "fleet worker count for the parallel runs (0 = GOMAXPROCS)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+	if err := run(path, date, *reps, *parallel, fleetWorkloads()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// trivialWorkloads keep the measurement plumbing test fast.
+func trivialWorkloads(calls *int) []workload {
+	return []workload{
+		{"counting", func(parallel int) error {
+			*calls++
+			return nil
+		}},
+		{"allocating", func(parallel int) error {
+			s := make([]byte, 1<<10)
+			_ = s
+			return nil
+		}},
+	}
+}
+
+func TestRunWritesParsableDoc(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	calls := 0
+	if err := run(out, "2026-08-05", 2, 1, trivialWorkloads(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if d.Date != "2026-08-05" {
+		t.Errorf("date = %q", d.Date)
+	}
+	if d.GoMaxProcs < 1 {
+		t.Errorf("gomaxprocs = %d", d.GoMaxProcs)
+	}
+	// parallel=1 equals the serial run, so each workload appears once.
+	if len(d.Results) != 2 {
+		t.Fatalf("results = %+v, want one per workload", d.Results)
+	}
+	for _, r := range d.Results {
+		if r.Reps != 2 || r.Parallel != 1 {
+			t.Errorf("result %+v: want reps 2, parallel 1", r)
+		}
+		if r.NsPerOp < 0 {
+			t.Errorf("result %+v: negative ns/op", r)
+		}
+	}
+	// warm-up + reps per measured run
+	if calls != 3 {
+		t.Errorf("counting workload ran %d times, want 3 (1 warm-up + 2 reps)", calls)
+	}
+}
+
+func TestMeasureReportsAllocations(t *testing.T) {
+	r, err := measure("allocating", 1, 4, func(parallel int) error {
+		s := make([]byte, 1<<20)
+		_ = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BytesPerOp < 1<<20 {
+		t.Errorf("bytes/op = %d, want >= 1MiB", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == 0 {
+		t.Error("allocs/op = 0 for an allocating workload")
+	}
+}
+
+func TestRunPropagatesWorkloadError(t *testing.T) {
+	boom := errors.New("boom")
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run(out, "2026-08-05", 1, 1, []workload{
+		{"failing", func(parallel int) error { return boom }},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Error("output file written despite workload failure")
+	}
+}
+
+func TestFleetWorkloadsRunSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet workloads are slow")
+	}
+	for _, w := range fleetWorkloads() {
+		if err := w.fn(1); err != nil {
+			t.Errorf("%s: %v", w.name, err)
+		}
+	}
+}

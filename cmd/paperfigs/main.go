@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	paperfigs [-only id] [-csv dir]
+//	paperfigs [-only id] [-csv dir] [-parallel n]
 //
 // where id is one of: table1 table2 table3 fig2a fig2b fig3 fig4a fig4b
 // fig5 compare ablate cdn. With -csv, figure timelines are written as CSV
-// files into the directory for external plotting.
+// files into the directory for external plotting. -parallel sets the
+// worker count for the fleet experiments (sweeps, comparisons, the CDN
+// sweep); the default 0 means GOMAXPROCS, and -parallel 1 runs the exact
+// serial path. Output is byte-identical at any worker count (see
+// docs/PERFORMANCE.md).
 package main
 
 import (
@@ -25,9 +29,13 @@ import (
 	"demuxabr/internal/plot"
 )
 
+// parallelN is the worker count for fleet experiments; 0 = GOMAXPROCS.
+var parallelN int
+
 func main() {
 	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn)")
 	csvDir := flag.String("csv", "", "write figure timelines as CSV into this directory")
+	flag.IntVar(&parallelN, "parallel", 0, "fleet worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	runs := []struct {
@@ -222,7 +230,7 @@ func fig5(csvDir string) error {
 
 func compare(string) error {
 	for _, s := range experiments.Scenarios() {
-		out, err := experiments.Compare(s)
+		out, err := experiments.CompareParallel(s, parallelN)
 		if err != nil {
 			return err
 		}
@@ -234,7 +242,7 @@ func compare(string) error {
 
 func ablate(string) error {
 	for _, s := range experiments.Scenarios() {
-		out, err := experiments.Ablate(s)
+		out, err := experiments.AblateParallel(s, parallelN)
 		if err != nil {
 			return err
 		}
@@ -251,7 +259,7 @@ func ablate(string) error {
 }
 
 func sweep(string) error {
-	points, err := experiments.BandwidthSweep(experiments.DefaultSweepKbps())
+	points, err := experiments.BandwidthSweepParallel(experiments.DefaultSweepKbps(), parallelN)
 	if err != nil {
 		return err
 	}
@@ -360,20 +368,17 @@ func language(string) error {
 }
 
 func seeds(string) error {
-	summaries, err := experiments.SeedSweep(10)
+	summaries, err := experiments.SeedSweepParallel(10, parallelN)
 	if err != nil {
 		return err
 	}
 	fmt.Println("QoE across 10 random-walk traces (400-2500 Kbps):")
-	for _, s := range summaries {
-		fmt.Printf("  %-16s qoe med %6.2f  [p10 %6.2f .. p90 %6.2f]   rebuffer med %5.1fs   video med %4.0fK\n",
-			s.Model, s.QoE.Median, s.QoE.P10, s.QoE.P90, s.Rebuffer.Median, s.VideoKbps.Median)
-	}
+	experiments.PrintSeedSummaries(os.Stdout, summaries)
 	return nil
 }
 
 func pareto(string) error {
-	points, err := experiments.SafetyFactorSweep([]float64{0.6, 0.7, 0.8, 0.9, 0.95})
+	points, err := experiments.SafetyFactorSweepParallel([]float64{0.6, 0.7, 0.8, 0.9, 0.95}, parallelN)
 	if err != nil {
 		return err
 	}
@@ -388,7 +393,7 @@ func pareto(string) error {
 
 func startup(string) error {
 	for _, kbps := range []float64{400, 900, 3000} {
-		points, err := experiments.StartupDelays(kbps)
+		points, err := experiments.StartupDelaysParallel(kbps, parallelN)
 		if err != nil {
 			return err
 		}
@@ -449,7 +454,7 @@ func cdn(string) error {
 		d.HitRatio(), mx.HitRatio())
 	pop := cdnsim.Population{Viewers: 60, VideoZipf: 1.2, AudioSpread: 3, Seed: 11}
 	fmt.Println("Byte hit ratio vs cache size (staggered Zipf audience):")
-	for _, p := range cdnsim.CacheSweep(content, pop, []int64{32 << 20, 128 << 20, 512 << 20}) {
+	for _, p := range cdnsim.CacheSweepParallel(content, pop, []int64{32 << 20, 128 << 20, 512 << 20}, parallelN) {
 		fmt.Printf("  %4d MB %s: %.3f\n", p.CacheBytes>>20, p.Mode, p.Stats.ByteHitRatio())
 	}
 	return nil

@@ -115,6 +115,60 @@ func sneaky() clock.Time { return clock.Now() }
 	}
 }
 
+// TestSimClockRunpool pins the fan-out layer's membership in the sim-
+// package set: goroutines are runpool's whole point and pass freely, but
+// a wall-clock read smuggled into a job function — the classic way to
+// break byte-identical parallel replay — is flagged like in any other
+// simulation package.
+func TestSimClockRunpool(t *testing.T) {
+	az := NewSimClock(SimPackagePrefixes...)
+	const pkg = "demuxabr/internal/runpool"
+	t.Run("goroutines allowed, wall clock banned in a job", func(t *testing.T) {
+		findings := runOne(t, pkg, `package runpool
+
+import (
+	"sync"
+	"time"
+)
+
+func fanOut(n int, job func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			start := time.Now() // smuggled wall clock inside a job
+			_ = start
+			job(0)
+		}()
+	}
+	wg.Wait()
+}
+`, az)
+		wantRules(t, findings, "simclock")
+	})
+	t.Run("pure fan-out is clean", func(t *testing.T) {
+		findings := runOne(t, pkg, `package runpool
+
+import "sync"
+
+func fanOut(n int, job func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			job(i)
+		}()
+	}
+	wg.Wait()
+}
+`, az)
+		wantRules(t, findings)
+	})
+}
+
 func TestMapOrder(t *testing.T) {
 	cases := []struct {
 		name string

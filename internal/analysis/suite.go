@@ -13,6 +13,11 @@ var SimPackagePrefixes = []string{
 	"demuxabr/internal/cdnsim",
 	"demuxabr/internal/trace",
 	"demuxabr/internal/media",
+	// runpool fans sessions out across goroutines — concurrency is its
+	// whole point and is allowed; wall-clock reads and unseeded randomness
+	// inside its jobs would still break replay determinism and are banned
+	// like in any other simulation package.
+	"demuxabr/internal/runpool",
 }
 
 // DefaultAnalyzers is the vetabr suite: every project invariant the repo

@@ -14,7 +14,7 @@ package cdnsim
 
 import (
 	"container/list"
-	"fmt"
+	"strconv"
 
 	"demuxabr/internal/media"
 )
@@ -132,16 +132,16 @@ func (m Mode) String() string {
 	return "demuxed"
 }
 
-// chunkKey builds cache keys.
-func chunkKey(mode Mode, video, audio *media.Track, idx int) string {
-	if mode == Muxed {
-		return fmt.Sprintf("muxed/%s+%s/%d", video.ID, audio.ID, idx)
-	}
-	panic("cdnsim: chunkKey(Demuxed) is per-track; use trackKey")
+// muxedKey builds the cache key for one chunk of a muxed combination
+// object, e.g. "muxed/V1+A1/3".
+func muxedKey(video, audio *media.Track, idx int) string {
+	return "muxed/" + video.ID + "+" + audio.ID + "/" + strconv.Itoa(idx)
 }
 
+// trackKey builds the cache key for one chunk of one demuxed track object,
+// e.g. "video/V1/3".
 func trackKey(t *media.Track, idx int) string {
-	return fmt.Sprintf("%s/%s/%d", t.Type, t.ID, idx)
+	return t.Type.String() + "/" + t.ID + "/" + strconv.Itoa(idx)
 }
 
 // RequestChunk serves one playback position's data for a combination
@@ -152,7 +152,7 @@ func RequestChunk(c *Cache, mode Mode, content *media.Content, combo media.Combo
 	switch mode {
 	case Muxed:
 		size := content.ChunkSize(combo.Video, idx) + content.ChunkSize(combo.Audio, idx)
-		if c.Request(Object{Key: chunkKey(Muxed, combo.Video, combo.Audio, idx), Size: size}) {
+		if c.Request(Object{Key: muxedKey(combo.Video, combo.Audio, idx), Size: size}) {
 			hits++
 		}
 	default:
@@ -164,6 +164,77 @@ func RequestChunk(c *Cache, mode Mode, content *media.Content, combo media.Combo
 		}
 	}
 	return hits
+}
+
+// objectStream is the precomputed request sequence for one cacheable
+// object family: key and size per chunk position. Building the keys once
+// per workload keeps the per-request loop free of string formatting —
+// previously every request Sprintf'd its keys, dominating the allocation
+// profile of the cache sweeps.
+type objectStream struct {
+	keys  []string
+	sizes []int64
+}
+
+// sessionPlan resolves one session to its object streams (audio is nil in
+// muxed mode, where one combined object carries both).
+type sessionPlan struct {
+	video *objectStream
+	audio *objectStream
+}
+
+// request replays position idx of this session through the cache.
+func (p sessionPlan) request(c *Cache, idx int) int {
+	hits := 0
+	if c.Request(Object{Key: p.video.keys[idx], Size: p.video.sizes[idx]}) {
+		hits++
+	}
+	if p.audio != nil && c.Request(Object{Key: p.audio.keys[idx], Size: p.audio.sizes[idx]}) {
+		hits++
+	}
+	return hits
+}
+
+// planSessions precomputes the object streams for a workload. Streams are
+// shared between sessions selecting the same track or combination, so the
+// key tables cost O(distinct objects × chunks), not O(sessions × chunks).
+func planSessions(mode Mode, c *media.Content, sessions []Session) []sessionPlan {
+	n := c.NumChunks()
+	plans := make([]sessionPlan, len(sessions))
+	if mode == Muxed {
+		streams := map[[2]*media.Track]*objectStream{}
+		for i, s := range sessions {
+			pair := [2]*media.Track{s.Combo.Video, s.Combo.Audio}
+			st, ok := streams[pair]
+			if !ok {
+				st = &objectStream{keys: make([]string, n), sizes: make([]int64, n)}
+				vs, as := c.TrackSizes(s.Combo.Video), c.TrackSizes(s.Combo.Audio)
+				for idx := 0; idx < n; idx++ {
+					st.keys[idx] = muxedKey(s.Combo.Video, s.Combo.Audio, idx)
+					st.sizes[idx] = vs[idx] + as[idx]
+				}
+				streams[pair] = st
+			}
+			plans[i] = sessionPlan{video: st}
+		}
+		return plans
+	}
+	streams := map[*media.Track]*objectStream{}
+	stream := func(tr *media.Track) *objectStream {
+		st, ok := streams[tr]
+		if !ok {
+			st = &objectStream{keys: make([]string, n), sizes: c.TrackSizes(tr)}
+			for idx := 0; idx < n; idx++ {
+				st.keys[idx] = trackKey(tr, idx)
+			}
+			streams[tr] = st
+		}
+		return st
+	}
+	for i, s := range sessions {
+		plans[i] = sessionPlan{video: stream(s.Combo.Video), audio: stream(s.Combo.Audio)}
+	}
+	return plans
 }
 
 // OriginStorage returns the total origin bytes needed to store the content
@@ -194,10 +265,11 @@ type Session struct {
 // stats. Viewers are interleaved chunk-by-chunk, approximating concurrent
 // viewing of the same content.
 func Workload(c *Cache, mode Mode, content *media.Content, sessions []Session) Stats {
+	plans := planSessions(mode, content, sessions)
 	n := content.NumChunks()
 	for idx := 0; idx < n; idx++ {
-		for _, s := range sessions {
-			RequestChunk(c, mode, content, s.Combo, idx)
+		for _, p := range plans {
+			p.request(c, idx)
 		}
 	}
 	return c.Stats()

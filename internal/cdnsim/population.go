@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"demuxabr/internal/media"
+	"demuxabr/internal/runpool"
 )
 
 // Population synthesizes viewer sessions for cache experiments.
@@ -92,9 +93,10 @@ func StaggeredWorkload(cache *Cache, mode Mode, c *media.Content, sessions []Ses
 	for i := range offsets {
 		offsets[i] = rng.Intn(n)
 	}
+	plans := planSessions(mode, c, sessions)
 	for t := 0; t < n; t++ {
-		for i, s := range sessions {
-			RequestChunk(cache, mode, c, s.Combo, (offsets[i]+t)%n)
+		for i, p := range plans {
+			p.request(cache, (offsets[i]+t)%n)
 		}
 	}
 	return cache.Stats()
@@ -112,12 +114,19 @@ type CacheSweepPoint struct {
 // §1 cache-hit argument: demuxed objects reach a given hit ratio with far
 // less cache.
 func CacheSweep(c *media.Content, pop Population, sizes []int64) []CacheSweepPoint {
-	var out []CacheSweepPoint
-	for _, size := range sizes {
-		for _, mode := range []Mode{Demuxed, Muxed} {
-			stats := StaggeredWorkload(NewCache(size), mode, c, pop.Sessions(c), pop.Seed)
-			out = append(out, CacheSweepPoint{CacheBytes: size, Mode: mode, Stats: stats})
-		}
-	}
-	return out
+	return CacheSweepParallel(c, pop, sizes, 0)
+}
+
+// CacheSweepParallel is CacheSweep with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). Every (size, mode) cell replays its own cache
+// and its own session draw from the population seed, so the cells are
+// independent jobs; collection keeps the serial order (sizes outer, modes
+// inner).
+func CacheSweepParallel(c *media.Content, pop Population, sizes []int64, parallel int) []CacheSweepPoint {
+	modes := []Mode{Demuxed, Muxed}
+	return runpool.Collect(parallel, len(sizes)*len(modes), func(i int) CacheSweepPoint {
+		size, mode := sizes[i/len(modes)], modes[i%len(modes)]
+		stats := StaggeredWorkload(NewCache(size), mode, c, pop.Sessions(c), pop.Seed)
+		return CacheSweepPoint{CacheBytes: size, Mode: mode, Stats: stats}
+	})
 }

@@ -9,6 +9,7 @@ import (
 	"demuxabr/internal/abr/jointabr"
 	"demuxabr/internal/abr/shaka"
 	"demuxabr/internal/media"
+	"demuxabr/internal/runpool"
 	"demuxabr/internal/trace"
 )
 
@@ -34,11 +35,21 @@ func Scenarios() []Scenario {
 	}
 }
 
-// buildModels constructs every player model for a content asset, each from
-// the manifest a real deployment would give it: ExoPlayer-DASH and dash.js
-// from the MPD; ExoPlayer-HLS, Shaka and the best-practice player from the
-// H_sub master playlist (A3 listed first, as in Fig. 3).
-func buildModels(c *media.Content) (models []abr.Algorithm, allowed []media.Combo, err error) {
+// modelSpec is a deferred player-model construction: the manifest parsing
+// is done once, the (stateful) model is built per session. Fleet runners
+// hand each runpool job its own build() call so sessions never share
+// mutable model state; the ABR constructors copy the combo/ladder slices
+// they sort, so sharing the parsed inputs across concurrent builds is
+// safe.
+type modelSpec struct {
+	name  string
+	build func() abr.Algorithm
+}
+
+// modelSpecs parses the manifests for a content asset once and returns one
+// constructor per player model, in the fixed comparison order, plus the
+// allowed combination list (H_sub as parsed from the master playlist).
+func modelSpecs(c *media.Content) (specs []modelSpec, allowed []media.Combo, err error) {
 	video, audio, err := dashLadders(c)
 	if err != nil {
 		return nil, nil, err
@@ -48,35 +59,54 @@ func buildModels(c *media.Content) (models []abr.Algorithm, allowed []media.Comb
 	if err != nil {
 		return nil, nil, err
 	}
-	models = []abr.Algorithm{
-		exoplayer.NewDASH(video, audio),
-		exoplayer.NewHLS(combos, parsedOrder),
-		shaka.NewHLS(combos),
-		dashjs.New(video, audio),
-		jointabr.New(combos),
-		jointabr.NewBolaJoint(combos, 0),
-		jointabr.NewMPC(combos, 0),
-		jointabr.NewDynamicJoint(combos),
+	specs = []modelSpec{
+		{"exoplayer-dash", func() abr.Algorithm { return exoplayer.NewDASH(video, audio) }},
+		{"exoplayer-hls", func() abr.Algorithm { return exoplayer.NewHLS(combos, parsedOrder) }},
+		{"shaka", func() abr.Algorithm { return shaka.NewHLS(combos) }},
+		{"dashjs", func() abr.Algorithm { return dashjs.New(video, audio) }},
+		{"bestpractice", func() abr.Algorithm { return jointabr.New(combos) }},
+		{"bola-joint", func() abr.Algorithm { return jointabr.NewBolaJoint(combos, 0) }},
+		{"mpc-joint", func() abr.Algorithm { return jointabr.NewMPC(combos, 0) }},
+		{"dynamic-joint", func() abr.Algorithm { return jointabr.NewDynamicJoint(combos) }},
 	}
-	return models, combos, nil
+	return specs, combos, nil
+}
+
+// buildModels constructs every player model for a content asset, each from
+// the manifest a real deployment would give it: ExoPlayer-DASH and dash.js
+// from the MPD; ExoPlayer-HLS, Shaka and the best-practice player from the
+// H_sub master playlist (A3 listed first, as in Fig. 3).
+func buildModels(c *media.Content) (models []abr.Algorithm, allowed []media.Combo, err error) {
+	specs, allowed, err := modelSpecs(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	models = make([]abr.Algorithm, len(specs))
+	for i, sp := range specs {
+		models[i] = sp.build()
+	}
+	return models, allowed, nil
 }
 
 // Compare runs every player model (the three studied players plus the
 // best-practice design) under one scenario.
-func Compare(s Scenario) ([]Outcome, error) {
-	models, allowed, err := buildModels(s.Content)
+func Compare(s Scenario) ([]Outcome, error) { return CompareParallel(s, 0) }
+
+// CompareParallel is Compare with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). Each model plays its session on its own
+// engine; outcomes keep the fixed comparison order.
+func CompareParallel(s Scenario, parallel int) ([]Outcome, error) {
+	specs, allowed, err := modelSpecs(s.Content)
 	if err != nil {
 		return nil, err
 	}
-	outcomes := make([]Outcome, 0, len(models))
-	for _, m := range models {
-		out, err := Run(s.Content, s.Profile, m, allowed)
+	return runpool.Map(parallel, len(specs), func(i int) (Outcome, error) {
+		out, err := Run(s.Content, s.Profile, specs[i].build(), allowed)
 		if err != nil {
-			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+			return Outcome{}, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
-		outcomes = append(outcomes, out)
-	}
-	return outcomes, nil
+		return out, nil
+	})
 }
 
 // AblationVariant names one best-practice design choice switched off.
@@ -85,8 +115,8 @@ type AblationVariant struct {
 	Model abr.Algorithm
 }
 
-// AblationVariants builds the best-practice player and its ablations for a
-// content asset:
+// ablationSpecs returns deferred constructors for the best-practice player
+// and its ablations:
 //
 //   - full: all four §4 practices;
 //   - no-allowed-list: adapts over all 18 combinations (practice 2 off);
@@ -95,27 +125,50 @@ type AblationVariant struct {
 //   - no-damping: no switch hysteresis (practice 3, stability clause, off);
 //   - independent-scheduling: free-running per-type downloads (practice 4
 //     off).
-func AblationVariants(c *media.Content) []AblationVariant {
+func ablationSpecs(c *media.Content) []modelSpec {
 	hsub := media.HSub(c)
-	return []AblationVariant{
-		{Name: "full", Model: jointabr.New(hsub)},
-		{Name: "no-allowed-list", Model: jointabr.New(media.HAll(c))},
-		{Name: "separate-estimators", Model: jointabr.New(hsub, jointabr.WithSeparateEstimators())},
-		{Name: "no-damping", Model: jointabr.New(hsub, jointabr.WithoutDamping())},
-		{Name: "independent-scheduling", Model: jointabr.NewIndependent(hsub)},
+	hall := media.HAll(c)
+	return []modelSpec{
+		{"full", func() abr.Algorithm { return jointabr.New(hsub) }},
+		{"no-allowed-list", func() abr.Algorithm { return jointabr.New(hall) }},
+		{"separate-estimators", func() abr.Algorithm { return jointabr.New(hsub, jointabr.WithSeparateEstimators()) }},
+		{"no-damping", func() abr.Algorithm { return jointabr.New(hsub, jointabr.WithoutDamping()) }},
+		{"independent-scheduling", func() abr.Algorithm { return jointabr.NewIndependent(hsub) }},
 	}
 }
 
+// AblationVariants builds the best-practice player and its ablations for a
+// content asset.
+func AblationVariants(c *media.Content) []AblationVariant {
+	specs := ablationSpecs(c)
+	out := make([]AblationVariant, len(specs))
+	for i, sp := range specs {
+		out[i] = AblationVariant{Name: sp.name, Model: sp.build()}
+	}
+	return out
+}
+
 // Ablate runs the best-practice player and all ablations under a scenario.
-func Ablate(s Scenario) (map[string]Outcome, error) {
+func Ablate(s Scenario) (map[string]Outcome, error) { return AblateParallel(s, 0) }
+
+// AblateParallel is Ablate with an explicit worker count (0 = GOMAXPROCS,
+// 1 = serial).
+func AblateParallel(s Scenario, parallel int) (map[string]Outcome, error) {
 	allowed := media.HSub(s.Content)
-	out := make(map[string]Outcome)
-	for _, v := range AblationVariants(s.Content) {
-		o, err := Run(s.Content, s.Profile, v.Model, allowed)
+	specs := ablationSpecs(s.Content)
+	outs, err := runpool.Map(parallel, len(specs), func(i int) (Outcome, error) {
+		o, err := Run(s.Content, s.Profile, specs[i].build(), allowed)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", v.Name, err)
+			return Outcome{}, fmt.Errorf("ablation %s: %w", specs[i].name, err)
 		}
-		out[v.Name] = o
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Outcome, len(outs))
+	for i, o := range outs {
+		out[specs[i].name] = o
 	}
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"demuxabr/internal/netsim"
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
+	"demuxabr/internal/runpool"
 	"demuxabr/internal/stats"
 	"demuxabr/internal/trace"
 )
@@ -25,48 +26,54 @@ type SeedSummary struct {
 // SeedSweep runs every player model over n seeded random-walk traces
 // (400–2500 Kbps, 4 s re-draws) and summarizes the distributions. Each
 // (model, seed) run is deterministic, so the whole sweep is reproducible.
-func SeedSweep(n int) ([]SeedSummary, error) {
+func SeedSweep(n int) ([]SeedSummary, error) { return SeedSweepParallel(n, 0) }
+
+// SeedSweepParallel is SeedSweep with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). Every (seed, model) pair is one job with its
+// own engine and its own trace rebuilt from the seed; the per-model
+// sample vectors are then accumulated in submission order (seeds outer,
+// models inner), so the summaries match the serial sweep exactly.
+func SeedSweepParallel(n, parallel int) ([]SeedSummary, error) {
 	if n <= 0 {
 		n = 10
 	}
 	content := media.DramaShow()
-	// One model list per seed (models are stateful), but a stable name
-	// order for the output.
-	var names []string
-	acc := map[string]*struct{ qoe, rebuffer, video []float64 }{}
-	for seed := 0; seed < n; seed++ {
-		profile := trace.RandomWalk(int64(seed)+1, media.Kbps(400), media.Kbps(2500), 4*time.Second, time.Minute)
-		models, allowed, err := buildModels(content)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range models {
-			eng := netsim.NewEngine()
-			link := netsim.NewLink(eng, profile)
-			res, err := player.Run(link, player.Config{Content: content, Model: m})
-			if err != nil {
-				return nil, fmt.Errorf("seed %d %s: %w", seed, m.Name(), err)
-			}
-			if !res.Ended {
-				return nil, fmt.Errorf("seed %d %s: did not finish", seed, m.Name())
-			}
-			met := qoe.Compute(res, content, allowed, qoe.DefaultWeights())
-			a, ok := acc[m.Name()]
-			if !ok {
-				a = &struct{ qoe, rebuffer, video []float64 }{}
-				acc[m.Name()] = a
-				names = append(names, m.Name())
-			}
-			a.qoe = append(a.qoe, met.Score)
-			a.rebuffer = append(a.rebuffer, met.RebufferTime.Seconds())
-			a.video = append(a.video, met.AvgVideoBitrate.Kbps())
-		}
+	specs, allowed, err := modelSpecs(content)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]SeedSummary, 0, len(names))
-	for _, name := range names {
-		a := acc[name]
+	mets, err := runpool.Map(parallel, n*len(specs), func(i int) (qoe.Metrics, error) {
+		seed, mi := i/len(specs), i%len(specs)
+		// The random walk is a pure function of the seed, so rebuilding it
+		// per job reproduces the shared-profile serial sweep bit-for-bit.
+		profile := trace.RandomWalk(int64(seed)+1, media.Kbps(400), media.Kbps(2500), 4*time.Second, time.Minute)
+		m := specs[mi].build()
+		eng := netsim.NewEngine()
+		link := netsim.NewLink(eng, profile)
+		res, err := player.Run(link, player.Config{Content: content, Model: m})
+		if err != nil {
+			return qoe.Metrics{}, fmt.Errorf("seed %d %s: %w", seed, m.Name(), err)
+		}
+		if !res.Ended {
+			return qoe.Metrics{}, fmt.Errorf("seed %d %s: did not finish", seed, m.Name())
+		}
+		return qoe.Compute(res, content, allowed, qoe.DefaultWeights()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]struct{ qoe, rebuffer, video []float64 }, len(specs))
+	for i, met := range mets {
+		a := &acc[i%len(specs)]
+		a.qoe = append(a.qoe, met.Score)
+		a.rebuffer = append(a.rebuffer, met.RebufferTime.Seconds())
+		a.video = append(a.video, met.AvgVideoBitrate.Kbps())
+	}
+	out := make([]SeedSummary, 0, len(specs))
+	for mi, sp := range specs {
+		a := acc[mi]
 		out = append(out, SeedSummary{
-			Model:     name,
+			Model:     sp.name,
 			QoE:       stats.Summarize(a.qoe),
 			Rebuffer:  stats.Summarize(a.rebuffer),
 			VideoKbps: stats.Summarize(a.video),
@@ -86,25 +93,30 @@ type StartupPoint struct {
 // that start conservative (lowest combination) begin fastest; ExoPlayer's
 // 1 Mbps initial estimate starts mid-ladder and pays for it on slow links.
 func StartupDelays(kbps float64) ([]StartupPoint, error) {
+	return StartupDelaysParallel(kbps, 0)
+}
+
+// StartupDelaysParallel is StartupDelays with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial).
+func StartupDelaysParallel(kbps float64, parallel int) ([]StartupPoint, error) {
 	content := media.DramaShow()
-	models, _, err := buildModels(content)
+	specs, _, err := modelSpecs(content)
 	if err != nil {
 		return nil, err
 	}
-	var out []StartupPoint
-	for _, m := range models {
+	return runpool.Map(parallel, len(specs), func(i int) (StartupPoint, error) {
+		m := specs[i].build()
 		eng := netsim.NewEngine()
 		link := netsim.NewLink(eng, trace.Fixed(media.Kbps(kbps)))
 		res, err := player.Run(link, player.Config{Content: content, Model: m})
 		if err != nil {
-			return nil, err
+			return StartupPoint{}, err
 		}
 		if !res.Ended {
-			return nil, fmt.Errorf("experiments: %s did not finish", m.Name())
+			return StartupPoint{}, fmt.Errorf("experiments: %s did not finish", m.Name())
 		}
-		out = append(out, StartupPoint{Model: m.Name(), StartupDelay: res.StartupDelay})
-	}
-	return out, nil
+		return StartupPoint{Model: m.Name(), StartupDelay: res.StartupDelay}, nil
+	})
 }
 
 // ParetoPoint is one cell of the safety-factor sweep: how the §4 player's
@@ -117,31 +129,37 @@ type ParetoPoint struct {
 // SafetyFactorSweep runs the best-practice player across safety factors on
 // the Fig 3 link — the frontier an operator picks an operating point from.
 func SafetyFactorSweep(factors []float64) ([]ParetoPoint, error) {
+	return SafetyFactorSweepParallel(factors, 0)
+}
+
+// SafetyFactorSweepParallel is SafetyFactorSweep with an explicit worker
+// count (0 = GOMAXPROCS, 1 = serial). The master playlist round-trip is
+// factor-independent and done once; each factor's session is one job.
+func SafetyFactorSweepParallel(factors []float64, parallel int) ([]ParetoPoint, error) {
 	content := media.DramaShow()
-	var out []ParetoPoint
-	for _, f := range factors {
-		combos, _, err := hlsMaster(content, media.HSub(content), nil)
-		if err != nil {
-			return nil, err
-		}
+	combos, _, err := hlsMaster(content, media.HSub(content), nil)
+	if err != nil {
+		return nil, err
+	}
+	return runpool.Map(parallel, len(factors), func(i int) (ParetoPoint, error) {
+		f := factors[i]
 		model := jointabr.New(combos, jointabr.WithSafetyFactor(f))
 		eng := netsim.NewEngine()
 		link := netsim.NewLink(eng, trace.Fig3VaryingAvg600())
 		res, err := player.Run(link, player.Config{Content: content, Model: model})
 		if err != nil {
-			return nil, err
+			return ParetoPoint{}, err
 		}
 		if !res.Ended {
-			return nil, fmt.Errorf("experiments: safety factor %v did not finish", f)
+			return ParetoPoint{}, fmt.Errorf("experiments: safety factor %v did not finish", f)
 		}
-		out = append(out, ParetoPoint{
+		return ParetoPoint{
 			SafetyFactor: f,
 			Outcome: Outcome{
 				Model:   model.Name(),
 				Result:  res,
 				Metrics: qoe.Compute(res, content, combos, qoe.DefaultWeights()),
 			},
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

@@ -6,14 +6,20 @@ import (
 	"text/tabwriter"
 
 	"demuxabr/internal/media"
+	"demuxabr/internal/runpool"
 	"demuxabr/internal/trace"
 )
 
 // SweepPoint is one cell of a bandwidth sweep: a player model's outcome at
 // a fixed link rate.
 type SweepPoint struct {
-	Kbps    float64
-	Outcome Outcome
+	Kbps float64
+	// KbpsIndex is the position of Kbps in the sweep's ordered bandwidth
+	// list. PrintSweep joins cells on this index rather than on the raw
+	// float, so near-equal bandwidths can't silently merge or split
+	// columns.
+	KbpsIndex int
+	Outcome   Outcome
 }
 
 // DefaultSweepKbps spans the drama show's operating range: below the
@@ -26,43 +32,53 @@ func DefaultSweepKbps() []float64 {
 // BandwidthSweep runs every player model at each fixed bandwidth — the
 // crossover analysis: who wins where across the operating range.
 func BandwidthSweep(kbps []float64) ([]SweepPoint, error) {
+	return BandwidthSweepParallel(kbps, 0)
+}
+
+// BandwidthSweepParallel is BandwidthSweep with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial). The manifests are parsed once for the
+// whole sweep; each (bandwidth, model) job builds only its own model and
+// engine, and the points come back in the serial order: bandwidths outer,
+// models inner.
+func BandwidthSweepParallel(kbps []float64, parallel int) ([]SweepPoint, error) {
 	content := media.DramaShow()
-	var points []SweepPoint
-	for _, k := range kbps {
-		models, allowed, err := buildModels(content)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range models {
-			out, err := Run(content, trace.Fixed(media.Kbps(k)), m, allowed)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %v Kbps: %w", k, err)
-			}
-			points = append(points, SweepPoint{Kbps: k, Outcome: out})
-		}
+	specs, allowed, err := modelSpecs(content)
+	if err != nil {
+		return nil, err
 	}
-	return points, nil
+	return runpool.Map(parallel, len(kbps)*len(specs), func(i int) (SweepPoint, error) {
+		ki, mi := i/len(specs), i%len(specs)
+		k := kbps[ki]
+		out, err := Run(content, trace.Fixed(media.Kbps(k)), specs[mi].build(), allowed)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("sweep %v Kbps: %w", k, err)
+		}
+		return SweepPoint{Kbps: k, KbpsIndex: ki, Outcome: out}, nil
+	})
 }
 
 // PrintSweep renders the sweep as a QoE matrix (rows: models, columns:
-// bandwidths) followed by a rebuffering matrix.
+// bandwidths) followed by a rebuffering matrix. Columns join on
+// SweepPoint.KbpsIndex; the Kbps value only labels the header.
 func PrintSweep(w io.Writer, points []SweepPoint) {
-	var kbps []float64
-	var models []string
-	seenK := map[float64]bool{}
-	seenM := map[string]bool{}
-	cells := map[string]map[float64]Outcome{}
+	ncols := 0
 	for _, p := range points {
-		if !seenK[p.Kbps] {
-			seenK[p.Kbps] = true
-			kbps = append(kbps, p.Kbps)
+		if p.KbpsIndex+1 > ncols {
+			ncols = p.KbpsIndex + 1
 		}
+	}
+	kbps := make([]float64, ncols)
+	var models []string
+	seenM := map[string]bool{}
+	cells := map[string][]Outcome{}
+	for _, p := range points {
+		kbps[p.KbpsIndex] = p.Kbps
 		if !seenM[p.Outcome.Model] {
 			seenM[p.Outcome.Model] = true
 			models = append(models, p.Outcome.Model)
-			cells[p.Outcome.Model] = map[float64]Outcome{}
+			cells[p.Outcome.Model] = make([]Outcome, ncols)
 		}
-		cells[p.Outcome.Model][p.Kbps] = p.Outcome
+		cells[p.Outcome.Model][p.KbpsIndex] = p.Outcome
 	}
 	write := func(title string, value func(Outcome) string) {
 		fmt.Fprintln(w, title)
@@ -74,8 +90,8 @@ func PrintSweep(w io.Writer, points []SweepPoint) {
 		fmt.Fprintln(tw)
 		for _, m := range models {
 			fmt.Fprint(tw, m)
-			for _, k := range kbps {
-				fmt.Fprintf(tw, "\t%s", value(cells[m][k]))
+			for i := range kbps {
+				fmt.Fprintf(tw, "\t%s", value(cells[m][i]))
 			}
 			fmt.Fprintln(tw)
 		}

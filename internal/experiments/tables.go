@@ -51,6 +51,15 @@ func PrintComboTable(w io.Writer, title string, combos []media.Combo) {
 	tw.Flush()
 }
 
+// PrintSeedSummaries renders the seed-sweep distributional view, one line
+// per model in sweep order.
+func PrintSeedSummaries(w io.Writer, summaries []SeedSummary) {
+	for _, s := range summaries {
+		fmt.Fprintf(w, "  %-16s qoe med %6.2f  [p10 %6.2f .. p90 %6.2f]   rebuffer med %5.1fs   video med %4.0fK\n",
+			s.Model, s.QoE.Median, s.QoE.P10, s.QoE.P90, s.Rebuffer.Median, s.VideoKbps.Median)
+	}
+}
+
 // PrintOutcomes renders a comparison table of session outcomes.
 func PrintOutcomes(w io.Writer, title string, outcomes []Outcome) {
 	fmt.Fprintln(w, title)

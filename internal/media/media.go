@@ -11,6 +11,7 @@ package media
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -221,6 +222,14 @@ type Content struct {
 	AudioTracks Ladder
 
 	sizes map[string][]int64 // track ID -> per-chunk sizes in bytes
+
+	// Cached combination expansions (HAll/HSub); built on first use.
+	// Everything else in Content is immutable after construction, so the
+	// once-guards are the only synchronization content sharing needs.
+	hallOnce sync.Once
+	hall     []Combo
+	hsubOnce sync.Once
+	hsub     []Combo
 }
 
 // NumChunks returns the number of chunks per track.
@@ -255,6 +264,12 @@ func (c *Content) ChunkSize(tr *Track, i int) int64 {
 	}
 	return s[i]
 }
+
+// TrackSizes returns the precomputed per-chunk byte sizes of a track, or
+// nil for an unknown track. The slice is the content's own table — callers
+// must treat it as read-only. Hot loops (the CDN workloads) index it
+// directly instead of paying ChunkSize's map lookup per chunk.
+func (c *Content) TrackSizes(tr *Track) []int64 { return c.sizes[tr.ID] }
 
 // TrackBytes returns the total size of a track across all chunks.
 func (c *Content) TrackBytes(tr *Track) int64 {

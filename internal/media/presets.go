@@ -1,6 +1,9 @@
 package media
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // This file defines the exact content of the paper's experiments: the
 // YouTube drama show of Table 1, and the two alternative audio ladders (B
@@ -55,8 +58,24 @@ const DramaDuration = 5 * time.Minute
 // The paper does not state it; 5 s is the common YouTube/DASH segmentation.
 const DramaChunkDuration = 5 * time.Second
 
+// Preset content is immutable once synthesized (Content has no mutating
+// methods; the chunk-size tables are read-only after NewContent), so each
+// preset is built once and shared — including across runpool fleet
+// sessions. Synthesizing the VBR chunk tables costs ~60 chunks × ~10
+// tracks of seeded draws per call, which used to run once per session.
+var (
+	dramaShow          = sync.OnceValue(newDramaShow)
+	dramaShowLowAudio  = sync.OnceValue(newDramaShowLowAudio)
+	dramaShowHighAudio = sync.OnceValue(newDramaShowHighAudio)
+	musicShow          = sync.OnceValue(newMusicShow)
+	actionMovie        = sync.OnceValue(newActionMovie)
+	multiLanguageShow  = sync.OnceValue(newMultiLanguageShow)
+)
+
 // DramaShow synthesizes the Table 1 content (A audio ladder).
-func DramaShow() *Content {
+func DramaShow() *Content { return dramaShow() }
+
+func newDramaShow() *Content {
 	return MustNewContent(ContentSpec{
 		Name:          "drama-show",
 		Duration:      DramaDuration,
@@ -68,7 +87,9 @@ func DramaShow() *Content {
 }
 
 // DramaShowLowAudio is the Fig. 2(a) variant: Table 1 video + B audio ladder.
-func DramaShowLowAudio() *Content {
+func DramaShowLowAudio() *Content { return dramaShowLowAudio() }
+
+func newDramaShowLowAudio() *Content {
 	return MustNewContent(ContentSpec{
 		Name:          "drama-show-low-audio",
 		Duration:      DramaDuration,
@@ -80,7 +101,9 @@ func DramaShowLowAudio() *Content {
 }
 
 // DramaShowHighAudio is the Fig. 2(b) variant: Table 1 video + C audio ladder.
-func DramaShowHighAudio() *Content {
+func DramaShowHighAudio() *Content { return dramaShowHighAudio() }
+
+func newDramaShowHighAudio() *Content {
 	return MustNewContent(ContentSpec{
 		Name:          "drama-show-high-audio",
 		Duration:      DramaDuration,
@@ -92,12 +115,25 @@ func DramaShowHighAudio() *Content {
 }
 
 // HSub returns the curated subset of 6 combinations of manifest H_sub
-// (Table 3): V1+A1, V2+A1, V3+A2, V4+A2, V5+A3, V6+A3.
-func HSub(c *Content) []Combo { return PairCombos(c.VideoTracks, c.AudioTracks) }
+// (Table 3): V1+A1, V2+A1, V3+A2, V4+A2, V5+A3, V6+A3. The expansion is
+// cached per content; the returned slice is a fresh copy the caller may
+// reorder.
+func HSub(c *Content) []Combo {
+	c.hsubOnce.Do(func() { c.hsub = PairCombos(c.VideoTracks, c.AudioTracks) })
+	out := make([]Combo, len(c.hsub))
+	copy(out, c.hsub)
+	return out
+}
 
 // HAll returns the full set of 18 combinations of manifest H_all (Table 2),
-// sorted by increasing peak bitrate.
-func HAll(c *Content) []Combo { return AllCombos(c.VideoTracks, c.AudioTracks) }
+// sorted by increasing peak bitrate. The cross product and sort are cached
+// per content; the returned slice is a fresh copy the caller may reorder.
+func HAll(c *Content) []Combo {
+	c.hallOnce.Do(func() { c.hall = AllCombos(c.VideoTracks, c.AudioTracks) })
+	out := make([]Combo, len(c.hall))
+	copy(out, c.hall)
+	return out
+}
 
 // MusicShowAudioLadder returns an audio ladder for content where sound
 // dominates: stereo AAC up to a Dolby-Atmos-class 768 Kbps top rung (the
@@ -113,7 +149,9 @@ func MusicShowAudioLadder() Ladder {
 
 // MusicShow synthesizes a concert asset: the Table 1 video ladder with the
 // four-rung high-fidelity audio ladder.
-func MusicShow() *Content {
+func MusicShow() *Content { return musicShow() }
+
+func newMusicShow() *Content {
 	return MustNewContent(ContentSpec{
 		Name:          "music-show",
 		Duration:      DramaDuration,
@@ -127,7 +165,9 @@ func MusicShow() *Content {
 // ActionMovie synthesizes a high-motion asset: the Table 1 ladders with a
 // far spikier video chunk-size distribution (scene cuts and action peaks),
 // stressing VBR-aware players.
-func ActionMovie() *Content {
+func ActionMovie() *Content { return actionMovie() }
+
+func newActionMovie() *Content {
 	return MustNewContent(ContentSpec{
 		Name:          "action-movie",
 		Duration:      DramaDuration,
@@ -152,7 +192,9 @@ func MultiLanguageAudio() Ladder {
 
 // MultiLanguageShow synthesizes the drama video ladder with the
 // two-language audio set.
-func MultiLanguageShow() *Content {
+func MultiLanguageShow() *Content { return multiLanguageShow() }
+
+func newMultiLanguageShow() *Content {
 	return MustNewContent(ContentSpec{
 		Name:          "multi-language-show",
 		Duration:      DramaDuration,

@@ -23,6 +23,10 @@ type Engine struct {
 	events  eventHeap
 	seq     uint64
 	stopped bool
+	// free recycles fired events: a long session schedules hundreds of
+	// thousands of events but holds only a handful pending at once, so the
+	// freelist caps Event allocations at the pending high-water mark.
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -44,12 +48,27 @@ func (ev *Event) At() time.Duration { return ev.at }
 
 // Schedule runs fn at virtual time at. Scheduling in the past panics: it
 // indicates a simulator bug, not a recoverable condition.
+//
+// The returned *Event is valid for Cancel until it fires. Once its
+// callback has run, the Event object may be recycled by a later Schedule,
+// so holders must drop their reference no later than the callback itself
+// (every in-tree holder nils its field at the top of the callback).
+// Cancelling during the event's own callback is still safe: recycling
+// happens only after the callback returns.
 func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if k := len(e.free); k > 0 {
+		ev = e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.events, ev)
 	return ev
 }
@@ -78,7 +97,14 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(*Event)
 	ev.idx = -1
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	ev.fn = nil // release the closure for GC while the Event sits pooled
+	fn()
+	// Recycle only after the callback: a Cancel on this event from within
+	// its own callback must still be a no-op, not hit a reused event.
+	// Cancelled events are never recycled — stale handles to them may
+	// legitimately be double-cancelled later.
+	e.free = append(e.free, ev)
 	return true
 }
 

@@ -1,0 +1,144 @@
+package runpool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestMapCollectsInSubmissionOrder is the ordered-collection contract: jobs
+// whose completion order is deliberately reversed (job i blocks until job
+// i+1 has finished) must still land in the results slice by submission
+// index. Run under -race this also proves the collection path publishes
+// results safely.
+func TestMapCollectsInSubmissionOrder(t *testing.T) {
+	const n = 8
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var mu sync.Mutex
+	var completed []int
+	// workers == n so every job is claimed before any can finish; the
+	// channel chain then forces completion in exact reverse order.
+	out, err := Map(n, n, func(i int) (int, error) {
+		if i < n-1 {
+			<-done[i+1]
+		}
+		mu.Lock()
+		completed = append(completed, i)
+		mu.Unlock()
+		close(done[i])
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d, want %d: results not in submission order", i, v, i*10)
+		}
+	}
+	for i, c := range completed {
+		if want := n - 1 - i; c != want {
+			t.Fatalf("completion order %v: job %d completed at position %d, want %d — stagger did not reverse, test proves nothing", completed, c, i, want)
+		}
+	}
+}
+
+// TestMapReturnsLowestIndexError: when several concurrent jobs fail, Map
+// must report the error the serial loop would have stopped at — the lowest
+// failing index — not whichever failure happened to finish first.
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	const n = 6
+	errLow := errors.New("job 2 failed")
+	errHigh := errors.New("job 4 failed")
+	release := make(chan struct{})
+	var ready sync.WaitGroup
+	ready.Add(n)
+	go func() {
+		// Let every job be claimed before any may fail, so both failures
+		// are guaranteed to be recorded.
+		ready.Wait()
+		close(release)
+	}()
+	out, err := Map(n, n, func(i int) (int, error) {
+		ready.Done()
+		<-release
+		switch i {
+		case 2:
+			return 0, errLow
+		case 4:
+			return 0, errHigh
+		}
+		return i, nil
+	})
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the lowest-index failure %v", err, errLow)
+	}
+}
+
+// TestMapSerialStopsAtFirstError: workers == 1 must be the literal serial
+// loop — later jobs never run after a failure.
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	_, err := Map(1, 5, func(i int) (int, error) {
+		ran = append(ran, i)
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(ran) != 3 || ran[0] != 0 || ran[1] != 1 || ran[2] != 2 {
+		t.Fatalf("ran = %v, want [0 1 2]: serial path must stop at the first error", ran)
+	}
+}
+
+// TestMapPanicPropagates: a panicking job must surface on the caller, not
+// kill a worker goroutine silently.
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "job 1 exploded" {
+			t.Fatalf("recovered %v, want job panic value", r)
+		}
+	}()
+	Map(4, 4, func(i int) (int, error) {
+		if i == 1 {
+			panic("job 1 exploded")
+		}
+		return i, nil
+	})
+	t.Fatal("Map returned instead of panicking")
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return i, nil })
+	if out != nil || err != nil {
+		t.Fatalf("Map(_, 0, _) = %v, %v; want nil, nil", out, err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", got)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	out := Collect(0, 5, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
