@@ -28,9 +28,9 @@ go test -race ./...
 echo "== go run ./cmd/vetabr ./..."
 go run ./cmd/vetabr ./...
 
-echo "== parallel-vs-serial equivalence"
+echo "== parallel-vs-serial equivalence (incl. fault-injection determinism)"
 go test -race -count=1 \
-	-run 'TestParallelEquivalence|TestCacheSweepParallelMatchesSerial|TestMapCollectsInSubmissionOrder' \
+	-run 'TestParallelEquivalence|TestCacheSweepParallelMatchesSerial|TestMapCollectsInSubmissionOrder|TestResilienceSweepDeterministic|TestResilienceSweepParallelEquivalence' \
 	./internal/experiments ./internal/cdnsim ./internal/runpool
 
 echo "== benchmem smoke (1 iteration per fleet benchmark)"

@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"demuxabr/internal/core"
+	"demuxabr/internal/faults"
 	"demuxabr/internal/media"
 	"demuxabr/internal/report"
 	"demuxabr/internal/runpool"
@@ -34,30 +35,60 @@ func main() {
 	jsonOut := flag.String("json", "", "write the full session report as JSON to this file")
 	compare := flag.Bool("compare", false, "run every player model and print a comparison table (ignores -player)")
 	parallel := flag.Int("parallel", 0, "worker count for -compare (0 = GOMAXPROCS, 1 = serial)")
+	faultRate := flag.Float64("fault-rate", 0, "per-segment-request fault injection probability in [0,1]")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan (same seed = same failure sequence)")
+	noRetry := flag.Bool("no-retry", false, "disable the download robustness policy (fail fast on the first fault)")
 	flag.Parse()
 
+	fo := faultOpts{rate: *faultRate, seed: *faultSeed, noRetry: *noRetry}
 	if *compare {
-		if err := runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel); err != nil {
+		if err := runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, fo); err != nil {
 			fmt.Fprintln(os.Stderr, "abrsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineOut, *jsonOut); err != nil {
+	if err := run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineOut, *jsonOut, fo); err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)
 		os.Exit(1)
 	}
+}
+
+// faultOpts carries the fault-injection CLI flags into core.Spec. A zero
+// rate means no plan at all; -no-retry reverts to the legacy fail-fast
+// error handling.
+type faultOpts struct {
+	rate    float64
+	seed    int64
+	noRetry bool
+}
+
+func (fo faultOpts) plan() *faults.Plan {
+	if fo.rate <= 0 {
+		return nil
+	}
+	return &faults.Plan{Seed: fo.seed, Rate: fo.rate}
+}
+
+// policy is the default robustness policy whenever faults are injected;
+// -no-retry (or a clean run) keeps the legacy fail-fast behaviour.
+func (fo faultOpts) policy() *faults.Policy {
+	if fo.noRetry || fo.rate <= 0 {
+		return nil
+	}
+	pol := faults.DefaultPolicy()
+	return &pol
 }
 
 // runCompare runs every player kind under the same conditions. Sessions
 // fan out across parallel workers (each on its own simulation engine);
 // collection is in PlayerKinds order, so the table is identical at any
 // worker count.
-func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int) error {
+func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, fo faultOpts) error {
 	kinds := core.PlayerKinds()
 	sessions, err := runpool.Map(parallel, len(kinds), func(i int) (*core.Session, error) {
-		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst)
+		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, fo)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", kinds[i], err)
 		}
@@ -70,17 +101,21 @@ func runCompare(kbps float64, traceFile, profileName, contentName, manifest, aud
 	fmt.Fprintln(tw, "Model\tVideo\tAudio\tStalls\tRebuffer\tSwitches\tOff-manifest\tQoE")
 	for _, sess := range sessions {
 		m := sess.Metrics
-		fmt.Fprintf(tw, "%s\t%.0fK\t%.0fK\t%d\t%.1fs\t%d/%d\t%d\t%.2f\n",
+		qoeCell := fmt.Sprintf("%.2f", m.Score)
+		if sess.Result.Aborted {
+			qoeCell = "abort"
+		}
+		fmt.Fprintf(tw, "%s\t%.0fK\t%.0fK\t%d\t%.1fs\t%d/%d\t%d\t%s\n",
 			sess.Model, m.AvgVideoBitrate.Kbps(), m.AvgAudioBitrate.Kbps(),
 			m.StallCount, m.RebufferTime.Seconds(),
-			m.VideoSwitches, m.AudioSwitches, m.OffManifest, m.Score)
+			m.VideoSwitches, m.AudioSwitches, m.OffManifest, qoeCell)
 	}
 	return tw.Flush()
 }
 
 // playOnce builds content, profile and manifest options from the CLI flags
 // and runs one session.
-func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string) (*core.Session, error) {
+func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, fo faultOpts) (*core.Session, error) {
 	kind, err := core.ParsePlayerKind(playerName)
 	if err != nil {
 		return nil, err
@@ -145,11 +180,18 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 			}
 		}
 	}
-	return core.Play(core.Spec{Content: content, Profile: profile, Player: kind, Manifest: mo})
+	return core.Play(core.Spec{
+		Content:    content,
+		Profile:    profile,
+		Player:     kind,
+		Manifest:   mo,
+		Faults:     fo.plan(),
+		Robustness: fo.policy(),
+	})
 }
 
-func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineOut, jsonOut string) error {
-	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst)
+func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineOut, jsonOut string, fo faultOpts) error {
+	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, fo)
 	if err != nil {
 		return err
 	}
@@ -162,6 +204,14 @@ func run(playerName string, kbps float64, traceFile, profileName, contentName, m
 	fmt.Printf("combos used:     %v (off-manifest chunks: %d)\n", sess.Result.CombosSelected(), m.OffManifest)
 	fmt.Printf("buffer imbalance: max %.1f s, mean %.1f s\n", m.MaxImbalance.Seconds(), m.MeanImbalance.Seconds())
 	fmt.Printf("QoE score:       %.2f\n", m.Score)
+	if fo.rate > 0 || len(sess.Result.Faults) > 0 {
+		fmt.Printf("faults:          %d (%d retries, %d failovers, %.1f KB wasted)\n",
+			len(sess.Result.Faults), sess.Result.Retries, len(sess.Result.Failovers),
+			float64(sess.Result.WastedFaultBytes())/1000)
+	}
+	if sess.Result.Aborted {
+		fmt.Printf("ABORTED:         %s\n", sess.Result.AbortReason)
+	}
 
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)

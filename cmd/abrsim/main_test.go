@@ -9,7 +9,7 @@ import (
 
 func TestRunFixedBandwidth(t *testing.T) {
 	tl := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", tl, ""); err != nil {
+	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", tl, "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(tl)
@@ -29,20 +29,20 @@ func TestRunTraceFile(t *testing.T) {
 	if err := os.WriteFile(traceFile, []byte("0,900\n30,300\n#cycle,60\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("shaka", 0, traceFile, "", "drama", "hall", "", "", ""); err != nil {
+	if err := run("shaka", 0, traceFile, "", "drama", "hall", "", "", "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAudioFirst(t *testing.T) {
-	if err := run("exoplayer-hls", 2000, "", "", "drama", "hsub", "A3", "", ""); err != nil {
+	if err := run("exoplayer-hls", 2000, "", "", "drama", "hsub", "A3", "", "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunContentVariants(t *testing.T) {
 	for _, c := range []string{"drama-low-audio", "drama-high-audio"} {
-		if err := run("exoplayer-dash", 900, "", "", c, "hsub", "", "", ""); err != nil {
+		if err := run("exoplayer-dash", 900, "", "", c, "hsub", "", "", "", faultOpts{}); err != nil {
 			t.Fatalf("%s: %v", c, err)
 		}
 	}
@@ -62,7 +62,7 @@ func TestRunErrors(t *testing.T) {
 		{name: "missing trace", player: "shaka", content: "drama", manifest: "hsub", traceF: "/nonexistent.csv"},
 	}
 	for _, tc := range cases {
-		if err := run(tc.player, tc.kbps, tc.traceF, "", tc.content, tc.manifest, tc.audioFirst, tc.timeline, ""); err == nil {
+		if err := run(tc.player, tc.kbps, tc.traceF, "", tc.content, tc.manifest, tc.audioFirst, tc.timeline, "", faultOpts{}); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -70,7 +70,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunJSONExport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "session.json")
-	if err := run("mpc-joint", 1300, "", "", "drama", "hsub", "", "", out); err != nil {
+	if err := run("mpc-joint", 1300, "", "", "drama", "hsub", "", "", out, faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -86,19 +86,41 @@ func TestRunJSONExport(t *testing.T) {
 }
 
 func TestRunNamedProfile(t *testing.T) {
-	if err := run("shaka", 0, "", "fig4a", "drama", "hall", "", "", ""); err != nil {
+	if err := run("shaka", 0, "", "fig4a", "drama", "hall", "", "", "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("shaka", 0, "", "bogus", "drama", "hall", "", "", ""); err == nil {
+	if err := run("shaka", 0, "", "bogus", "drama", "hall", "", "", "", faultOpts{}); err == nil {
 		t.Error("unknown profile should fail")
 	}
 }
 
-func TestRunCompare(t *testing.T) {
-	if err := runCompare(900, "", "", "drama", "hsub", "", 0); err != nil {
+func TestPlayOnceFaultFlags(t *testing.T) {
+	fo := faultOpts{rate: 0.01, seed: 1009}
+	on, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", fo)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(0, "", "", "drama", "hsub", "", 1); err == nil {
+	if on.Result.Aborted {
+		t.Fatalf("policy-on run aborted: %s", on.Result.AbortReason)
+	}
+	if len(on.Result.Faults) == 0 {
+		t.Fatal("fault injection flags had no effect: no faults recorded")
+	}
+	fo.noRetry = true
+	off, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !off.Result.Aborted {
+		t.Error("-no-retry run survived a fault sequence that should abort it")
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := runCompare(900, "", "", "drama", "hsub", "", 0, faultOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(0, "", "", "drama", "hsub", "", 1, faultOpts{}); err == nil {
 		t.Error("compare without bandwidth should fail")
 	}
 }

@@ -51,6 +51,7 @@ func main() {
 		{"chunkdur", chunkdur}, {"crosstraffic", crosstraffic}, {"muxed", muxed},
 		{"verify", verify}, {"language", language},
 		{"seeds", seeds}, {"startup", startup}, {"pareto", pareto},
+		{"resilience", resilience},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -457,5 +458,21 @@ func cdn(string) error {
 	for _, p := range cdnsim.CacheSweepParallel(content, pop, []int64{32 << 20, 128 << 20, 512 << 20}, parallelN) {
 		fmt.Printf("  %4d MB %s: %.3f\n", p.CacheBytes>>20, p.Mode, p.Stats.ByteHitRatio())
 	}
+	return nil
+}
+
+func resilience(string) error {
+	points, err := experiments.ResilienceSweepParallel(experiments.DefaultFaultRates(), parallelN)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fault resilience on the varying-600 trace (seed %d, default policy):\n", experiments.ResilienceSeed)
+	experiments.PrintResilience(os.Stdout, points)
+	fmt.Println()
+	on, off, err := experiments.PolicyResilience()
+	if err != nil {
+		return err
+	}
+	experiments.PrintPolicyResilience(os.Stdout, on, off)
 	return nil
 }

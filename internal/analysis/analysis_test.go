@@ -268,6 +268,80 @@ func goodPrint(s []string) {
 			want: nil,
 		},
 		{
+			// The HLSManifest.NumChunks bug: return the segment count of
+			// whichever track the runtime happens to iterate first.
+			name: "unconditional return of a map entry",
+			src: `package fix
+
+func numChunks(m map[string][]string) int {
+	for _, segs := range m {
+		return len(segs)
+	}
+	return 0
+}
+`,
+			want: []string{"maporder"},
+		},
+		{
+			name: "unconditional return behind plain statements",
+			src: `package fix
+
+func first(m map[string]int) int {
+	for k, v := range m {
+		_ = k
+		n := v * 2
+		return n + v
+	}
+	return 0
+}
+`,
+			want: []string{"maporder"},
+		},
+		{
+			name: "conditional return is a legitimate search",
+			src: `package fix
+
+func find(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k
+		}
+	}
+	return ""
+}
+`,
+			want: nil,
+		},
+		{
+			name: "return independent of loop variables",
+			src: `package fix
+
+func nonEmpty(m map[string]int) bool {
+	for range m {
+		return true
+	}
+	return false
+}
+`,
+			want: nil,
+		},
+		{
+			name: "order-insensitive reduction is fine",
+			src: `package fix
+
+func minLen(m map[string][]string) int {
+	n := -1
+	for _, segs := range m {
+		if n < 0 || len(segs) < n {
+			n = len(segs)
+		}
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
 			name: "suppressed with reason",
 			src: `package fix
 

@@ -9,8 +9,10 @@ import (
 // NewMapOrder builds the maporder analyzer: it flags `for range` over a
 // map whose body accumulates into a slice declared outside the loop (or
 // prints directly) when no sort of that slice follows in the same
-// function. Map iteration order is randomized per run, so such loops make
-// figure and report output differ between identical invocations.
+// function, and unconditional `return` statements inside the body whose
+// value depends on the loop variables. Map iteration order is randomized
+// per run, so the former makes figure and report output differ between
+// identical invocations and the latter returns an arbitrary map entry.
 func NewMapOrder() *Analyzer {
 	return &Analyzer{
 		Name: "maporder",
@@ -62,6 +64,10 @@ func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
 		if pos, fn := printsInside(pass, rng); pos != token.NoPos {
 			pass.Reportf(pos, Warning,
 				"map range calls %s directly: iteration order is randomized per run, making printed output non-reproducible", fn)
+		}
+		if pos := unconditionalReturn(rng); pos != token.NoPos {
+			pass.Reportf(pos, Warning,
+				"map range returns a value derived from its loop variables on the first iteration: iteration order is randomized per run, so an arbitrary entry is returned")
 		}
 		return true
 	})
@@ -215,6 +221,48 @@ func printsInside(pass *Pass, rng *ast.RangeStmt) (token.Pos, string) {
 		return true
 	})
 	return pos, fn
+}
+
+// unconditionalReturn finds a `return` that executes on the loop's first
+// iteration — a direct statement of the range body (possibly behind plain
+// block nesting, never behind if/switch/select) — whose result mentions a
+// loop variable. Returns behind a condition are a legitimate search over
+// the map and stay unflagged.
+func unconditionalReturn(rng *ast.RangeStmt) token.Pos {
+	loopVars := map[string]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			loopVars[id.Name] = true
+		}
+	}
+	if len(loopVars) == 0 {
+		return token.NoPos
+	}
+	stmts := rng.Body.List
+	for len(stmts) > 0 {
+		switch st := stmts[0].(type) {
+		case *ast.BlockStmt:
+			stmts = append(append([]ast.Stmt{}, st.List...), stmts[1:]...)
+			continue
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				for name := range loopVars {
+					if mentionsIdent(res, name) {
+						return st.Pos()
+					}
+				}
+			}
+			return token.NoPos
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.ExprStmt, *ast.IncDecStmt:
+			// Straight-line statements cannot skip a following return.
+			stmts = stmts[1:]
+			continue
+		}
+		// Anything with control flow (if, for, switch, ...) makes a later
+		// return conditional enough: stop.
+		return token.NoPos
+	}
+	return token.NoPos
 }
 
 // isPrintName matches fmt's printing functions (not Sprintf-style, whose

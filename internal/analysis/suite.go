@@ -13,6 +13,9 @@ var SimPackagePrefixes = []string{
 	"demuxabr/internal/cdnsim",
 	"demuxabr/internal/trace",
 	"demuxabr/internal/media",
+	// Fault plans are part of the simulated world: every injected failure
+	// must derive from the plan's seed, never from wall time or math/rand.
+	"demuxabr/internal/faults",
 	// runpool fans sessions out across goroutines — concurrency is its
 	// whole point and is allowed; wall-clock reads and unseeded randomness
 	// inside its jobs would still break replay determinism and are banned

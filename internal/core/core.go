@@ -18,6 +18,7 @@ import (
 	"demuxabr/internal/abr/exoplayer"
 	"demuxabr/internal/abr/jointabr"
 	"demuxabr/internal/abr/shaka"
+	"demuxabr/internal/faults"
 	"demuxabr/internal/manifest/dash"
 	"demuxabr/internal/manifest/hls"
 	"demuxabr/internal/media"
@@ -220,6 +221,15 @@ type Spec struct {
 	// Muxed streams each combination as one combined object (the paper's
 	// muxed packaging baseline). Requires a joint player model.
 	Muxed bool
+	// Faults injects seeded download failures and link blackouts (demuxed
+	// sessions only).
+	Faults *faults.Plan
+	// Robustness enables retries, blacklisting and failover; nil keeps the
+	// legacy fail-fast behaviour (the session aborts on the first fault).
+	Robustness *faults.Policy
+	// Deadline overrides the engine's default session deadline when
+	// non-zero.
+	Deadline time.Duration
 }
 
 // Session is a finished run: the raw result plus derived metrics.
@@ -264,6 +274,9 @@ func Play(spec Spec) (*Session, error) {
 		StartupBuffer: spec.StartupBuffer,
 		ResumeBuffer:  spec.ResumeBuffer,
 		Muxed:         spec.Muxed,
+		FaultPlan:     spec.Faults,
+		Robustness:    spec.Robustness,
+		Deadline:      spec.Deadline,
 	})
 	if err != nil {
 		return nil, err

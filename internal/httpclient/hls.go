@@ -31,12 +31,37 @@ type HLSManifest struct {
 	segURIs map[string][]string // track ID -> per-chunk URIs
 }
 
-// NumChunks implements Source.
+// NumChunks implements Source. Media playlists can disagree on segment
+// count (an encoder cut one track short); only positions every track can
+// serve are playable, so the minimum across tracks governs.
 func (m *HLSManifest) NumChunks() int {
+	n := -1
 	for _, uris := range m.segURIs {
-		return len(uris)
+		if n < 0 || len(uris) < n {
+			n = len(uris)
+		}
 	}
-	return 0
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Tracks implements Source: the distinct tracks of one type in manifest
+// order (video from the variant list, audio from the rendition order).
+func (m *HLSManifest) Tracks(t media.Type) []*media.Track {
+	if t == media.Audio {
+		return m.AudioOrder
+	}
+	var out []*media.Track
+	seen := make(map[string]bool)
+	for _, v := range m.Variants {
+		if v.Video != nil && !seen[v.Video.ID] {
+			seen[v.Video.ID] = true
+			out = append(out, v.Video)
+		}
+	}
+	return out
 }
 
 // ChunkDur implements Source.
@@ -173,7 +198,7 @@ func get(ctx context.Context, client *http.Client, url string) (io.ReadCloser, e
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
+		drainAndClose(resp.Body)
 		return nil, fmt.Errorf("httpclient: %s: %s", url, resp.Status)
 	}
 	return resp.Body, nil

@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"demuxabr/internal/abr"
+	"demuxabr/internal/faults"
 	"demuxabr/internal/manifest/dash"
 	"demuxabr/internal/media"
 )
@@ -25,8 +27,10 @@ type Manifest struct {
 	Audio         media.Ladder
 	Duration      time.Duration
 	ChunkDuration time.Duration
-	// segmentTemplate maps (representation ID, index) to a URL path.
-	mediaTemplate string
+	// mediaTemplates holds each AdaptationSet's SegmentTemplate media
+	// pattern, indexed by media.Type — segment addressing never assumes
+	// anything about the path layout beyond the $…$ substitutions.
+	mediaTemplates [2]string
 }
 
 // NumChunks returns the chunk count.
@@ -38,24 +42,41 @@ func (m *Manifest) NumChunks() int {
 	return n
 }
 
-// SegmentPath expands the MPD's SegmentTemplate for a track and index into
-// the origin-relative path.
+// SegmentPath expands the track's SegmentTemplate for an index into the
+// origin-relative path.
 func (m *Manifest) SegmentPath(tr *media.Track, idx int) string {
-	p := strings.ReplaceAll(m.mediaTemplate, "$RepresentationID$", tr.ID)
-	p = strings.ReplaceAll(p, "$Number$", fmt.Sprintf("%d", idx))
-	return strings.ReplaceAll(p, "$TYPE$", tr.Type.String())
+	p := strings.ReplaceAll(m.mediaTemplates[tr.Type], "$RepresentationID$", tr.ID)
+	return strings.ReplaceAll(p, "$Number$", strconv.Itoa(idx))
 }
 
 // ChunkDur implements Source.
 func (m *Manifest) ChunkDur() time.Duration { return m.ChunkDuration }
 
+// Tracks implements Source: the ladder of one type, ascending bitrate.
+func (m *Manifest) Tracks(t media.Type) []*media.Track {
+	if t == media.Video {
+		return m.Video
+	}
+	return m.Audio
+}
+
 // Source is the client's addressing view of a stream: how many chunks, how
-// long each is, and where each track's segments live. Both the DASH
-// Manifest and the HLSManifest implement it.
+// long each is, where each track's segments live, and which tracks exist
+// (the robustness policy's failover candidates). Both the DASH Manifest
+// and the HLSManifest implement it.
 type Source interface {
 	NumChunks() int
 	ChunkDur() time.Duration
 	SegmentPath(tr *media.Track, idx int) string
+	Tracks(t media.Type) []*media.Track
+}
+
+// drainAndClose consumes up to 64 KiB of a response body before closing so
+// the keep-alive connection can be reused — exactly the error-heavy paths
+// where reconnecting hurts most.
+func drainAndClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	body.Close()
 }
 
 // FetchManifest downloads and parses baseURL/manifest.mpd. A nil client
@@ -74,6 +95,7 @@ func FetchManifest(ctx context.Context, client *http.Client, baseURL string) (*M
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		drainAndClose(resp.Body)
 		return nil, fmt.Errorf("httpclient: manifest: %s", resp.Status)
 	}
 	mpd, err := dash.Parse(resp.Body)
@@ -88,23 +110,40 @@ func FetchManifest(ctx context.Context, client *http.Client, baseURL string) (*M
 	if err != nil {
 		return nil, err
 	}
-	st := mpd.Periods[0].AdaptationSets[0].SegmentTemplate
-	if st == nil || st.Timescale == 0 {
-		return nil, fmt.Errorf("httpclient: MPD lacks a usable SegmentTemplate")
+	m := &Manifest{Video: video, Audio: audio, Duration: dur}
+	// Each AdaptationSet carries its own SegmentTemplate; the set's
+	// declared content type says which ladder it addresses. No assumption
+	// is made about the template's path shape.
+	for i, as := range mpd.Periods[0].AdaptationSets {
+		var typ media.Type
+		switch as.ContentType {
+		case "video":
+			typ = media.Video
+		case "audio":
+			typ = media.Audio
+		default:
+			return nil, fmt.Errorf("httpclient: AdaptationSet %d has unsupported contentType %q", i, as.ContentType)
+		}
+		st := as.SegmentTemplate
+		if st == nil || st.Timescale == 0 {
+			return nil, fmt.Errorf("httpclient: %s AdaptationSet lacks a usable SegmentTemplate", as.ContentType)
+		}
+		if !strings.Contains(st.Media, "$RepresentationID$") || !strings.Contains(st.Media, "$Number$") {
+			return nil, fmt.Errorf("httpclient: cannot address segments with media template %q (need $RepresentationID$ and $Number$)", st.Media)
+		}
+		chunk := time.Duration(st.Duration) * time.Second / time.Duration(st.Timescale)
+		if chunk <= 0 {
+			return nil, fmt.Errorf("httpclient: non-positive chunk duration")
+		}
+		if m.ChunkDuration == 0 {
+			m.ChunkDuration = chunk
+		}
+		m.mediaTemplates[typ] = st.Media
 	}
-	chunk := time.Duration(st.Duration) * time.Second / time.Duration(st.Timescale)
-	if chunk <= 0 {
-		return nil, fmt.Errorf("httpclient: non-positive chunk duration")
+	if m.mediaTemplates[media.Video] == "" || m.mediaTemplates[media.Audio] == "" {
+		return nil, fmt.Errorf("httpclient: MPD must declare one video and one audio AdaptationSet")
 	}
-	tmpl := st.Media
-	tmpl = strings.TrimPrefix(tmpl, "video/")
-	return &Manifest{
-		Video:         video,
-		Audio:         audio,
-		Duration:      dur,
-		ChunkDuration: chunk,
-		mediaTemplate: "$TYPE$/" + tmpl,
-	}, nil
+	return m, nil
 }
 
 // Config parameterizes a streaming run.
@@ -121,14 +160,36 @@ type Config struct {
 	HTTPClient *http.Client
 	// MaxChunks limits the session length (0 = whole content).
 	MaxChunks int
+	// Robustness enables per-request timeouts, seeded-backoff retries,
+	// per-track blacklisting and failover. Nil keeps the legacy fail-fast
+	// behaviour: the first fetch error ends the session.
+	Robustness *faults.Policy
+	// RetrySeed keys the backoff jitter (default 1).
+	RetrySeed int64
 }
 
 // ChunkFetch records one downloaded chunk.
 type ChunkFetch struct {
-	Index    int
+	Index int
+	// Combo is the pair actually fetched — after any failover, which may
+	// differ from what the model selected.
 	Combo    media.Combo
 	Bytes    int64
 	Duration time.Duration
+}
+
+// FaultRecord is one failed segment request on the real HTTP path.
+type FaultRecord struct {
+	// Path is the segment path that failed; Type and Index locate it.
+	Path  string
+	Type  media.Type
+	Index int
+	// Attempt is which try failed (0 = the first request to this track).
+	Attempt int
+	// At is the offset from session start.
+	At time.Duration
+	// Err is the failure's error string.
+	Err string
 }
 
 // Report summarizes a real-time streaming session.
@@ -140,9 +201,18 @@ type Report struct {
 	// stalled (playback clock caught up with the downloaded frontier).
 	Rebuffered   time.Duration
 	StartupDelay time.Duration
+	// Faults lists every failed segment request, in detection order.
+	Faults []FaultRecord
+	// Retries counts re-issued requests; Failovers counts track
+	// substitutions after a track's attempt budget was spent.
+	Retries   int
+	Failovers int
 }
 
-// Stream plays the source's content from the origin in real time.
+// Stream plays the source's content from the origin in real time. On
+// error it returns the partial Report accumulated so far (chunks fetched,
+// stall time, fault log) alongside the error — never nil with a non-nil
+// error once the session has started.
 func Stream(ctx context.Context, m Source, cfg Config) (*Report, error) {
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("httpclient: nil model")
@@ -161,6 +231,12 @@ func Stream(ctx context.Context, m Source, cfg Config) (*Report, error) {
 	chunkDur := m.ChunkDur()
 	rep := &Report{}
 	begin := time.Now()
+	s := &streamer{cfg: cfg, client: client, src: m, rep: rep, begin: begin}
+	if cfg.Robustness != nil {
+		pol := cfg.Robustness.WithDefaults()
+		s.pol = &pol
+		s.bl = faults.NewBlacklist()
+	}
 	var frontier time.Duration // downloaded content
 	var playStart time.Time    // set at first chunk
 	var stalled time.Duration
@@ -178,10 +254,18 @@ func Stream(ctx context.Context, m Source, cfg Config) (*Report, error) {
 		}
 		return pos
 	}
+	// finish stamps the totals so even an error return carries the partial
+	// session.
+	finish := func(err error) (*Report, error) {
+		playPos(time.Now())
+		rep.Elapsed = time.Since(begin)
+		rep.Rebuffered = stalled
+		return rep, err
+	}
 
 	for idx := 0; idx < n; idx++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return finish(err)
 		}
 		now := time.Now()
 		pos := playPos(now)
@@ -197,13 +281,13 @@ func Stream(ctx context.Context, m Source, cfg Config) (*Report, error) {
 		}
 		combo := cfg.Model.SelectCombo(st)
 		if combo.Video == nil || combo.Audio == nil {
-			return nil, fmt.Errorf("httpclient: model returned incomplete combo at chunk %d", idx)
+			return finish(fmt.Errorf("httpclient: model returned incomplete combo at chunk %d", idx))
 		}
-		bytes, dur, err := fetchPair(ctx, client, cfg, m, combo, idx)
+		bytes, dur, fetched, err := s.fetchPair(ctx, combo, idx)
 		if err != nil {
-			return nil, err
+			return finish(err)
 		}
-		rep.Chunks = append(rep.Chunks, ChunkFetch{Index: idx, Combo: combo, Bytes: bytes, Duration: dur})
+		rep.Chunks = append(rep.Chunks, ChunkFetch{Index: idx, Combo: fetched, Bytes: bytes, Duration: dur})
 		rep.TotalBytes += bytes
 		frontier += chunkDur
 		if playStart.IsZero() {
@@ -214,65 +298,228 @@ func Stream(ctx context.Context, m Source, cfg Config) (*Report, error) {
 		if excess := (frontier - playPos(time.Now())) - cfg.TargetBuffer; excess > 0 {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return finish(ctx.Err())
 			case <-time.After(excess):
 			}
 		}
 	}
-	playPos(time.Now())
-	rep.Elapsed = time.Since(begin)
-	rep.Rebuffered = stalled
-	return rep, nil
+	return finish(nil)
+}
+
+// streamer carries one session's shared state. ABR models are
+// intentionally unsynchronized (the simulator is single-threaded), so
+// every observer call is serialized behind obs; mu guards the report
+// counters and the blacklist.
+type streamer struct {
+	cfg    Config
+	client *http.Client
+	src    Source
+	pol    *faults.Policy // normalized; nil = fail fast
+	begin  time.Time
+
+	obs sync.Mutex
+	mu  sync.Mutex
+	bl  *faults.Blacklist
+	rep *Report
+}
+
+func (s *streamer) retrySeed() int64 {
+	if s.cfg.RetrySeed != 0 {
+		return s.cfg.RetrySeed
+	}
+	return 1
 }
 
 // fetchPair downloads the audio and video chunk of one position
-// concurrently, feeding the model's observer hooks. ABR models are
-// intentionally unsynchronized (the simulator is single-threaded), so the
-// client serializes every observer call behind one mutex.
-func fetchPair(ctx context.Context, client *http.Client, cfg Config, m Source, combo media.Combo, idx int) (int64, time.Duration, error) {
+// concurrently. It returns the combination actually fetched, which may
+// differ from the model's selection after a failover.
+func (s *streamer) fetchPair(ctx context.Context, combo media.Combo, idx int) (int64, time.Duration, media.Combo, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var obs sync.Mutex
 	var total int64
 	var firstErr error
+	fetched := combo
 	for _, tr := range []*media.Track{combo.Video, combo.Audio} {
 		tr := tr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			bytes, err := fetchOne(ctx, client, cfg, m, tr, idx, &obs)
+			bytes, used, err := s.fetchTrack(ctx, tr, idx)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 			total += bytes
+			if used != nil {
+				if used.Type == media.Video {
+					fetched.Video = used
+				} else {
+					fetched.Audio = used
+				}
+			}
 		}()
 	}
 	wg.Wait()
-	return total, time.Since(start), firstErr
+	return total, time.Since(start), fetched, firstErr
 }
 
-func fetchOne(ctx context.Context, client *http.Client, cfg Config, m Source, tr *media.Track, idx int, obs *sync.Mutex) (int64, error) {
-	path := m.SegmentPath(tr, idx)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/"+path, nil)
+// fetchTrack is the per-track load-error handler: fetch with a per-request
+// timeout, retry with seeded backoff while the attempt budget lasts,
+// blacklist repeat offenders, and fail over to the nearest healthy track.
+// Without a policy the first error is final. The other media type's
+// goroutine streams on regardless — one failing track never halts its
+// sibling.
+func (s *streamer) fetchTrack(ctx context.Context, tr *media.Track, idx int) (int64, *media.Track, error) {
+	track := tr
+	attempt := 0
+	for {
+		if s.pol != nil && s.blocked(track.ID) {
+			if repl := s.failover(track); repl != nil && repl != track {
+				s.count(func(r *Report) { r.Failovers++ })
+				track = repl
+				attempt = 0
+			}
+		}
+		reqCtx := ctx
+		cancel := func() {}
+		if s.pol != nil && s.pol.RequestTimeout > 0 {
+			reqCtx, cancel = context.WithTimeout(ctx, s.pol.RequestTimeout)
+		}
+		n, err := s.fetchOne(reqCtx, track, idx)
+		cancel()
+		if err == nil {
+			if s.pol != nil {
+				s.mu.Lock()
+				s.bl.Clear(track.ID)
+				s.mu.Unlock()
+			}
+			return n, track, nil
+		}
+		now := time.Since(s.begin)
+		s.count(func(r *Report) {
+			r.Faults = append(r.Faults, FaultRecord{
+				Path: s.src.SegmentPath(track, idx), Type: track.Type, Index: idx,
+				Attempt: attempt, At: now, Err: err.Error(),
+			})
+		})
+		if ctx.Err() != nil || s.pol == nil {
+			return n, track, err
+		}
+		s.mu.Lock()
+		blocked := s.bl.Strike(track.ID, now, *s.pol)
+		s.mu.Unlock()
+		key := faults.Key(s.retrySeed(), track.ID, idx)
+		if !blocked && attempt+1 < s.pol.MaxAttempts {
+			s.count(func(r *Report) { r.Retries++ })
+			if serr := sleepCtx(ctx, s.pol.Backoff(attempt, key)); serr != nil {
+				return n, track, serr
+			}
+			attempt++
+			continue
+		}
+		repl := s.failover(track)
+		if repl == nil || repl == track {
+			return n, track, fmt.Errorf("httpclient: no failover candidate left for %s chunk %d: %w", track.ID, idx, err)
+		}
+		s.count(func(r *Report) { r.Failovers++; r.Retries++ })
+		if serr := sleepCtx(ctx, s.pol.Backoff(attempt, key)); serr != nil {
+			return n, track, serr
+		}
+		track = repl
+		attempt = 0
+	}
+}
+
+// count runs a report mutation under the state lock.
+func (s *streamer) count(fn func(*Report)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.rep)
+}
+
+func (s *streamer) blocked(trackID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bl.Blocked(trackID, time.Since(s.begin))
+}
+
+// failover picks the substitute for a failing track: the highest
+// non-blacklisted candidate at or below the failed bitrate, else the
+// cheapest non-blacklisted one, else nil.
+func (s *streamer) failover(failed *media.Track) *media.Track {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Since(s.begin)
+	var lower, lowest *media.Track
+	for _, tr := range s.src.Tracks(failed.Type) {
+		if tr == failed || s.bl.Blocked(tr.ID, now) {
+			continue
+		}
+		if lowest == nil || tr.AvgBitrate < lowest.AvgBitrate {
+			lowest = tr
+		}
+		if tr.AvgBitrate <= failed.AvgBitrate && (lower == nil || tr.AvgBitrate > lower.AvgBitrate) {
+			lower = tr
+		}
+	}
+	if lower != nil {
+		return lower
+	}
+	return lowest
+}
+
+// sleepCtx waits d or until the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (s *streamer) fetchOne(ctx context.Context, tr *media.Track, idx int) (int64, error) {
+	path := s.src.SegmentPath(tr, idx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.BaseURL+"/"+path, nil)
 	if err != nil {
 		return 0, err
 	}
 	begin := time.Now()
 	observe := func(fn func()) {
-		obs.Lock()
-		defer obs.Unlock()
+		s.obs.Lock()
+		defer s.obs.Unlock()
 		fn()
 	}
-	observe(func() { cfg.Model.OnStart(abr.TransferInfo{Type: tr.Type, At: time.Since(begin)}) })
-	resp, err := client.Do(req)
+	observe(func() { s.cfg.Model.OnStart(abr.TransferInfo{Type: tr.Type, At: time.Since(begin)}) })
+	// closeOut balances the OnStart for every exit path so observers that
+	// pair start/complete events stay consistent; failed requests report
+	// the bytes that did arrive.
+	closeOut := func(total int64) {
+		observe(func() {
+			s.cfg.Model.OnComplete(abr.TransferInfo{
+				Type:     tr.Type,
+				Bytes:    float64(total),
+				Duration: time.Since(begin),
+				At:       time.Since(begin),
+			})
+		})
+	}
+	resp, err := s.client.Do(req)
 	if err != nil {
+		closeOut(0)
 		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		drainAndClose(resp.Body)
+		closeOut(0)
 		return 0, fmt.Errorf("httpclient: %s: %s", path, resp.Status)
 	}
 	var total int64
@@ -284,7 +531,7 @@ func fetchOne(ctx context.Context, client *http.Client, cfg Config, m Source, tr
 			total += int64(nr)
 			now := time.Now()
 			observe(func() {
-				cfg.Model.OnProgress(abr.TransferInfo{
+				s.cfg.Model.OnProgress(abr.TransferInfo{
 					Type:     tr.Type,
 					Bytes:    float64(nr),
 					Duration: now.Sub(lastReport),
@@ -297,16 +544,16 @@ func fetchOne(ctx context.Context, client *http.Client, cfg Config, m Source, tr
 			break
 		}
 		if rerr != nil {
+			closeOut(total)
 			return total, rerr
 		}
 	}
-	observe(func() {
-		cfg.Model.OnComplete(abr.TransferInfo{
-			Type:     tr.Type,
-			Bytes:    float64(total),
-			Duration: time.Since(begin),
-			At:       time.Since(begin),
-		})
-	})
+	// A body shorter than the declared length is a truncated download,
+	// not a success — Body.Read returns clean EOF in that case.
+	if resp.ContentLength >= 0 && total < resp.ContentLength {
+		closeOut(total)
+		return total, fmt.Errorf("httpclient: %s: truncated body (%d of %d bytes)", path, total, resp.ContentLength)
+	}
+	closeOut(total)
 	return total, nil
 }

@@ -24,6 +24,15 @@ type Link struct {
 	active     []*Transfer
 	lastUpdate time.Duration
 	wake       *Event // pending recompute (completion or profile breakpoint)
+
+	// outages are blackout windows during which capacity is zero
+	// regardless of the profile (fault-injection link failures).
+	outages []outageWindow
+}
+
+// outageWindow is one half-open blackout interval.
+type outageWindow struct {
+	start, stop time.Duration
 }
 
 // NewLink creates a link driven by the engine with the given capacity
@@ -41,8 +50,43 @@ func (l *Link) Engine() *Engine { return l.eng }
 // ActiveTransfers returns the number of currently transferring flows.
 func (l *Link) ActiveTransfers() int { return len(l.active) }
 
-// RateAt exposes the link capacity at time t.
-func (l *Link) RateAt(t time.Duration) float64 { return float64(l.profile.RateAt(t)) }
+// RateAt exposes the link capacity at time t (zero inside an outage).
+func (l *Link) RateAt(t time.Duration) float64 { return l.rateAt(t) }
+
+// AddOutage blacks the link out over [start, stop): capacity drops to zero
+// regardless of the profile, modelling a last-mile or radio-layer failure.
+// In-flight transfers stall and resume when the window ends; pair with a
+// request timeout to model clients that give up instead. Call before the
+// window opens — retroactive outages do not re-integrate past traffic.
+func (l *Link) AddOutage(start, stop time.Duration) {
+	if stop <= start {
+		return
+	}
+	l.outages = append(l.outages, outageWindow{start: start, stop: stop})
+}
+
+// rateAt is the effective capacity: the profile's rate, masked by outages.
+func (l *Link) rateAt(t time.Duration) float64 {
+	for _, w := range l.outages {
+		if t >= w.start && t < w.stop {
+			return 0
+		}
+	}
+	return float64(l.profile.RateAt(t))
+}
+
+// nextChange merges the profile's next breakpoint with outage boundaries.
+func (l *Link) nextChange(t time.Duration) (time.Duration, bool) {
+	next, ok := l.profile.NextChange(t)
+	for _, w := range l.outages {
+		for _, edge := range [2]time.Duration{w.start, w.stop} {
+			if edge > t && (!ok || edge < next) {
+				next, ok = edge, true
+			}
+		}
+	}
+	return next, ok
+}
 
 // Transfer is one in-flight download over the link.
 type Transfer struct {
@@ -217,7 +261,7 @@ func (l *Link) advance() {
 		return
 	}
 	if len(l.active) > 0 {
-		rate := float64(l.profile.RateAt(l.lastUpdate))
+		rate := l.rateAt(l.lastUpdate)
 		totalWeight := 0.0
 		for _, tr := range l.active {
 			totalWeight += tr.weight
@@ -285,11 +329,11 @@ func (l *Link) reschedule() {
 	}
 	now := l.eng.Now()
 	next := time.Duration(math.MaxInt64)
-	if bp, ok := l.profile.NextChange(now); ok && bp < next {
+	if bp, ok := l.nextChange(now); ok && bp < next {
 		next = bp
 	}
 	{
-		rate := float64(l.profile.RateAt(now))
+		rate := l.rateAt(now)
 		if rate > 0 {
 			totalWeight := 0.0
 			for _, tr := range l.active {

@@ -561,3 +561,47 @@ func TestCrossTrafficNoOpInputs(t *testing.T) {
 		t.Error("no-op cross traffic left active transfers")
 	}
 }
+
+func TestOutageStallsTransfer(t *testing.T) {
+	// 1 Mbps link with a blackout over [1s, 3s). A 250000-byte (2 Mbit)
+	// transfer moves 1 Mbit in the first second, stalls for 2 s, and
+	// finishes the second Mbit by t=4 s.
+	eng := NewEngine()
+	link := NewLink(eng, trace.Fixed(media.Kbps(1000)))
+	link.AddOutage(1*time.Second, 3*time.Second)
+	var got *Transfer
+	link.Start(250000, StartOptions{OnComplete: func(tr *Transfer) { got = tr }})
+	if err := eng.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("transfer did not complete")
+	}
+	if math.Abs(got.Finished().Seconds()-4.0) > 1e-6 {
+		t.Errorf("finished at %v, want 4s", got.Finished())
+	}
+}
+
+func TestOutageZeroesRateAt(t *testing.T) {
+	eng := NewEngine()
+	link := NewLink(eng, trace.Fixed(media.Kbps(1000)))
+	link.AddOutage(2*time.Second, 5*time.Second)
+	if r := link.RateAt(1 * time.Second); r <= 0 {
+		t.Errorf("rate before outage = %v, want > 0", r)
+	}
+	if r := link.RateAt(3 * time.Second); r != 0 {
+		t.Errorf("rate inside outage = %v, want 0", r)
+	}
+	if r := link.RateAt(5 * time.Second); r <= 0 {
+		t.Errorf("rate at outage end = %v, want > 0 (half-open window)", r)
+	}
+}
+
+func TestOutageInvalidWindowIgnored(t *testing.T) {
+	eng := NewEngine()
+	link := NewLink(eng, trace.Fixed(media.Kbps(1000)))
+	link.AddOutage(3*time.Second, 3*time.Second)
+	if r := link.RateAt(3 * time.Second); r <= 0 {
+		t.Errorf("empty outage window changed the rate: %v", r)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"demuxabr/internal/faults"
 	"demuxabr/internal/manifest/dash"
 	"demuxabr/internal/manifest/hls"
 	"demuxabr/internal/media"
@@ -86,6 +87,16 @@ type Options struct {
 	AudioOrder []*media.Track
 	// WriteQuantum is the shaped write size (default 8 KiB).
 	WriteQuantum int
+	// Faults makes the origin misbehave on segment requests according to
+	// the plan: 404/503 responses, connection resets, response timeouts,
+	// truncated bodies. Nil serves faithfully. The per-segment attempt
+	// counter feeds the plan's persistence, so a client that retries
+	// eventually succeeds on transient faults.
+	Faults *faults.Plan
+	// FaultHold is how long a Timeout fault keeps the connection open
+	// without responding before dropping it (default 30 s; tests use
+	// small values so a timeout-less client eventually errors).
+	FaultHold time.Duration
 }
 
 // Server serves one content asset.
@@ -93,6 +104,9 @@ type Server struct {
 	content *media.Content
 	opts    Options
 	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	attempts map[string]int // per (track,idx) segment request count
 }
 
 // New creates the origin for a content asset.
@@ -103,7 +117,10 @@ func New(content *media.Content, opts Options) *Server {
 	if opts.WriteQuantum <= 0 {
 		opts.WriteQuantum = 8 * 1024
 	}
-	s := &Server{content: content, opts: opts, mux: http.NewServeMux()}
+	if opts.FaultHold <= 0 {
+		opts.FaultHold = 30 * time.Second
+	}
+	s := &Server{content: content, opts: opts, mux: http.NewServeMux(), attempts: make(map[string]int)}
 	s.mux.HandleFunc("GET /manifest.mpd", s.handleMPD)
 	s.mux.HandleFunc("GET /master.m3u8", s.handleMaster)
 	s.mux.HandleFunc("GET /combinations.json", s.handleCombinations)
@@ -192,9 +209,58 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request, typ media.
 		return
 	}
 	size := s.content.ChunkSize(tr, idx)
+	if s.opts.Faults != nil {
+		attempt := s.nextAttempt(tr.ID, idx)
+		if f, ok := s.opts.Faults.SegmentFault(tr.ID, idx, attempt); ok {
+			s.serveFault(w, r, f, tr, idx, size)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "video/iso.segment")
 	w.Header().Set("Content-Length", fmt.Sprintf("%d", size))
 	s.writeShaped(w, r, tr, idx, size)
+}
+
+// nextAttempt returns, and advances, the request count for one segment —
+// the attempt number the fault plan's persistence is evaluated against.
+func (s *Server) nextAttempt(trackID string, idx int) int {
+	key := trackID + "/" + strconv.Itoa(idx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.attempts[key]
+	s.attempts[key] = n + 1
+	return n
+}
+
+// serveFault realizes one planned fault on a live connection.
+func (s *Server) serveFault(w http.ResponseWriter, r *http.Request, f faults.Fault, tr *media.Track, idx int, size int64) {
+	switch f.Kind {
+	case faults.HTTP404:
+		http.Error(w, "injected fault: not found", http.StatusNotFound)
+	case faults.HTTP503:
+		http.Error(w, "injected fault: service unavailable", http.StatusServiceUnavailable)
+	case faults.Reset:
+		// Abort before any body bytes: net/http resets the connection.
+		panic(http.ErrAbortHandler)
+	case faults.Timeout:
+		// Hold the connection silently until the client gives up (or the
+		// hold expires), then reset — a response that never arrives.
+		select {
+		case <-r.Context().Done():
+		case <-time.After(s.opts.FaultHold):
+		}
+		panic(http.ErrAbortHandler)
+	case faults.Truncate:
+		// Promise the full length, deliver a fraction, then kill the
+		// connection mid-body.
+		w.Header().Set("Content-Type", "video/iso.segment")
+		w.Header().Set("Content-Length", fmt.Sprintf("%d", size))
+		partial := int64(float64(size) * f.Fraction)
+		s.writeShaped(w, r, tr, idx, partial)
+		panic(http.ErrAbortHandler)
+	default:
+		http.Error(w, "injected fault: unknown kind", http.StatusInternalServerError)
+	}
 }
 
 // writeShaped streams size bytes of deterministic payload through the

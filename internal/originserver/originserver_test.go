@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"demuxabr/internal/faults"
 	"demuxabr/internal/manifest/dash"
 	"demuxabr/internal/manifest/hls"
 	"demuxabr/internal/media"
@@ -169,5 +170,107 @@ func TestShapedSegmentDelivery(t *testing.T) {
 	wantMin := float64(size-8*1024) * 8 / 2_000_000 * 0.5
 	if elapsed < wantMin {
 		t.Errorf("shaped transfer took %.3fs, want >= %.3fs", elapsed, wantMin)
+	}
+}
+
+// --- Fault injection ------------------------------------------------------
+
+// faultedServer serves tinyContent with the given plan.
+func faultedServer(t *testing.T, plan *faults.Plan, hold time.Duration) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(tinyContent(), Options{Faults: plan, FaultHold: hold}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFaultHTTP404(t *testing.T) {
+	srv := faultedServer(t, &faults.Plan{Seed: 1, Rate: 1, Kinds: []faults.Kind{faults.HTTP404}}, 0)
+	resp, err := http.Get(srv.URL + "/video/V1/seg-0.m4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestFaultResetDropsConnection(t *testing.T) {
+	srv := faultedServer(t, &faults.Plan{Seed: 1, Rate: 1, Kinds: []faults.Kind{faults.Reset}}, 0)
+	resp, err := http.Get(srv.URL + "/video/V1/seg-0.m4s")
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.Fatal("reset fault produced a clean response")
+	}
+}
+
+func TestFaultTruncateCutsBodyShort(t *testing.T) {
+	srv := faultedServer(t, &faults.Plan{Seed: 1, Rate: 1, Kinds: []faults.Kind{faults.Truncate}}, 0)
+	resp, err := http.Get(srv.URL + "/video/V1/seg-0.m4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, rerr := io.Copy(io.Discard, resp.Body)
+	if rerr == nil && n >= resp.ContentLength {
+		t.Fatalf("truncate fault delivered the full body (%d of %d bytes, err=%v)", n, resp.ContentLength, rerr)
+	}
+	if n <= 0 {
+		t.Fatalf("truncate fault delivered no bytes at all")
+	}
+}
+
+func TestFaultTimeoutHoldsThenDrops(t *testing.T) {
+	srv := faultedServer(t, &faults.Plan{Seed: 1, Rate: 1, Kinds: []faults.Kind{faults.Timeout}}, 50*time.Millisecond)
+	begin := time.Now()
+	resp, err := http.Get(srv.URL + "/video/V1/seg-0.m4s")
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.Fatal("timeout fault produced a clean response")
+	}
+	if elapsed := time.Since(begin); elapsed < 40*time.Millisecond {
+		t.Fatalf("connection dropped after %v, want the fault hold (~50ms)", elapsed)
+	}
+}
+
+func TestFaultPersistenceClearsOnRetry(t *testing.T) {
+	// Rate 1 with persistence 1: the first request to each segment fails,
+	// the second succeeds — the attempt counter must make retries work.
+	srv := faultedServer(t, &faults.Plan{Seed: 1, Rate: 1, Kinds: []faults.Kind{faults.HTTP503}, MaxPersistence: 1}, 0)
+	url := srv.URL + "/audio/A1/seg-2.m4s"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first attempt status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second attempt status = %d, want 200", resp.StatusCode)
+	}
+	if n, _ := io.Copy(io.Discard, resp.Body); n == 0 {
+		t.Fatal("recovered segment has no body")
+	}
+}
+
+func TestNoFaultPlanServesCleanly(t *testing.T) {
+	srv := faultedServer(t, nil, 0)
+	resp, err := http.Get(srv.URL + "/video/V1/seg-0.m4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
 }

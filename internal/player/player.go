@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"demuxabr/internal/abr"
+	"demuxabr/internal/faults"
 	"demuxabr/internal/media"
 	"demuxabr/internal/netsim"
 )
@@ -76,6 +77,15 @@ type Config struct {
 	Deadline time.Duration
 	// MaxEvents bounds the simulation (safety). Default 20 million.
 	MaxEvents int
+	// FaultPlan injects deterministic per-segment download failures and
+	// applies the plan's blackout windows to the links. Nil injects
+	// nothing. Requires demuxed mode.
+	FaultPlan *faults.Plan
+	// Robustness is the download retry/failover policy: per-request
+	// timeout, seeded backoff, blacklisting, failover. Nil keeps the
+	// legacy fail-fast behaviour — the first download failure aborts the
+	// session (Result.Aborted). Requires demuxed mode.
+	Robustness *faults.Policy
 }
 
 func (c *Config) setDefaults() error {
@@ -146,6 +156,11 @@ type session struct {
 	inflight     [2]bool             // windowed mode: per-type transfer in flight
 	transfers    [2]*netsim.Transfer // most recent in-flight transfer per type
 
+	// Robustness state.
+	pol       *faults.Policy // normalized policy; nil = fail fast
+	blacklist *faults.Blacklist
+	gen       [2]int // per-type generation; bumped on reset to void stale retry timers
+
 	// Playback state.
 	started  bool
 	playing  bool
@@ -195,6 +210,22 @@ func RunSplit(videoLink, audioLink *netsim.Link, cfg Config) (*Result, error) {
 	s.abandoner, _ = cfg.Model.(abr.Abandoner)
 	if cfg.Muxed && s.joint == nil {
 		return nil, errors.New("player: muxed mode requires a JointAlgorithm")
+	}
+	if cfg.Muxed && (cfg.FaultPlan != nil || cfg.Robustness != nil) {
+		return nil, errors.New("player: fault injection and robustness policy require demuxed mode")
+	}
+	if cfg.Robustness != nil {
+		pol := cfg.Robustness.WithDefaults()
+		s.pol = &pol
+		s.blacklist = faults.NewBlacklist()
+	}
+	if cfg.FaultPlan != nil {
+		for _, w := range cfg.FaultPlan.Blackouts {
+			videoLink.AddOutage(w.Start, w.End)
+			if audioLink != videoLink {
+				audioLink.AddOutage(w.Start, w.End)
+			}
+		}
 	}
 	if len(cfg.AudioResets) > 0 && !cfg.supportsAudioReset(s.joint != nil) {
 		return nil, errors.New("player: AudioResets require a per-type model, SyncWindow > 0, or Muxed mode")
@@ -360,9 +391,7 @@ func (s *session) scheduleLog() {
 		if now >= s.cfg.Deadline {
 			// Session is not making it to the end; abort without marking
 			// playback complete.
-			s.ended = true
-			s.logSample(now)
-			s.eng.Stop()
+			s.abort(fmt.Sprintf("deadline %v reached before playback finished", s.cfg.Deadline))
 			return
 		}
 		s.logSample(now)
@@ -521,6 +550,9 @@ func (s *session) resetAudio(at time.Duration) {
 	rec := AudioReset{At: now, RefetchFrom: idx}
 
 	discard := func(t media.Type) {
+		// Void pending retry/timeout timers for this stream: they refer to
+		// chunks the reset may be discarding.
+		s.gen[t]++
 		if tr := s.transfers[t]; tr != nil && !tr.Completed() {
 			rec.DiscardedBytes += int64(tr.Done())
 			s.links[t].Cancel(tr)
@@ -647,10 +679,59 @@ func (s *session) fetchIndependent(t media.Type) {
 // --- Transfer plumbing ---------------------------------------------------
 
 func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt int, then func()) {
-	size := s.content.ChunkSize(track, idx)
+	if s.ended {
+		return
+	}
 	now := s.eng.Now()
+	// A robust client never issues a request to a blacklisted track: the
+	// model's selection is substituted with the nearest healthy neighbour.
+	if s.pol != nil && s.blacklist.Blocked(track.ID, now) {
+		if repl := s.failoverTrack(t, track); repl != nil && repl != track {
+			s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: now})
+			s.lastSel[t] = repl
+			track = repl
+			attempt = 0
+		}
+	}
+	var fault faults.Fault
+	faulted := false
+	if s.cfg.FaultPlan != nil {
+		fault, faulted = s.cfg.FaultPlan.SegmentFault(track.ID, idx, attempt)
+	}
+	if faulted {
+		switch fault.Kind {
+		case faults.HTTP404, faults.HTTP503:
+			// Fail fast after the request round trip; no bytes move, so
+			// the model's estimator sees nothing.
+			s.afterGuarded(t, s.links[t].RTT, func() {
+				s.failChunk(t, idx, track, attempt, fault.Kind, 0, then)
+			})
+			return
+		case faults.Timeout:
+			// The response never arrives. With no timeout policy the
+			// request hangs until the session Deadline kills the run;
+			// with one, it fails at RequestTimeout.
+			if s.pol == nil {
+				s.recordFault(t, idx, track, attempt, fault.Kind, 0)
+				return
+			}
+			s.afterGuarded(t, s.pol.RequestTimeout, func() {
+				s.failChunk(t, idx, track, attempt, fault.Kind, 0, then)
+			})
+			return
+		}
+		// Reset / Truncate: a fraction of the body arrives, then the
+		// connection dies — a partial transfer whose completion is the
+		// failure instant. The arrived bytes still inform the estimator.
+	}
+	size := s.content.ChunkSize(track, idx)
+	wireSize := size
+	if faulted {
+		wireSize = int64(float64(size) * fault.Fraction)
+	}
 	decidedAt := now
 	var transfer *netsim.Transfer
+	var timeoutEv *netsim.Event
 	link := s.links[t]
 	info := abr.TransferInfo{
 		Type:       t,
@@ -661,7 +742,25 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 	opts := netsim.StartOptions{
 		Label: t.String(),
 		OnComplete: func(tr *netsim.Transfer) {
+			if timeoutEv != nil {
+				s.eng.Cancel(timeoutEv)
+				timeoutEv = nil
+			}
 			done := s.eng.Now()
+			if faulted {
+				s.cfg.Model.OnComplete(abr.TransferInfo{
+					Type:       t,
+					Bytes:      tr.Done(),
+					Duration:   done - tr.Started(),
+					At:         done,
+					Concurrent: link.ActiveTransfers() + 1,
+				})
+				s.failChunk(t, idx, track, attempt, fault.Kind, int64(tr.Done()), then)
+				return
+			}
+			if s.pol != nil {
+				s.blacklist.Clear(track.ID)
+			}
 			s.frontier[t] = s.chunkStarts[idx+1]
 			s.res.Chunks = append(s.res.Chunks, ChunkDecision{
 				Index:       idx,
@@ -692,11 +791,156 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 				At:         s.eng.Now(),
 				Concurrent: link.ActiveTransfers(),
 			})
-			s.maybeAbandon(tr, t, idx, track, attempt, then)
+			if !faulted {
+				s.maybeAbandon(tr, t, idx, track, attempt, then)
+			}
 		}
 	}
-	transfer = link.Start(size, opts)
+	transfer = link.Start(wireSize, opts)
 	s.transfers[t] = transfer
+	// Per-request timeout: a transfer stuck behind an outage (or just too
+	// slow) is cancelled and handed to the failure path.
+	if s.pol != nil && s.pol.RequestTimeout > 0 {
+		gen := s.gen[t]
+		timeoutEv = s.eng.After(s.pol.RequestTimeout, func() {
+			timeoutEv = nil
+			// Drop if the session ended, an audio reset discarded the
+			// stream, the transfer was abandoned-and-replaced (it is no
+			// longer the type's current transfer), or it completed.
+			if s.ended || s.gen[t] != gen || s.transfers[t] != transfer || transfer.Completed() {
+				return
+			}
+			link.Cancel(transfer)
+			if transfer.Completed() {
+				return // the last byte arrived at this very instant
+			}
+			done := s.eng.Now()
+			s.cfg.Model.OnComplete(abr.TransferInfo{
+				Type:       t,
+				Bytes:      transfer.Done(),
+				Duration:   done - transfer.Started(),
+				At:         done,
+				Concurrent: link.ActiveTransfers() + 1,
+			})
+			s.failChunk(t, idx, track, attempt, faults.Timeout, int64(transfer.Done()), then)
+		})
+	}
+}
+
+// --- Failure handling: retries, blacklisting, failover -------------------
+
+// afterGuarded schedules fn after d, dropping it if the session ended or
+// the stream's generation moved (an audio reset discarded the chunk the
+// callback refers to).
+func (s *session) afterGuarded(t media.Type, d time.Duration, fn func()) {
+	gen := s.gen[t]
+	s.eng.After(d, func() {
+		if s.ended || s.gen[t] != gen {
+			return
+		}
+		fn()
+	})
+}
+
+// recordFault appends one failure event to the result.
+func (s *session) recordFault(t media.Type, idx int, track *media.Track, attempt int, kind faults.Kind, wasted int64) {
+	s.res.Faults = append(s.res.Faults, FaultEvent{
+		Index: idx, Type: t, Track: track, Kind: kind,
+		Attempt: attempt, At: s.eng.Now(), WastedBytes: wasted,
+	})
+}
+
+// failChunk is the load-error handler. Without a policy the session
+// aborts (the pre-robustness behaviour). With one, the failed track is
+// struck, the download retried with seeded exponential backoff while the
+// attempt budget lasts, and failed over to the nearest healthy track once
+// it is spent — the other media type keeps streaming throughout.
+func (s *session) failChunk(t media.Type, idx int, track *media.Track, attempt int, kind faults.Kind, wasted int64, then func()) {
+	if s.ended {
+		return
+	}
+	s.recordFault(t, idx, track, attempt, kind, wasted)
+	if s.pol == nil {
+		s.abort(fmt.Sprintf("chunk %d %s %s failed (%s) with no retry policy", idx, t, track.ID, kind))
+		return
+	}
+	now := s.eng.Now()
+	key := faults.Key(s.retrySeed(), track.ID, idx)
+	blocked := s.blacklist.Strike(track.ID, now, *s.pol)
+	if !blocked && attempt+1 < s.pol.MaxAttempts {
+		s.res.Retries++
+		s.afterGuarded(t, s.pol.Backoff(attempt, key), func() {
+			s.startChunk(t, idx, track, attempt+1, then)
+		})
+		return
+	}
+	repl := s.failoverTrack(t, track)
+	if repl == nil {
+		// Single-track ladder: the only option is the one that failed.
+		repl = track
+	}
+	if repl != track {
+		s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: now})
+		s.lastSel[t] = repl
+	}
+	s.res.Retries++
+	s.afterGuarded(t, s.pol.Backoff(attempt, key), func() {
+		s.startChunk(t, idx, repl, 0, then)
+	})
+}
+
+// failoverTrack picks the substitute for a failing track: the highest
+// non-blacklisted track at or below the failed bitrate, else the cheapest
+// non-blacklisted track, else (everything exiled) the cheapest track of
+// the type — a robust client keeps trying rather than giving up.
+func (s *session) failoverTrack(t media.Type, failed *media.Track) *media.Track {
+	ladder := s.content.VideoTracks
+	if t == media.Audio {
+		ladder = s.content.AudioTracks
+	}
+	now := s.eng.Now()
+	var lower, lowest, cheapest *media.Track
+	for _, tr := range ladder {
+		if cheapest == nil || tr.AvgBitrate < cheapest.AvgBitrate {
+			cheapest = tr
+		}
+		if tr == failed || s.blacklist.Blocked(tr.ID, now) {
+			continue
+		}
+		if lowest == nil || tr.AvgBitrate < lowest.AvgBitrate {
+			lowest = tr
+		}
+		if tr.AvgBitrate <= failed.AvgBitrate && (lower == nil || tr.AvgBitrate > lower.AvgBitrate) {
+			lower = tr
+		}
+	}
+	switch {
+	case lower != nil:
+		return lower
+	case lowest != nil:
+		return lowest
+	default:
+		return cheapest
+	}
+}
+
+// retrySeed keys the backoff jitter; sharing the fault plan's seed keeps
+// one knob controlling all injected randomness.
+func (s *session) retrySeed() int64 {
+	if s.cfg.FaultPlan != nil {
+		return s.cfg.FaultPlan.Seed
+	}
+	return 1
+}
+
+// abort ends the session without marking playback complete.
+func (s *session) abort(reason string) {
+	s.res.Aborted = true
+	s.res.AbortReason = reason
+	s.ended = true
+	s.playing = false
+	s.logSample(s.eng.Now())
+	s.eng.Stop()
 }
 
 // maybeAbandon consults the model's abandonment rule for an in-flight

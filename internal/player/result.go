@@ -3,6 +3,7 @@ package player
 import (
 	"time"
 
+	"demuxabr/internal/faults"
 	"demuxabr/internal/media"
 )
 
@@ -75,6 +76,33 @@ type AudioReset struct {
 	DiscardedSeconds time.Duration
 }
 
+// FaultEvent records one download failure: injected by the fault plan, or
+// detected by the robustness policy's request timeout.
+type FaultEvent struct {
+	// Index is the chunk position; Type and Track identify the download.
+	Index int
+	Type  media.Type
+	Track *media.Track
+	// Kind is the failure mode.
+	Kind faults.Kind
+	// Attempt is which try failed (0 = the first request).
+	Attempt int
+	// At is when the failure was detected.
+	At time.Duration
+	// WastedBytes is how much of the body arrived before the failure —
+	// downloaded, paid for, and thrown away.
+	WastedBytes int64
+}
+
+// Failover records the robustness policy substituting a failing track.
+type Failover struct {
+	Index int
+	Type  media.Type
+	From  *media.Track
+	To    *media.Track
+	At    time.Duration
+}
+
 // Result is the complete outcome of a streaming session.
 type Result struct {
 	// ModelName identifies the algorithm that ran.
@@ -98,6 +126,26 @@ type Result struct {
 	Abandonments []Abandonment
 	// AudioResets lists mid-session audio resets (language switches).
 	AudioResets []AudioReset
+	// Faults lists every download failure, in detection order.
+	Faults []FaultEvent
+	// Failovers lists robustness-policy track substitutions, in order.
+	Failovers []Failover
+	// Retries counts re-issued downloads (same track or failover).
+	Retries int
+	// Aborted reports that the session was cut short: a failure with no
+	// retry policy, or the Deadline. AbortReason says why.
+	Aborted     bool
+	AbortReason string
+}
+
+// WastedFaultBytes sums the bytes downloaded by requests that then failed
+// (reset, truncation, timeout) — transferred but never played.
+func (r *Result) WastedFaultBytes() int64 {
+	var total int64
+	for _, f := range r.Faults {
+		total += f.WastedBytes
+	}
+	return total
 }
 
 // RebufferTime returns the total stall duration (excluding startup).
