@@ -572,6 +572,30 @@ func BenchmarkFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetScale measures the multi-session co-simulation: fleets of
+// mixed joint players on a shared 24 Mbps uplink hitting one edge cache,
+// at increasing scale. Reported metrics track the tentpole claims: QoE
+// median, Jain fairness, and the demuxed byte hit ratio at each N.
+func BenchmarkFleetScale(b *testing.B) {
+	ns := []int{2, 8, 16}
+	var points []experiments.FleetScalePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.FleetScale(ns)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Mode != cdnsim.Demuxed {
+			continue
+		}
+		b.ReportMetric(p.Fleet.Score.Median, fmt.Sprintf("N%d-qoe-median", p.N))
+		b.ReportMetric(p.Fleet.JainVideoKbps, fmt.Sprintf("N%d-jain", p.N))
+		b.ReportMetric(p.Cache.ByteHitRatio(), fmt.Sprintf("N%d-byte-hit", p.N))
+	}
+}
+
 func boolMetric(v bool) float64 {
 	if v {
 		return 1

@@ -28,10 +28,10 @@ go test -race ./...
 echo "== go run ./cmd/vetabr ./..."
 go run ./cmd/vetabr ./...
 
-echo "== parallel-vs-serial equivalence (incl. fault-injection determinism)"
+echo "== parallel-vs-serial equivalence (incl. fault-injection and fleet determinism)"
 go test -race -count=1 \
-	-run 'TestParallelEquivalence|TestCacheSweepParallelMatchesSerial|TestMapCollectsInSubmissionOrder|TestResilienceSweepDeterministic|TestResilienceSweepParallelEquivalence' \
-	./internal/experiments ./internal/cdnsim ./internal/runpool
+	-run 'TestParallelEquivalence|TestCacheSweepParallelMatchesSerial|TestMapCollectsInSubmissionOrder|TestResilienceSweepDeterministic|TestResilienceSweepParallelEquivalence|TestFleetScaleParallelEquivalence|TestFleetDeterministic' \
+	./internal/experiments ./internal/cdnsim ./internal/runpool ./internal/fleet
 
 echo "== benchmem smoke (1 iteration per fleet benchmark)"
 go test -run=NONE -bench 'BenchmarkBandwidthSweep|BenchmarkSeedSweep|BenchmarkCDNCacheSweep|BenchmarkFleet' \

@@ -1,11 +1,15 @@
 // Command abrsim runs a single ABR streaming session in the simulator and
-// prints the QoE summary, optionally dumping the timeline as CSV.
+// prints the QoE summary, optionally dumping the timeline as CSV. With
+// -sessions > 1 it co-simulates a fleet: N players sharing the given
+// bandwidth as an edge uplink behind one shared CDN cache, with staggered
+// arrivals.
 //
 // Usage:
 //
 //	abrsim -player bestpractice -kbps 700 [-content drama] [-timeline out.csv]
 //	abrsim -player shaka -trace profile.csv [-manifest hall] [-audio-first A3]
 //	abrsim -compare -kbps 700 [-parallel n]
+//	abrsim -sessions 8 -kbps 24000 [-arrival-spread 30s] [-mix bestpractice,bola-joint] [-json fleet.json]
 package main
 
 import (
@@ -13,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"demuxabr/internal/core"
 	"demuxabr/internal/faults"
+	"demuxabr/internal/fleet"
 	"demuxabr/internal/media"
 	"demuxabr/internal/report"
 	"demuxabr/internal/runpool"
@@ -32,17 +39,28 @@ func main() {
 	manifest := flag.String("manifest", "hsub", "HLS manifest combinations: hsub (curated) or hall (all)")
 	audioFirst := flag.String("audio-first", "", "audio track listed first in the HLS manifest (e.g. A3)")
 	timelineOut := flag.String("timeline", "", "write the session timeline as CSV to this file")
-	jsonOut := flag.String("json", "", "write the full session report as JSON to this file")
+	jsonOut := flag.String("json", "", "write the full session (or fleet) report as JSON to this file")
 	compare := flag.Bool("compare", false, "run every player model and print a comparison table (ignores -player)")
 	parallel := flag.Int("parallel", 0, "worker count for -compare (0 = GOMAXPROCS, 1 = serial)")
 	faultRate := flag.Float64("fault-rate", 0, "per-segment-request fault injection probability in [0,1]")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan (same seed = same failure sequence)")
 	noRetry := flag.Bool("no-retry", false, "disable the download robustness policy (fail fast on the first fault)")
+	sessions := flag.Int("sessions", 1, "fleet size; >1 co-simulates N sessions sharing the bandwidth as an edge uplink behind one shared cache")
+	arrivalSpread := flag.Duration("arrival-spread", 30*time.Second, "fleet arrival window: session starts are staggered (seeded) over [0, spread)")
+	mix := flag.String("mix", "", "comma-separated player kinds assigned round-robin across fleet sessions (default: -player for every session)")
+	seed := flag.Int64("seed", 17, "fleet seed: drives arrival draws and per-session fault plan derivation")
 	flag.Parse()
 
 	fo := faultOpts{rate: *faultRate, seed: *faultSeed, noRetry: *noRetry}
 	if *compare {
 		if err := runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, fo); err != nil {
+			fmt.Fprintln(os.Stderr, "abrsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sessions > 1 {
+		if err := runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *seed, fo); err != nil {
 			fmt.Fprintln(os.Stderr, "abrsim:", err)
 			os.Exit(1)
 		}
@@ -113,52 +131,47 @@ func runCompare(kbps float64, traceFile, profileName, contentName, manifest, aud
 	return tw.Flush()
 }
 
-// playOnce builds content, profile and manifest options from the CLI flags
-// and runs one session.
-func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, fo faultOpts) (*core.Session, error) {
-	kind, err := core.ParsePlayerKind(playerName)
-	if err != nil {
-		return nil, err
-	}
-	var content *media.Content
+// parseContent resolves the -content flag.
+func parseContent(contentName string) (*media.Content, error) {
 	switch contentName {
 	case "drama":
-		content = media.DramaShow()
+		return media.DramaShow(), nil
 	case "drama-low-audio":
-		content = media.DramaShowLowAudio()
+		return media.DramaShowLowAudio(), nil
 	case "drama-high-audio":
-		content = media.DramaShowHighAudio()
+		return media.DramaShowHighAudio(), nil
 	case "music-show":
-		content = media.MusicShow()
+		return media.MusicShow(), nil
 	case "action-movie":
-		content = media.ActionMovie()
+		return media.ActionMovie(), nil
 	default:
 		return nil, fmt.Errorf("unknown content %q", contentName)
 	}
+}
 
-	var profile trace.Profile
+// parseProfile resolves the bandwidth flags (-profile beats -trace beats
+// -kbps).
+func parseProfile(kbps float64, traceFile, profileName string) (trace.Profile, error) {
 	switch {
 	case profileName != "":
-		profile, err = trace.Named(profileName)
-		if err != nil {
-			return nil, err
-		}
+		return trace.Named(profileName)
 	case traceFile != "":
 		f, err := os.Open(traceFile)
 		if err != nil {
 			return nil, err
 		}
-		profile, err = trace.ReadCSV(f)
+		profile, err := trace.ReadCSV(f)
 		f.Close()
-		if err != nil {
-			return nil, err
-		}
+		return profile, err
 	case kbps > 0:
-		profile = trace.Fixed(media.Kbps(kbps))
+		return trace.Fixed(media.Kbps(kbps)), nil
 	default:
 		return nil, fmt.Errorf("need -kbps, -trace, or -profile")
 	}
+}
 
+// parseManifest resolves -manifest and -audio-first into manifest options.
+func parseManifest(content *media.Content, manifest, audioFirst string) (core.ManifestOptions, error) {
 	mo := core.ManifestOptions{}
 	switch manifest {
 	case "hsub":
@@ -166,12 +179,12 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 	case "hall":
 		mo.Combos = media.HAll(content)
 	default:
-		return nil, fmt.Errorf("unknown manifest %q", manifest)
+		return mo, fmt.Errorf("unknown manifest %q", manifest)
 	}
 	if audioFirst != "" {
 		first := content.TrackByID(audioFirst)
 		if first == nil || first.Type != media.Audio {
-			return nil, fmt.Errorf("unknown audio track %q", audioFirst)
+			return mo, fmt.Errorf("unknown audio track %q", audioFirst)
 		}
 		mo.AudioOrder = []*media.Track{first}
 		for _, a := range content.AudioTracks {
@@ -179,6 +192,28 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 				mo.AudioOrder = append(mo.AudioOrder, a)
 			}
 		}
+	}
+	return mo, nil
+}
+
+// playOnce builds content, profile and manifest options from the CLI flags
+// and runs one session.
+func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, fo faultOpts) (*core.Session, error) {
+	kind, err := core.ParsePlayerKind(playerName)
+	if err != nil {
+		return nil, err
+	}
+	content, err := parseContent(contentName)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := parseProfile(kbps, traceFile, profileName)
+	if err != nil {
+		return nil, err
+	}
+	mo, err := parseManifest(content, manifest, audioFirst)
+	if err != nil {
+		return nil, err
 	}
 	return core.Play(core.Spec{
 		Content:    content,
@@ -188,6 +223,96 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 		Faults:     fo.plan(),
 		Robustness: fo.policy(),
 	})
+}
+
+// parseMix resolves -mix (comma-separated kinds, round-robin) falling back
+// to -player for a homogeneous fleet.
+func parseMix(mixStr, playerName string) ([]core.PlayerKind, error) {
+	names := []string{playerName}
+	if mixStr != "" {
+		names = strings.Split(mixStr, ",")
+	}
+	kinds := make([]core.PlayerKind, 0, len(names))
+	for _, name := range names {
+		kind, err := core.ParsePlayerKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, kind)
+	}
+	return kinds, nil
+}
+
+// runFleet co-simulates N sessions: the flag-selected bandwidth becomes the
+// shared edge uplink, every client gets a generous access link behind it,
+// and all sessions hit one shared edge cache. Output is a per-session table
+// plus the fleet aggregates; -json writes the full fleet report.
+func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut string, seed int64, fo faultOpts) error {
+	content, err := parseContent(contentName)
+	if err != nil {
+		return err
+	}
+	profile, err := parseProfile(kbps, traceFile, profileName)
+	if err != nil {
+		return err
+	}
+	mo, err := parseManifest(content, manifest, audioFirst)
+	if err != nil {
+		return err
+	}
+	kinds, err := parseMix(mixStr, playerName)
+	if err != nil {
+		return err
+	}
+	res, err := fleet.Run(fleet.Config{
+		Content:       content,
+		Sessions:      n,
+		Mix:           kinds,
+		Manifest:      mo,
+		UplinkProfile: profile,
+		ArrivalSpread: spread,
+		MissPenalty:   60 * time.Millisecond,
+		Seed:          seed,
+		FaultPlan:     fo.plan(),
+		Robustness:    fo.policy(),
+	})
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tModel\tArrival\tVideo\tAudio\tStalls\tRebuffer\tCache hit\tQoE")
+	for _, s := range res.Sessions {
+		m := s.Metrics
+		qoeCell := fmt.Sprintf("%.2f", m.Score)
+		if !s.Result.Ended {
+			qoeCell += " (aborted)"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.1fs\t%.0fK\t%.0fK\t%d\t%.1fs\t%.2f\t%s\n",
+			s.ID, s.Kind, s.Arrival.Seconds(),
+			m.AvgVideoBitrate.Kbps(), m.AvgAudioBitrate.Kbps(),
+			m.StallCount, m.RebufferTime.Seconds(), s.Cache.HitRatio(), qoeCell)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("fleet:  %d/%d completed, QoE median %.2f (p10 %.2f), Jain fairness %.3f\n",
+		res.Completed, res.Fleet.Sessions, res.Fleet.Score.Median, res.Fleet.Score.P10, res.Fleet.JainVideoKbps)
+	fmt.Printf("cache:  %d requests, hit ratio %.3f, byte hit ratio %.3f (origin offload)\n",
+		res.Cache.Requests, res.Cache.HitRatio(), res.Cache.ByteHitRatio())
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Report(contentName).WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineOut, jsonOut string, fo faultOpts) error {

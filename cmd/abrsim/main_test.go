@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunFixedBandwidth(t *testing.T) {
@@ -113,6 +114,45 @@ func TestPlayOnceFaultFlags(t *testing.T) {
 	}
 	if !off.Result.Aborted {
 		t.Error("-no-retry run survived a fault sequence that should abort it")
+	}
+}
+
+func TestRunFleetDeterministicJSON(t *testing.T) {
+	render := func() []byte {
+		out := filepath.Join(t.TempDir(), "fleet.json")
+		if err := runFleet(4, 10*time.Second, "bestpractice,bola-joint", "bestpractice",
+			12000, "", "", "drama", "hsub", "", out, 17, faultOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := render()
+	if !strings.Contains(string(first), `"jain_video_kbps"`) {
+		t.Error("fleet JSON missing jain_video_kbps")
+	}
+	if !strings.Contains(string(first), `"sessions": 4`) {
+		t.Error("fleet JSON missing session count")
+	}
+	if !strings.Contains(string(first), `"model": "bola-joint"`) {
+		t.Error("fleet JSON missing round-robin model assignment")
+	}
+	if again := render(); string(first) != string(again) {
+		t.Fatal("fleet JSON not byte-identical across runs")
+	}
+}
+
+func TestRunFleetErrors(t *testing.T) {
+	if err := runFleet(4, 0, "bestpractice,vlc", "bestpractice",
+		12000, "", "", "drama", "hsub", "", "", 17, faultOpts{}); err == nil {
+		t.Error("bad mix entry: expected error")
+	}
+	if err := runFleet(4, 0, "", "bestpractice",
+		0, "", "", "drama", "hsub", "", "", 17, faultOpts{}); err == nil {
+		t.Error("no bandwidth: expected error")
 	}
 }
 

@@ -8,7 +8,8 @@
 //	paperfigs [-only id] [-csv dir] [-parallel n]
 //
 // where id is one of: table1 table2 table3 fig2a fig2b fig3 fig4a fig4b
-// fig5 compare ablate cdn. With -csv, figure timelines are written as CSV
+// fig5 compare ablate cdn sweep ... fleet. With -csv, figure timelines are
+// written as CSV
 // files into the directory for external plotting. -parallel sets the
 // worker count for the fleet experiments (sweeps, comparisons, the CDN
 // sweep); the default 0 means GOMAXPROCS, and -parallel 1 runs the exact
@@ -51,7 +52,7 @@ func main() {
 		{"chunkdur", chunkdur}, {"crosstraffic", crosstraffic}, {"muxed", muxed},
 		{"verify", verify}, {"language", language},
 		{"seeds", seeds}, {"startup", startup}, {"pareto", pareto},
-		{"resilience", resilience},
+		{"resilience", resilience}, {"fleet", fleet},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -458,6 +459,21 @@ func cdn(string) error {
 	for _, p := range cdnsim.CacheSweepParallel(content, pop, []int64{32 << 20, 128 << 20, 512 << 20}, parallelN) {
 		fmt.Printf("  %4d MB %s: %.3f\n", p.CacheBytes>>20, p.Mode, p.Stats.ByteHitRatio())
 	}
+	return nil
+}
+
+func fleet(string) error {
+	points, err := experiments.FleetScaleParallel(experiments.DefaultFleetSizes(), parallelN)
+	if err != nil {
+		return err
+	}
+	experiments.PrintFleetScale(os.Stdout, points)
+	fmt.Println()
+	mixes, err := experiments.FleetMixesParallel(8, parallelN)
+	if err != nil {
+		return err
+	}
+	experiments.PrintFleetMixes(os.Stdout, mixes)
 	return nil
 }
 

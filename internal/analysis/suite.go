@@ -11,6 +11,9 @@ var SimPackagePrefixes = []string{
 	"demuxabr/internal/abr",
 	"demuxabr/internal/experiments",
 	"demuxabr/internal/cdnsim",
+	// Fleet co-simulations share one engine across sessions; arrivals and
+	// per-session fault seeds must derive from the fleet config alone.
+	"demuxabr/internal/fleet",
 	"demuxabr/internal/trace",
 	"demuxabr/internal/media",
 	// Fault plans are part of the simulated world: every injected failure

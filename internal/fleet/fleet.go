@@ -1,0 +1,291 @@
+// Package fleet co-simulates many adaptive streaming sessions on one
+// discrete-event engine: each client gets its own access link behind a
+// shared edge uplink (two-tier topology, weighted max-min fair), every
+// session's chunk requests pass through one shared CDN edge cache, and
+// arrivals are staggered over a seeded window — the multi-client regime
+// where the paper's best practices (demuxed packaging, joint adaptation)
+// meet contention and cache sharing.
+//
+// A fleet run is fully deterministic in its Config: the engine orders all
+// events, arrivals are drawn from a seeded generator, and per-session
+// fault plans derive from the fleet seed — so fleets can be fanned out
+// across runpool workers and still reproduce byte-identical reports.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"demuxabr/internal/cdnsim"
+	"demuxabr/internal/core"
+	"demuxabr/internal/faults"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/qoe"
+	"demuxabr/internal/report"
+	"demuxabr/internal/trace"
+)
+
+// Config parameterizes one fleet co-simulation.
+type Config struct {
+	// Content is the asset every session streams (default: the paper's
+	// drama show).
+	Content *media.Content
+	// Sessions is the fleet size (required, > 0).
+	Sessions int
+	// Mix assigns player models round-robin across sessions (session i
+	// runs Mix[i % len(Mix)]). Default: every session runs BestPractice.
+	Mix []core.PlayerKind
+	// Manifest controls the server-side declarations each model sees.
+	Manifest core.ManifestOptions
+	// Mode is the packaging at the shared edge: demuxed track objects or
+	// muxed combination objects. Muxed requires every Mix entry to be a
+	// joint model.
+	Mode cdnsim.Mode
+	// CacheBytes sizes the shared edge cache (default 256 MiB).
+	CacheBytes int64
+	// MissPenalty is the extra first-byte delay a session pays when its
+	// request misses the edge cache and the edge fetches from the origin.
+	// Zero keeps the cache accounting without the latency coupling.
+	MissPenalty time.Duration
+	// UplinkProfile is the shared edge uplink capacity (required).
+	UplinkProfile trace.Profile
+	// AccessProfile is each client's access-link capacity (default: a
+	// generous 100 Mbps, making the shared uplink the bottleneck).
+	AccessProfile trace.Profile
+	// ArrivalSpread staggers session starts uniformly (seeded) over
+	// [0, ArrivalSpread). Zero starts everyone at once.
+	ArrivalSpread time.Duration
+	// Seed drives the arrival draws and offsets per-session fault plans.
+	Seed int64
+	// FaultPlan, when set, injects per-session download faults: session i
+	// runs a copy of the plan reseeded with the fleet seed and its ID, so
+	// different clients see different (but reproducible) faults. Demuxed
+	// mode only.
+	FaultPlan *faults.Plan
+	// Robustness is the per-session retry/failover policy.
+	Robustness *faults.Policy
+	// MaxBuffer overrides the player buffer cap when non-zero.
+	MaxBuffer time.Duration
+	// Deadline overrides the per-session abort deadline when non-zero.
+	Deadline time.Duration
+	// MaxEvents bounds the whole co-simulation (default 20 million plus
+	// 2 million per session).
+	MaxEvents int
+}
+
+// SessionResult is one session's outcome within a fleet.
+type SessionResult struct {
+	// ID is the session's index (also its arrival rank).
+	ID int
+	// Kind is the player model the session ran.
+	Kind core.PlayerKind
+	// Arrival is the engine time the session started.
+	Arrival time.Duration
+	// Result is the session's full recorded timeline (session-relative
+	// times, as a solo run would produce).
+	Result *player.Result
+	// Metrics are the session's QoE numbers.
+	Metrics qoe.Metrics
+	// Cache is the session's slice of the shared-edge accounting.
+	Cache cdnsim.Stats
+}
+
+// Result is one finished fleet co-simulation.
+type Result struct {
+	// Mode is the packaging the shared edge served.
+	Mode cdnsim.Mode
+	// Sessions holds per-session outcomes, in session-ID order.
+	Sessions []SessionResult
+	// Completed counts sessions that played to the end.
+	Completed int
+	// Cache is the shared edge cache's aggregate accounting.
+	Cache cdnsim.Stats
+	// Fleet aggregates the per-session metrics (distributions, Jain).
+	Fleet qoe.FleetMetrics
+}
+
+func (c *Config) setDefaults() error {
+	if c.Sessions <= 0 {
+		return fmt.Errorf("fleet: session count %d, want > 0", c.Sessions)
+	}
+	if c.UplinkProfile == nil {
+		return errors.New("fleet: nil uplink profile")
+	}
+	if c.Content == nil {
+		c.Content = media.DramaShow()
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = []core.PlayerKind{core.BestPractice}
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.AccessProfile == nil {
+		c.AccessProfile = trace.Fixed(media.Kbps(100_000))
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 20_000_000 + 2_000_000*c.Sessions
+	}
+	if c.Mode == cdnsim.Muxed && c.FaultPlan != nil {
+		return errors.New("fleet: fault injection requires demuxed mode")
+	}
+	if c.ArrivalSpread < 0 {
+		return fmt.Errorf("fleet: negative arrival spread %v", c.ArrivalSpread)
+	}
+	return nil
+}
+
+// arrivals draws the fleet's seeded start times: Sessions uniform draws
+// over [0, ArrivalSpread), sorted so session ID equals arrival rank.
+func (c *Config) arrivals() []time.Duration {
+	at := make([]time.Duration, c.Sessions)
+	if c.ArrivalSpread <= 0 {
+		return at
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	for i := range at {
+		at[i] = time.Duration(rng.Int63n(int64(c.ArrivalSpread)))
+	}
+	sort.Slice(at, func(i, j int) bool { return at[i] < at[j] })
+	return at
+}
+
+// sessionPlan derives session i's fault plan from the fleet plan: same
+// knobs, a seed offset by the session ID so clients fail independently but
+// reproducibly.
+func (c *Config) sessionPlan(i int) *faults.Plan {
+	if c.FaultPlan == nil {
+		return nil
+	}
+	plan := *c.FaultPlan
+	plan.Seed = c.FaultPlan.Seed + int64(i+1)*1_000_003
+	return &plan
+}
+
+// Run executes the co-simulation: N sessions share one engine, a two-tier
+// bottleneck (per-session access leaves behind one uplink) and one edge
+// cache, arriving per the seeded schedule. It returns when every session
+// has finished or aborted.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	eng := netsim.NewEngine()
+	up := netsim.NewUplink(eng, cfg.UplinkProfile)
+	edge := cdnsim.NewEdge(cdnsim.NewCache(cfg.CacheBytes), cfg.Mode, cfg.Content, cfg.Sessions)
+	arrive := cfg.arrivals()
+
+	kinds := make([]core.PlayerKind, cfg.Sessions)
+	sessions := make([]*player.Session, cfg.Sessions)
+	allowed := make([][]media.Combo, cfg.Sessions)
+	errs := make([]error, cfg.Sessions)
+
+	for i := 0; i < cfg.Sessions; i++ {
+		i := i
+		kinds[i] = cfg.Mix[i%len(cfg.Mix)]
+		model, combos, err := core.BuildModel(kinds[i], cfg.Content, cfg.Manifest)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: session %d (%s): %w", i, kinds[i], err)
+		}
+		allowed[i] = combos
+		leaf := up.NewLeaf(cfg.AccessProfile)
+		pcfg := player.Config{
+			Content:    cfg.Content,
+			Model:      model,
+			Muxed:      cfg.Mode == cdnsim.Muxed,
+			MaxBuffer:  cfg.MaxBuffer,
+			Deadline:   cfg.Deadline,
+			MaxEvents:  cfg.MaxEvents,
+			FaultPlan:  cfg.sessionPlan(i),
+			Robustness: cfg.Robustness,
+			OnRequest: func(req player.ChunkRequest) time.Duration {
+				var hit bool
+				if req.MuxedWith != nil {
+					hit = edge.RequestMuxed(i, req.Track, req.MuxedWith, req.Index)
+				} else {
+					hit = edge.RequestTrack(i, req.Track, req.Index)
+				}
+				if hit {
+					return 0
+				}
+				return cfg.MissPenalty
+			},
+		}
+		eng.Schedule(arrive[i], func() {
+			s, err := player.Start(leaf, leaf, pcfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sessions[i] = s
+		})
+	}
+
+	if err := eng.Run(cfg.MaxEvents); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: session %d (%s): %w", i, kinds[i], err)
+		}
+	}
+
+	res := &Result{Mode: cfg.Mode, Cache: edge.Aggregate()}
+	metrics := make([]qoe.Metrics, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		s := sessions[i]
+		if s == nil || !s.Done() {
+			return nil, fmt.Errorf("fleet: session %d (%s) never finished (event budget too small?)", i, kinds[i])
+		}
+		r := s.Result()
+		metrics[i] = qoe.Compute(r, cfg.Content, allowed[i], qoe.DefaultWeights())
+		if r.Ended {
+			res.Completed++
+		}
+		res.Sessions = append(res.Sessions, SessionResult{
+			ID:      i,
+			Kind:    kinds[i],
+			Arrival: arrive[i],
+			Result:  r,
+			Metrics: metrics[i],
+			Cache:   edge.SessionStats(i),
+		})
+	}
+	res.Fleet = qoe.ComputeFleet(metrics)
+	return res, nil
+}
+
+// Report flattens the fleet result into the stable JSON export schema.
+func (r *Result) Report(contentName string) *report.Fleet {
+	f := &report.Fleet{
+		Content:   contentName,
+		Mode:      r.Mode.String(),
+		Completed: r.Completed,
+		Cache: report.CacheStats{
+			Requests:      r.Cache.Requests,
+			Hits:          r.Cache.Hits,
+			HitRatio:      r.Cache.HitRatio(),
+			ByteHitRatio:  r.Cache.ByteHitRatio(),
+			BytesServed:   r.Cache.BytesServed,
+			BytesOrigin:   r.Cache.BytesOrigin,
+			OriginOffload: r.Cache.ByteHitRatio(),
+		},
+	}
+	f.ApplyFleetMetrics(r.Fleet)
+	for _, s := range r.Sessions {
+		f.PerSession = append(f.PerSession, report.FleetSession{
+			ID:            s.ID,
+			Model:         string(s.Kind),
+			ArrivalS:      s.Arrival.Seconds(),
+			Ended:         s.Result.Ended,
+			Metrics:       report.MetricsFrom(s.Metrics),
+			CacheHitRatio: s.Cache.HitRatio(),
+		})
+	}
+	return f
+}

@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"demuxabr/internal/cdnsim"
+	"demuxabr/internal/core"
+	"demuxabr/internal/faults"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/qoe"
+	"demuxabr/internal/trace"
+)
+
+func baseConfig(n int) Config {
+	return Config{
+		Sessions:      n,
+		Mode:          cdnsim.Demuxed,
+		UplinkProfile: trace.Fixed(media.Kbps(float64(6000 * n))),
+		AccessProfile: trace.Fixed(media.Kbps(6000)),
+		ArrivalSpread: 20 * time.Second,
+		MissPenalty:   60 * time.Millisecond,
+		Seed:          17,
+	}
+}
+
+func fleetJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Report("drama-show").WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// Same config, same seed → byte-identical fleet reports.
+func TestFleetDeterministic(t *testing.T) {
+	cfg := baseConfig(4)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	ja, jb := fleetJSON(t, a), fleetJSON(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed produced different fleet reports:\n%s\n---\n%s", ja, jb)
+	}
+	if a.Completed != 4 {
+		t.Fatalf("Completed = %d, want 4", a.Completed)
+	}
+}
+
+// A solo fleet over a non-binding uplink behaves exactly like the same
+// session on a standalone link: the Session API and two-tier topology must
+// not perturb single-player results.
+func TestFleetSoloMatchesStandaloneRun(t *testing.T) {
+	content := media.DramaShow()
+	access := trace.Fixed(media.Kbps(4000))
+
+	res, err := Run(Config{
+		Sessions:      1,
+		Content:       content,
+		Mode:          cdnsim.Demuxed,
+		UplinkProfile: trace.Fixed(media.Kbps(1_000_000)),
+		AccessProfile: access,
+	})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	fs := res.Sessions[0]
+
+	model, combos, err := core.BuildModel(core.BestPractice, content, core.ManifestOptions{})
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, access)
+	solo, err := player.RunSplit(link, link, player.Config{Content: content, Model: model})
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	sm := qoe.Compute(solo, content, combos, qoe.DefaultWeights())
+
+	if fs.Metrics != sm {
+		t.Errorf("fleet metrics differ from solo run:\nfleet: %+v\nsolo:  %+v", fs.Metrics, sm)
+	}
+	if fs.Result.EndedAt != solo.EndedAt || fs.Result.StartupDelay != solo.StartupDelay {
+		t.Errorf("timing differs: fleet ended %v startup %v, solo ended %v startup %v",
+			fs.Result.EndedAt, fs.Result.StartupDelay, solo.EndedAt, solo.StartupDelay)
+	}
+	if len(fs.Result.Chunks) != len(solo.Chunks) {
+		t.Errorf("chunk counts differ: fleet %d, solo %d", len(fs.Result.Chunks), len(solo.Chunks))
+	}
+}
+
+// Demuxed packaging at a shared edge: the second session's video requests
+// hit the chunks the first session already pulled in, so the fleet's hit
+// ratio must exceed a solo run's.
+func TestFleetSharedCacheAmplification(t *testing.T) {
+	solo := baseConfig(1)
+	solo.ArrivalSpread = 0
+	one, err := Run(solo)
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	pair := baseConfig(2)
+	two, err := Run(pair)
+	if err != nil {
+		t.Fatalf("pair: %v", err)
+	}
+	if two.Cache.Hits <= one.Cache.Hits {
+		t.Errorf("shared cache hits did not grow: solo %d, pair %d", one.Cache.Hits, two.Cache.Hits)
+	}
+	if two.Cache.HitRatio() <= one.Cache.HitRatio() {
+		t.Errorf("hit ratio did not amplify: solo %.3f, pair %.3f",
+			one.Cache.HitRatio(), two.Cache.HitRatio())
+	}
+	// Per-session accounting must sum to the aggregate.
+	var req, hits int64
+	for _, s := range two.Sessions {
+		req += s.Cache.Requests
+		hits += s.Cache.Hits
+	}
+	if req != two.Cache.Requests || hits != two.Cache.Hits {
+		t.Errorf("per-session sums (%d req, %d hits) != aggregate (%d, %d)",
+			req, hits, two.Cache.Requests, two.Cache.Hits)
+	}
+}
+
+// Mix assigns models round-robin by session index.
+func TestFleetMixRoundRobin(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.Mix = []core.PlayerKind{core.BestPractice, core.BolaJoint}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []core.PlayerKind{core.BestPractice, core.BolaJoint, core.BestPractice, core.BolaJoint}
+	for i, s := range res.Sessions {
+		if s.Kind != want[i] {
+			t.Errorf("session %d kind = %s, want %s", i, s.Kind, want[i])
+		}
+	}
+	if res.Fleet.Sessions != 4 {
+		t.Errorf("Fleet.Sessions = %d, want 4", res.Fleet.Sessions)
+	}
+	if res.Fleet.JainVideoKbps <= 0 || res.Fleet.JainVideoKbps > 1 {
+		t.Errorf("JainVideoKbps = %g outside (0, 1]", res.Fleet.JainVideoKbps)
+	}
+}
+
+// Staggered arrivals must be sorted and within the spread window; session
+// results carry session-relative times regardless of arrival.
+func TestFleetArrivalsSortedAndRebased(t *testing.T) {
+	cfg := baseConfig(8)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var prev time.Duration = -1
+	for _, s := range res.Sessions {
+		if s.Arrival < prev {
+			t.Fatalf("arrivals not sorted: session %d at %v after %v", s.ID, s.Arrival, prev)
+		}
+		if s.Arrival < 0 || s.Arrival >= cfg.ArrivalSpread {
+			t.Fatalf("session %d arrival %v outside [0, %v)", s.ID, s.Arrival, cfg.ArrivalSpread)
+		}
+		prev = s.Arrival
+		// Session-relative timelines start near zero even for late arrivals.
+		if len(s.Result.Timeline) > 0 && s.Result.Timeline[0].At > 2*time.Second {
+			t.Errorf("session %d timeline starts at %v: not rebased", s.ID, s.Result.Timeline[0].At)
+		}
+	}
+}
+
+func TestFleetConfigGuards(t *testing.T) {
+	if _, err := Run(Config{Sessions: 0, UplinkProfile: trace.Fixed(media.Kbps(1000))}); err == nil {
+		t.Error("zero sessions: want error")
+	}
+	if _, err := Run(Config{Sessions: 2}); err == nil {
+		t.Error("nil uplink profile: want error")
+	}
+	cfg := baseConfig(2)
+	cfg.Mode = cdnsim.Muxed
+	cfg.FaultPlan = &faults.Plan{Seed: 1, Rate: 0.1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("muxed + faults: want error")
+	}
+}
+
+// Per-session fault plans derive from the fleet seed: the fleet stays
+// deterministic under injection, and robustness keeps sessions alive.
+func TestFleetFaultInjectionDeterministic(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.FaultPlan = &faults.Plan{Seed: 5, Rate: 0.05}
+	pol := faults.DefaultPolicy()
+	cfg.Robustness = &pol
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	if !bytes.Equal(fleetJSON(t, a), fleetJSON(t, b)) {
+		t.Fatal("fault-injected fleet not deterministic")
+	}
+	if a.Completed != 3 {
+		t.Fatalf("Completed = %d, want 3 (robust sessions should survive 5%% loss)", a.Completed)
+	}
+}

@@ -28,6 +28,12 @@ type Link struct {
 	// outages are blackout windows during which capacity is zero
 	// regardless of the profile (fault-injection link failures).
 	outages []outageWindow
+
+	// up, when non-nil, makes this link an access leaf behind a shared
+	// Uplink: rate integration and wake scheduling are delegated to the
+	// group, which allocates weighted max-min rates across the whole
+	// two-tier tree (see uplink.go).
+	up *Uplink
 }
 
 // outageWindow is one half-open blackout interval.
@@ -165,6 +171,9 @@ type StartOptions struct {
 	// against SampleEvery.
 	SampleEvery time.Duration
 	OnSample    func(tr *Transfer, bytes float64, interval time.Duration)
+	// ExtraDelay postpones the first byte beyond the link RTT — e.g. a CDN
+	// edge-cache miss paying an origin round trip before bytes flow.
+	ExtraDelay time.Duration
 }
 
 // Start begins a transfer of size bytes. The first byte moves after the
@@ -187,7 +196,7 @@ func (l *Link) Start(size int64, opts StartOptions) *Transfer {
 		sampleEvery: opts.SampleEvery,
 		onSample:    opts.OnSample,
 	}
-	l.eng.After(l.RTT, func() { l.activate(tr) })
+	l.eng.After(l.RTT+opts.ExtraDelay, func() { l.activate(tr) })
 	return tr
 }
 
@@ -254,7 +263,17 @@ func (tr *Transfer) scheduleSample() {
 // advance integrates all active transfers from lastUpdate to now at the
 // capacity that applied over that span. The link guarantees (via wake
 // events at profile breakpoints) that capacity is constant over the span.
+// Leaves behind a shared uplink delegate to the group, whose allocation
+// couples every member's transfers.
 func (l *Link) advance() {
+	if l.up != nil {
+		l.up.advance()
+		return
+	}
+	l.advanceSolo()
+}
+
+func (l *Link) advanceSolo() {
 	now := l.eng.Now()
 	if now <= l.lastUpdate {
 		l.lastUpdate = now
@@ -315,8 +334,17 @@ func (l *Link) finishCompleted() {
 }
 
 // reschedule computes the next interesting instant (first completion or
-// profile breakpoint) and arms a wake event for it.
+// profile breakpoint) and arms a wake event for it. Uplink leaves share
+// one group wake instead of per-link wakes.
 func (l *Link) reschedule() {
+	if l.up != nil {
+		l.up.reschedule()
+		return
+	}
+	l.rescheduleSolo()
+}
+
+func (l *Link) rescheduleSolo() {
 	if l.wake != nil {
 		l.eng.Cancel(l.wake)
 		l.wake = nil
@@ -370,12 +398,26 @@ func (l *Link) StartCrossTraffic(weight float64, start, stop time.Duration) {
 	if weight <= 0 || stop <= start {
 		return
 	}
-	const blockBytes = 1 << 30 // effectively endless within any experiment
+	const blockBytes = 1 << 30
 	var tr *Transfer
-	l.eng.Schedule(start, func() {
-		tr = l.Start(blockBytes, StartOptions{Label: "cross-traffic", Weight: weight})
-	})
+	stopped := false
+	var begin func()
+	begin = func() {
+		tr = l.Start(blockBytes, StartOptions{
+			Label:  "cross-traffic",
+			Weight: weight,
+			OnComplete: func(*Transfer) {
+				// A block drained before the window closed (fast link or long
+				// window): start the next one so the flow persists to stop.
+				if !stopped && l.eng.Now() < stop {
+					begin()
+				}
+			},
+		})
+	}
+	l.eng.Schedule(start, func() { begin() })
 	l.eng.Schedule(stop, func() {
+		stopped = true
 		if tr != nil {
 			l.Cancel(tr)
 		}

@@ -86,6 +86,31 @@ type Config struct {
 	// legacy fail-fast behaviour — the first download failure aborts the
 	// session (Result.Aborted). Requires demuxed mode.
 	Robustness *faults.Policy
+	// OnDone fires exactly once when the session finishes or aborts, after
+	// the result is final and the session's in-flight transfers have been
+	// torn down. Sessions started via Run/RunSplit stop the engine here;
+	// fleet sessions sharing an engine let it keep running.
+	OnDone func(*Session)
+	// OnRequest observes every chunk request that puts bytes on the wire
+	// and returns an extra first-byte delay — the hook a CDN edge uses to
+	// serve from cache (zero) or charge an origin round trip (miss
+	// penalty). Fail-fast faults (404/503, hung responses) never reach it.
+	OnRequest func(ChunkRequest) time.Duration
+}
+
+// ChunkRequest identifies one wire request to the delivery path.
+type ChunkRequest struct {
+	// Index is the chunk position.
+	Index int
+	// Type is the component being fetched (Video for muxed objects).
+	Type media.Type
+	// Track is the requested track (the video component for muxed objects).
+	Track *media.Track
+	// MuxedWith is the audio component when the request is one muxed
+	// object; nil for demuxed requests.
+	MuxedWith *media.Track
+	// Attempt counts retries of this chunk on this track, from 0.
+	Attempt int
 }
 
 func (c *Config) setDefaults() error {
@@ -131,12 +156,21 @@ func (c *Config) supportsAudioReset(joint bool) bool {
 	return c.Muxed || !joint || c.SyncWindow > 0
 }
 
-// session holds the live state of one streaming run.
-type session struct {
+// Session is the live state of one streaming run. A Session attaches to
+// its links' engine without owning the run loop, so any number of sessions
+// can share one engine (and, through it, shared bottlenecks and a shared
+// CDN edge). Start creates and schedules one; Run/RunSplit wrap a single
+// session with its own engine run loop.
+//
+// All times recorded in the Result, and all times reported to the ABR
+// model, are session-relative (zero at Start), so a session's behaviour is
+// invariant to its arrival time in a fleet.
+type Session struct {
 	cfg     Config
 	eng     *netsim.Engine
 	links   [2]*netsim.Link // per media.Type; both entries equal on a shared bottleneck
 	content *media.Content
+	t0      time.Duration // engine time at Start; all recorded times are relative to it
 
 	joint     abr.JointAlgorithm
 	perType   abr.PerTypeAlgorithm
@@ -184,19 +218,44 @@ func Run(link *netsim.Link, cfg Config) (*Result, error) {
 // RunSplit executes a session with the video and audio streams on separate
 // links — the §4.1 scenario where the demuxed tracks live on different
 // servers and do not share a bottleneck. Both links must be driven by the
-// same engine.
+// same engine. It is a thin wrapper over Start that owns the engine's run
+// loop and stops it when the session ends.
 func RunSplit(videoLink, audioLink *netsim.Link, cfg Config) (*Result, error) {
+	inner := cfg.OnDone
+	cfg.OnDone = func(s *Session) {
+		if inner != nil {
+			inner(s)
+		}
+		s.eng.Stop()
+	}
+	s, err := Start(videoLink, audioLink, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eng.Run(s.cfg.MaxEvents); err != nil {
+		return nil, err
+	}
+	return &s.res, nil
+}
+
+// Start validates the configuration and schedules a session on the links'
+// (possibly shared) engine, beginning at the engine's current time. The
+// caller drives the engine; the session reports completion via
+// Config.OnDone and Done. Deadline and MaxBuffer et al. are interpreted in
+// session time, so staggered arrivals need no config adjustments.
+func Start(videoLink, audioLink *netsim.Link, cfg Config) (*Session, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
 	if videoLink.Engine() != audioLink.Engine() {
 		return nil, errors.New("player: video and audio links use different engines")
 	}
-	s := &session{
+	s := &Session{
 		cfg:     cfg,
 		eng:     videoLink.Engine(),
 		content: cfg.Content,
 	}
+	s.t0 = s.eng.Now()
 	s.links[media.Video] = videoLink
 	s.links[media.Audio] = audioLink
 	switch m := cfg.Model.(type) {
@@ -221,9 +280,9 @@ func RunSplit(videoLink, audioLink *netsim.Link, cfg Config) (*Result, error) {
 	}
 	if cfg.FaultPlan != nil {
 		for _, w := range cfg.FaultPlan.Blackouts {
-			videoLink.AddOutage(w.Start, w.End)
+			videoLink.AddOutage(s.t0+w.Start, s.t0+w.End)
 			if audioLink != videoLink {
-				audioLink.AddOutage(w.Start, w.End)
+				audioLink.AddOutage(s.t0+w.Start, s.t0+w.End)
 			}
 		}
 	}
@@ -256,19 +315,24 @@ func RunSplit(videoLink, audioLink *netsim.Link, cfg Config) (*Result, error) {
 	s.scheduleLog()
 	for _, at := range cfg.AudioResets {
 		at := at
-		s.eng.Schedule(at, func() { s.resetAudio(at) })
+		s.eng.Schedule(s.t0+at, func() { s.resetAudio(at) })
 	}
-
-	if err := s.eng.Run(cfg.MaxEvents); err != nil {
-		return nil, err
-	}
-	return &s.res, nil
+	return s, nil
 }
+
+// Result returns the session's recorded timeline; complete once Done.
+func (s *Session) Result() *Result { return &s.res }
+
+// Done reports whether the session has finished or aborted.
+func (s *Session) Done() bool { return s.ended }
+
+// rel converts an absolute engine time to session time.
+func (s *Session) rel(t time.Duration) time.Duration { return t - s.t0 }
 
 // --- Playback ---------------------------------------------------------
 
 // playPosAt returns the playback position at time now.
-func (s *session) playPosAt(now time.Duration) time.Duration {
+func (s *Session) playPosAt(now time.Duration) time.Duration {
 	if s.playing {
 		return s.playPos + (now - s.lastTick)
 	}
@@ -276,12 +340,12 @@ func (s *session) playPosAt(now time.Duration) time.Duration {
 }
 
 // syncPlay folds elapsed playing time into playPos.
-func (s *session) syncPlay(now time.Duration) {
+func (s *Session) syncPlay(now time.Duration) {
 	s.playPos = s.playPosAt(now)
 	s.lastTick = now
 }
 
-func (s *session) minFrontier() time.Duration {
+func (s *Session) minFrontier() time.Duration {
 	if s.frontier[media.Video] < s.frontier[media.Audio] {
 		return s.frontier[media.Video]
 	}
@@ -289,7 +353,7 @@ func (s *session) minFrontier() time.Duration {
 }
 
 // bufferOf returns the buffered duration of one type at time now.
-func (s *session) bufferOf(t media.Type, now time.Duration) time.Duration {
+func (s *Session) bufferOf(t media.Type, now time.Duration) time.Duration {
 	b := s.frontier[t] - s.playPosAt(now)
 	if b < 0 {
 		b = 0
@@ -299,7 +363,7 @@ func (s *session) bufferOf(t media.Type, now time.Duration) time.Duration {
 
 // onFrontierAdvance reacts to new downloaded content: start playback, resume
 // from a stall, and keep the underrun alarm accurate.
-func (s *session) onFrontierAdvance() {
+func (s *Session) onFrontierAdvance() {
 	now := s.eng.Now()
 	needed := func(threshold time.Duration) time.Duration {
 		// Near the end of the content the full threshold may exceed what
@@ -315,7 +379,7 @@ func (s *session) onFrontierAdvance() {
 			s.started = true
 			s.playing = true
 			s.lastTick = now
-			s.res.StartupDelay = now
+			s.res.StartupDelay = s.rel(now)
 			s.rescheduleUnderrun()
 		}
 		return
@@ -323,7 +387,7 @@ func (s *session) onFrontierAdvance() {
 	if !s.playing && !s.ended {
 		if s.minFrontier()-s.playPos >= needed(s.cfg.ResumeBuffer) {
 			if now > s.stallAt {
-				s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallAt, End: now})
+				s.res.Stalls = append(s.res.Stalls, Stall{Start: s.rel(s.stallAt), End: s.rel(now)})
 			}
 			s.playing = true
 			s.lastTick = now
@@ -338,7 +402,7 @@ func (s *session) onFrontierAdvance() {
 
 // rescheduleUnderrun arms the alarm for the instant playback catches up with
 // the downloaded frontier (a stall) or reaches the end of the content.
-func (s *session) rescheduleUnderrun() {
+func (s *Session) rescheduleUnderrun() {
 	if s.underrun != nil {
 		s.eng.Cancel(s.underrun)
 		s.underrun = nil
@@ -358,7 +422,7 @@ func (s *session) rescheduleUnderrun() {
 	s.underrun = s.eng.Schedule(at, s.onUnderrun)
 }
 
-func (s *session) onUnderrun() {
+func (s *Session) onUnderrun() {
 	s.underrun = nil
 	now := s.eng.Now()
 	s.syncPlay(now)
@@ -371,24 +435,46 @@ func (s *session) onUnderrun() {
 	s.stallAt = now
 }
 
-func (s *session) finish(now time.Duration) {
+func (s *Session) finish(now time.Duration) {
 	s.ended = true
 	s.playing = false
 	s.res.Ended = true
-	s.res.EndedAt = now
+	s.res.EndedAt = s.rel(now)
 	s.logSample(now)
-	s.eng.Stop()
+	s.teardown()
+	if s.cfg.OnDone != nil {
+		s.cfg.OnDone(s)
+	}
+}
+
+// teardown releases everything the session holds on the shared engine and
+// links: in-flight transfers are cancelled (freeing bottleneck capacity
+// for other sessions), pending per-type timers are voided via the
+// generation counters, and the underrun alarm is disarmed. After teardown
+// the session schedules nothing further.
+func (s *Session) teardown() {
+	for t := range s.transfers {
+		s.gen[t]++
+		if tr := s.transfers[t]; tr != nil && !tr.Completed() {
+			s.links[t].Cancel(tr)
+		}
+		s.transfers[t] = nil
+	}
+	if s.underrun != nil {
+		s.eng.Cancel(s.underrun)
+		s.underrun = nil
+	}
 }
 
 // --- Timeline logging --------------------------------------------------
 
-func (s *session) scheduleLog() {
+func (s *Session) scheduleLog() {
 	s.eng.After(s.cfg.LogInterval, func() {
 		if s.ended {
 			return
 		}
 		now := s.eng.Now()
-		if now >= s.cfg.Deadline {
+		if s.rel(now) >= s.cfg.Deadline {
 			// Session is not making it to the end; abort without marking
 			// playback complete.
 			s.abort(fmt.Sprintf("deadline %v reached before playback finished", s.cfg.Deadline))
@@ -399,9 +485,9 @@ func (s *session) scheduleLog() {
 	})
 }
 
-func (s *session) logSample(now time.Duration) {
+func (s *Session) logSample(now time.Duration) {
 	sample := Sample{
-		At:          now,
+		At:          s.rel(now),
 		PlayPos:     s.playPosAt(now),
 		VideoBuffer: s.bufferOf(media.Video, now),
 		AudioBuffer: s.bufferOf(media.Audio, now),
@@ -417,10 +503,10 @@ func (s *session) logSample(now time.Duration) {
 
 // --- Decision state ----------------------------------------------------
 
-func (s *session) state(chunkIdx int) abr.State {
+func (s *Session) state(chunkIdx int) abr.State {
 	now := s.eng.Now()
 	return abr.State{
-		Now:           now,
+		Now:           s.rel(now),
 		PlayPos:       s.playPosAt(now),
 		VideoBuffer:   s.bufferOf(media.Video, now),
 		AudioBuffer:   s.bufferOf(media.Audio, now),
@@ -436,7 +522,7 @@ func (s *session) state(chunkIdx int) abr.State {
 
 // fetchJoint drives the chunk-synced loop: decide a combination for chunk
 // `next`, download audio and video together, then advance.
-func (s *session) fetchJoint() {
+func (s *Session) fetchJoint() {
 	if s.ended || s.jointPending > 0 {
 		return
 	}
@@ -475,31 +561,34 @@ func (s *session) fetchJoint() {
 
 // startMuxedChunk downloads one combined audio+video object. Observer
 // events carry the video type (the muxed stream is one flow).
-func (s *session) startMuxedChunk(idx int, combo media.Combo, then func()) {
+func (s *Session) startMuxedChunk(idx int, combo media.Combo, then func()) {
 	size := s.content.ChunkSize(combo.Video, idx) + s.content.ChunkSize(combo.Audio, idx)
 	now := s.eng.Now()
 	decidedAt := now
 	link := s.links[media.Video]
 	s.cfg.Model.OnStart(abr.TransferInfo{
 		Type:       media.Video,
-		At:         now,
+		At:         s.rel(now),
 		Concurrent: link.ActiveTransfers() + 1,
 	})
 	opts := netsim.StartOptions{
 		Label: "muxed",
 		OnComplete: func(tr *netsim.Transfer) {
+			if s.ended {
+				return // teardown raced this completion on a shared engine
+			}
 			done := s.eng.Now()
 			s.frontier[media.Video] = s.chunkStarts[idx+1]
 			s.frontier[media.Audio] = s.chunkStarts[idx+1]
 			s.res.Chunks = append(s.res.Chunks,
-				ChunkDecision{Index: idx, Type: media.Video, Track: combo.Video, DecidedAt: decidedAt, CompletedAt: done, Bytes: s.content.ChunkSize(combo.Video, idx)},
-				ChunkDecision{Index: idx, Type: media.Audio, Track: combo.Audio, DecidedAt: decidedAt, CompletedAt: done, Bytes: s.content.ChunkSize(combo.Audio, idx)},
+				ChunkDecision{Index: idx, Type: media.Video, Track: combo.Video, DecidedAt: s.rel(decidedAt), CompletedAt: s.rel(done), Bytes: s.content.ChunkSize(combo.Video, idx)},
+				ChunkDecision{Index: idx, Type: media.Audio, Track: combo.Audio, DecidedAt: s.rel(decidedAt), CompletedAt: s.rel(done), Bytes: s.content.ChunkSize(combo.Audio, idx)},
 			)
 			s.cfg.Model.OnComplete(abr.TransferInfo{
 				Type:       media.Video,
 				Bytes:      float64(tr.Size()),
 				Duration:   tr.Duration(),
-				At:         done,
+				At:         s.rel(done),
 				Concurrent: link.ActiveTransfers() + 1,
 			})
 			s.onFrontierAdvance()
@@ -509,19 +598,27 @@ func (s *session) startMuxedChunk(idx int, combo media.Combo, then func()) {
 	if s.cfg.SampleInterval > 0 {
 		opts.SampleEvery = s.cfg.SampleInterval
 		opts.OnSample = func(tr *netsim.Transfer, bytes float64, interval time.Duration) {
+			if s.ended {
+				return
+			}
 			s.cfg.Model.OnProgress(abr.TransferInfo{
 				Type:       media.Video,
 				Bytes:      bytes,
 				Duration:   interval,
-				At:         s.eng.Now(),
+				At:         s.rel(s.eng.Now()),
 				Concurrent: link.ActiveTransfers(),
 			})
 		}
 	}
+	if s.cfg.OnRequest != nil {
+		opts.ExtraDelay = s.cfg.OnRequest(ChunkRequest{
+			Index: idx, Type: media.Video, Track: combo.Video, MuxedWith: combo.Audio,
+		})
+	}
 	s.transfers[media.Video] = link.Start(size, opts)
 }
 
-func (s *session) jointChunkDone() {
+func (s *Session) jointChunkDone() {
 	s.jointPending--
 	if s.jointPending == 0 {
 		s.next[media.Video]++
@@ -535,7 +632,7 @@ func (s *session) jointChunkDone() {
 // resetAudio discards the buffered audio (or, in muxed mode, both streams)
 // beyond the playback position and restarts fetching from there, recording
 // the waste.
-func (s *session) resetAudio(at time.Duration) {
+func (s *Session) resetAudio(at time.Duration) {
 	if s.ended {
 		return
 	}
@@ -547,7 +644,7 @@ func (s *session) resetAudio(at time.Duration) {
 	for idx < s.numChunks && s.chunkStarts[idx] < playPos {
 		idx++
 	}
-	rec := AudioReset{At: now, RefetchFrom: idx}
+	rec := AudioReset{At: s.rel(now), RefetchFrom: idx}
 
 	discard := func(t media.Type) {
 		// Void pending retry/timeout timers for this stream: they refer to
@@ -606,7 +703,7 @@ func (s *session) resetAudio(at time.Duration) {
 // lead the other by at most SyncWindow chunk positions. The combination is
 // still decided jointly, once per position, by whichever stream reaches it
 // first.
-func (s *session) fetchWindowed(t media.Type) {
+func (s *Session) fetchWindowed(t media.Type) {
 	if s.ended || s.inflight[t] {
 		return
 	}
@@ -652,7 +749,7 @@ func (s *session) fetchWindowed(t media.Type) {
 
 // --- Downloading: independent per-type loops ----------------------------
 
-func (s *session) fetchIndependent(t media.Type) {
+func (s *Session) fetchIndependent(t media.Type) {
 	if s.ended {
 		return
 	}
@@ -678,7 +775,7 @@ func (s *session) fetchIndependent(t media.Type) {
 
 // --- Transfer plumbing ---------------------------------------------------
 
-func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt int, then func()) {
+func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt int, then func()) {
 	if s.ended {
 		return
 	}
@@ -687,7 +784,7 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 	// model's selection is substituted with the nearest healthy neighbour.
 	if s.pol != nil && s.blacklist.Blocked(track.ID, now) {
 		if repl := s.failoverTrack(t, track); repl != nil && repl != track {
-			s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: now})
+			s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: s.rel(now)})
 			s.lastSel[t] = repl
 			track = repl
 			attempt = 0
@@ -735,13 +832,16 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 	link := s.links[t]
 	info := abr.TransferInfo{
 		Type:       t,
-		At:         now,
+		At:         s.rel(now),
 		Concurrent: link.ActiveTransfers() + 1,
 	}
 	s.cfg.Model.OnStart(info)
 	opts := netsim.StartOptions{
 		Label: t.String(),
 		OnComplete: func(tr *netsim.Transfer) {
+			if s.ended {
+				return // teardown raced this completion on a shared engine
+			}
 			if timeoutEv != nil {
 				s.eng.Cancel(timeoutEv)
 				timeoutEv = nil
@@ -752,7 +852,7 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 					Type:       t,
 					Bytes:      tr.Done(),
 					Duration:   done - tr.Started(),
-					At:         done,
+					At:         s.rel(done),
 					Concurrent: link.ActiveTransfers() + 1,
 				})
 				s.failChunk(t, idx, track, attempt, fault.Kind, int64(tr.Done()), then)
@@ -766,15 +866,15 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 				Index:       idx,
 				Type:        t,
 				Track:       track,
-				DecidedAt:   decidedAt,
-				CompletedAt: done,
+				DecidedAt:   s.rel(decidedAt),
+				CompletedAt: s.rel(done),
 				Bytes:       tr.Size(),
 			})
 			s.cfg.Model.OnComplete(abr.TransferInfo{
 				Type:       t,
 				Bytes:      float64(tr.Size()),
 				Duration:   tr.Duration(),
-				At:         done,
+				At:         s.rel(done),
 				Concurrent: link.ActiveTransfers() + 1,
 			})
 			s.onFrontierAdvance()
@@ -784,17 +884,25 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 	if s.cfg.SampleInterval > 0 {
 		opts.SampleEvery = s.cfg.SampleInterval
 		opts.OnSample = func(tr *netsim.Transfer, bytes float64, interval time.Duration) {
+			if s.ended {
+				return
+			}
 			s.cfg.Model.OnProgress(abr.TransferInfo{
 				Type:       t,
 				Bytes:      bytes,
 				Duration:   interval,
-				At:         s.eng.Now(),
+				At:         s.rel(s.eng.Now()),
 				Concurrent: link.ActiveTransfers(),
 			})
 			if !faulted {
 				s.maybeAbandon(tr, t, idx, track, attempt, then)
 			}
 		}
+	}
+	if s.cfg.OnRequest != nil {
+		opts.ExtraDelay = s.cfg.OnRequest(ChunkRequest{
+			Index: idx, Type: t, Track: track, Attempt: attempt,
+		})
 	}
 	transfer = link.Start(wireSize, opts)
 	s.transfers[t] = transfer
@@ -819,7 +927,7 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 				Type:       t,
 				Bytes:      transfer.Done(),
 				Duration:   done - transfer.Started(),
-				At:         done,
+				At:         s.rel(done),
 				Concurrent: link.ActiveTransfers() + 1,
 			})
 			s.failChunk(t, idx, track, attempt, faults.Timeout, int64(transfer.Done()), then)
@@ -832,7 +940,7 @@ func (s *session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 // afterGuarded schedules fn after d, dropping it if the session ended or
 // the stream's generation moved (an audio reset discarded the chunk the
 // callback refers to).
-func (s *session) afterGuarded(t media.Type, d time.Duration, fn func()) {
+func (s *Session) afterGuarded(t media.Type, d time.Duration, fn func()) {
 	gen := s.gen[t]
 	s.eng.After(d, func() {
 		if s.ended || s.gen[t] != gen {
@@ -843,10 +951,10 @@ func (s *session) afterGuarded(t media.Type, d time.Duration, fn func()) {
 }
 
 // recordFault appends one failure event to the result.
-func (s *session) recordFault(t media.Type, idx int, track *media.Track, attempt int, kind faults.Kind, wasted int64) {
+func (s *Session) recordFault(t media.Type, idx int, track *media.Track, attempt int, kind faults.Kind, wasted int64) {
 	s.res.Faults = append(s.res.Faults, FaultEvent{
 		Index: idx, Type: t, Track: track, Kind: kind,
-		Attempt: attempt, At: s.eng.Now(), WastedBytes: wasted,
+		Attempt: attempt, At: s.rel(s.eng.Now()), WastedBytes: wasted,
 	})
 }
 
@@ -855,7 +963,7 @@ func (s *session) recordFault(t media.Type, idx int, track *media.Track, attempt
 // struck, the download retried with seeded exponential backoff while the
 // attempt budget lasts, and failed over to the nearest healthy track once
 // it is spent — the other media type keeps streaming throughout.
-func (s *session) failChunk(t media.Type, idx int, track *media.Track, attempt int, kind faults.Kind, wasted int64, then func()) {
+func (s *Session) failChunk(t media.Type, idx int, track *media.Track, attempt int, kind faults.Kind, wasted int64, then func()) {
 	if s.ended {
 		return
 	}
@@ -880,7 +988,7 @@ func (s *session) failChunk(t media.Type, idx int, track *media.Track, attempt i
 		repl = track
 	}
 	if repl != track {
-		s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: now})
+		s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: s.rel(now)})
 		s.lastSel[t] = repl
 	}
 	s.res.Retries++
@@ -893,7 +1001,7 @@ func (s *session) failChunk(t media.Type, idx int, track *media.Track, attempt i
 // non-blacklisted track at or below the failed bitrate, else the cheapest
 // non-blacklisted track, else (everything exiled) the cheapest track of
 // the type — a robust client keeps trying rather than giving up.
-func (s *session) failoverTrack(t media.Type, failed *media.Track) *media.Track {
+func (s *Session) failoverTrack(t media.Type, failed *media.Track) *media.Track {
 	ladder := s.content.VideoTracks
 	if t == media.Audio {
 		ladder = s.content.AudioTracks
@@ -926,7 +1034,7 @@ func (s *session) failoverTrack(t media.Type, failed *media.Track) *media.Track 
 
 // retrySeed keys the backoff jitter; sharing the fault plan's seed keeps
 // one knob controlling all injected randomness.
-func (s *session) retrySeed() int64 {
+func (s *Session) retrySeed() int64 {
 	if s.cfg.FaultPlan != nil {
 		return s.cfg.FaultPlan.Seed
 	}
@@ -934,18 +1042,21 @@ func (s *session) retrySeed() int64 {
 }
 
 // abort ends the session without marking playback complete.
-func (s *session) abort(reason string) {
+func (s *Session) abort(reason string) {
 	s.res.Aborted = true
 	s.res.AbortReason = reason
 	s.ended = true
 	s.playing = false
 	s.logSample(s.eng.Now())
-	s.eng.Stop()
+	s.teardown()
+	if s.cfg.OnDone != nil {
+		s.cfg.OnDone(s)
+	}
 }
 
 // maybeAbandon consults the model's abandonment rule for an in-flight
 // chunk; a replacement track cancels the transfer and refetches the chunk.
-func (s *session) maybeAbandon(tr *netsim.Transfer, t media.Type, idx int, track *media.Track, attempt int, then func()) {
+func (s *Session) maybeAbandon(tr *netsim.Transfer, t media.Type, idx int, track *media.Track, attempt int, then func()) {
 	if s.abandoner == nil || tr.Completed() {
 		return
 	}
@@ -973,11 +1084,11 @@ func (s *session) maybeAbandon(tr *netsim.Transfer, t media.Type, idx int, track
 		Type:       t,
 		Bytes:      tr.Done(),
 		Duration:   now - tr.Started(),
-		At:         now,
+		At:         s.rel(now),
 		Concurrent: s.links[t].ActiveTransfers() + 1,
 	})
 	s.res.Abandonments = append(s.res.Abandonments, Abandonment{
-		Index: idx, Type: t, From: track, To: repl, At: now,
+		Index: idx, Type: t, From: track, To: repl, At: s.rel(now),
 	})
 	s.lastSel[t] = repl
 	s.startChunk(t, idx, repl, attempt+1, then)

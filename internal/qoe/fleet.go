@@ -1,0 +1,72 @@
+package qoe
+
+import (
+	"demuxabr/internal/stats"
+)
+
+// Jain computes Jain's fairness index (Σx)² / (n·Σx²) over non-negative
+// allocations: 1 when every session gets the same share, approaching 1/n
+// when one session takes everything. Degenerate fleets are defined as
+// perfectly fair: an empty or single-session fleet has no one to be unfair
+// to, and an all-zero fleet starves everyone equally.
+func Jain(xs []float64) float64 {
+	if len(xs) <= 1 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq <= 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// FleetMetrics aggregates per-session metrics across a co-simulated fleet:
+// the distribution of session outcomes, and Jain's fairness index on the
+// duration-weighted video bitrate — the allocation the shared bottleneck
+// actually hands out.
+type FleetMetrics struct {
+	// Sessions is the fleet size.
+	Sessions int
+	// JainVideoKbps is Jain's index over per-session duration-weighted
+	// video bitrates.
+	JainVideoKbps float64
+	// Score / VideoKbps / AudioKbps / RebufferSeconds / StartupSeconds
+	// summarize the per-session distributions.
+	Score           stats.Summary
+	VideoKbps       stats.Summary
+	AudioKbps       stats.Summary
+	RebufferSeconds stats.Summary
+	StartupSeconds  stats.Summary
+}
+
+// ComputeFleet aggregates one fleet's per-session metrics.
+func ComputeFleet(ms []Metrics) FleetMetrics {
+	f := FleetMetrics{Sessions: len(ms)}
+	if len(ms) == 0 {
+		f.JainVideoKbps = 1
+		return f
+	}
+	score := make([]float64, len(ms))
+	video := make([]float64, len(ms))
+	audio := make([]float64, len(ms))
+	rebuf := make([]float64, len(ms))
+	start := make([]float64, len(ms))
+	for i, m := range ms {
+		score[i] = m.Score
+		video[i] = m.AvgVideoBitrate.Kbps()
+		audio[i] = m.AvgAudioBitrate.Kbps()
+		rebuf[i] = m.RebufferTime.Seconds()
+		start[i] = m.StartupDelay.Seconds()
+	}
+	f.JainVideoKbps = Jain(video)
+	f.Score = stats.Summarize(score)
+	f.VideoKbps = stats.Summarize(video)
+	f.AudioKbps = stats.Summarize(audio)
+	f.RebufferSeconds = stats.Summarize(rebuf)
+	f.StartupSeconds = stats.Summarize(start)
+	return f
+}

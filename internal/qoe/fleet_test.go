@@ -1,0 +1,74 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"demuxabr/internal/media"
+)
+
+func TestJainEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"single session", []float64{1200}, 1},
+		{"all-zero bitrates", []float64{0, 0, 0, 0}, 1},
+		{"perfectly fair", []float64{5, 5, 5, 5}, 1},
+		{"known skew", []float64{1, 1, 1, 3}, 0.75}, // 6² / (4·12)
+		{"one takes all", []float64{10, 0, 0, 0}, 0.25},
+	}
+	for _, tc := range cases {
+		if got := Jain(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Jain = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJainBounds(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	j := Jain(xs)
+	if j <= 1.0/float64(len(xs)) || j > 1 {
+		t.Fatalf("Jain = %g outside (1/n, 1]", j)
+	}
+}
+
+func TestComputeFleetDistributions(t *testing.T) {
+	ms := []Metrics{
+		{AvgVideoBitrate: media.Kbps(1000), AvgAudioBitrate: media.Kbps(96), Score: 2, RebufferTime: 0, StartupDelay: 2 * time.Second},
+		{AvgVideoBitrate: media.Kbps(2000), AvgAudioBitrate: media.Kbps(96), Score: 4, RebufferTime: 3 * time.Second, StartupDelay: 4 * time.Second},
+		{AvgVideoBitrate: media.Kbps(3000), AvgAudioBitrate: media.Kbps(192), Score: 6, RebufferTime: 6 * time.Second, StartupDelay: 6 * time.Second},
+	}
+	f := ComputeFleet(ms)
+	if f.Sessions != 3 {
+		t.Fatalf("Sessions = %d, want 3", f.Sessions)
+	}
+	// Jain over {1000, 2000, 3000}: 6000² / (3·14e6) = 6/7.
+	if want := 36e6 / (3 * 14e6); math.Abs(f.JainVideoKbps-want) > 1e-12 {
+		t.Errorf("JainVideoKbps = %g, want %g", f.JainVideoKbps, want)
+	}
+	if f.VideoKbps.Median != 2000 || f.VideoKbps.Min != 1000 || f.VideoKbps.Max != 3000 {
+		t.Errorf("VideoKbps summary = %+v", f.VideoKbps)
+	}
+	if f.Score.Mean != 4 {
+		t.Errorf("Score.Mean = %g, want 4", f.Score.Mean)
+	}
+	if f.RebufferSeconds.Max != 6 || f.StartupSeconds.Min != 2 {
+		t.Errorf("rebuffer/startup summaries = %+v / %+v", f.RebufferSeconds, f.StartupSeconds)
+	}
+	// Percentile interpolation on the 3-point distribution: P90 of
+	// {1000, 2000, 3000} is 2800 (linear interpolation at rank 1.8).
+	if math.Abs(f.VideoKbps.P90-2800) > 1e-9 {
+		t.Errorf("VideoKbps.P90 = %g, want 2800", f.VideoKbps.P90)
+	}
+}
+
+func TestComputeFleetEmpty(t *testing.T) {
+	f := ComputeFleet(nil)
+	if f.Sessions != 0 || f.JainVideoKbps != 1 {
+		t.Fatalf("empty fleet: %+v", f)
+	}
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"demuxabr/internal/qoe"
+	"demuxabr/internal/stats"
+)
+
+// Fleet is the export schema for a multi-session co-simulation: per-session
+// outcomes plus the fleet-level aggregates (QoE distribution, Jain's
+// fairness, shared-cache effectiveness). Durations are serialized in
+// seconds to be directly plottable.
+type Fleet struct {
+	Content  string `json:"content"`
+	Mode     string `json:"mode"` // packaging: demuxed or muxed
+	Sessions int    `json:"sessions"`
+	// Completed counts sessions that played the content to the end.
+	Completed int `json:"completed"`
+
+	JainVideoKbps float64 `json:"jain_video_kbps"`
+
+	Score     Distribution `json:"qoe_score"`
+	VideoKbps Distribution `json:"video_kbps"`
+	AudioKbps Distribution `json:"audio_kbps"`
+	RebufferS Distribution `json:"rebuffer_s"`
+	StartupS  Distribution `json:"startup_s"`
+
+	Cache CacheStats `json:"cache"`
+
+	PerSession []FleetSession `json:"per_session"`
+}
+
+// Distribution mirrors stats.Summary for JSON export.
+type Distribution struct {
+	Min    float64 `json:"min"`
+	P10    float64 `json:"p10"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+}
+
+// CacheStats is the shared-edge accounting: hit ratios and origin offload.
+type CacheStats struct {
+	Requests     int64   `json:"requests"`
+	Hits         int64   `json:"hits"`
+	HitRatio     float64 `json:"hit_ratio"`
+	ByteHitRatio float64 `json:"byte_hit_ratio"`
+	BytesServed  int64   `json:"bytes_served"`
+	BytesOrigin  int64   `json:"bytes_origin"`
+	// OriginOffload is the fraction of served bytes the origin never saw
+	// (identical to ByteHitRatio, named for the operator's perspective).
+	OriginOffload float64 `json:"origin_offload"`
+}
+
+// FleetSession is one session's row in a fleet report.
+type FleetSession struct {
+	ID       int     `json:"id"`
+	Model    string  `json:"model"`
+	ArrivalS float64 `json:"arrival_s"`
+	Ended    bool    `json:"ended"`
+	Metrics  Metrics `json:"metrics"`
+	// CacheHitRatio is the fraction of this session's requests served from
+	// the shared edge cache.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// FromSummary converts a stats.Summary to the export shape.
+func FromSummary(s stats.Summary) Distribution {
+	return Distribution{Min: s.Min, P10: s.P10, Median: s.Median, P90: s.P90, Max: s.Max, Mean: s.Mean}
+}
+
+// ApplyFleetMetrics fills the aggregate distribution fields from qoe fleet
+// metrics.
+func (f *Fleet) ApplyFleetMetrics(m qoe.FleetMetrics) {
+	f.Sessions = m.Sessions
+	f.JainVideoKbps = m.JainVideoKbps
+	f.Score = FromSummary(m.Score)
+	f.VideoKbps = FromSummary(m.VideoKbps)
+	f.AudioKbps = FromSummary(m.AudioKbps)
+	f.RebufferS = FromSummary(m.RebufferSeconds)
+	f.StartupS = FromSummary(m.StartupSeconds)
+}
+
+// WriteJSON serializes the fleet report with indentation.
+func (f *Fleet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadFleetJSON loads a fleet report document.
+func ReadFleetJSON(r io.Reader) (*Fleet, error) {
+	var f Fleet
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	if f.Sessions == 0 {
+		return nil, fmt.Errorf("report: fleet document has no sessions")
+	}
+	return &f, nil
+}

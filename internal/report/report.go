@@ -87,6 +87,28 @@ type Abandonment struct {
 	At    float64 `json:"t_s"`
 }
 
+// MetricsFrom converts qoe metrics to the plottable export shape.
+func MetricsFrom(m qoe.Metrics) Metrics {
+	return Metrics{
+		AvgVideoKbps:    m.AvgVideoBitrate.Kbps(),
+		AvgAudioKbps:    m.AvgAudioBitrate.Kbps(),
+		VideoQuality:    m.AvgVideoQuality,
+		AudioQuality:    m.AvgAudioQuality,
+		VideoSwitches:   m.VideoSwitches,
+		AudioSwitches:   m.AudioSwitches,
+		DistinctCombos:  m.DistinctCombos,
+		OffManifest:     m.OffManifest,
+		StallCount:      m.StallCount,
+		RebufferSecs:    m.RebufferTime.Seconds(),
+		RebufferRatio:   m.RebufferRatio,
+		StartupSecs:     m.StartupDelay.Seconds(),
+		MaxImbalanceS:   m.MaxImbalance.Seconds(),
+		MeanImbalanceS:  m.MeanImbalance.Seconds(),
+		BufferHealthP10: m.BufferHealth.P10,
+		Score:           m.Score,
+	}
+}
+
 // FromResult flattens a session result and its metrics into the schema.
 func FromResult(contentName string, res *player.Result, m qoe.Metrics) *Session {
 	s := &Session{
@@ -95,24 +117,7 @@ func FromResult(contentName string, res *player.Result, m qoe.Metrics) *Session 
 		ContentDuration: res.ContentDuration.Seconds(),
 		StartupDelay:    res.StartupDelay.Seconds(),
 		Ended:           res.Ended,
-		Metrics: Metrics{
-			AvgVideoKbps:    m.AvgVideoBitrate.Kbps(),
-			AvgAudioKbps:    m.AvgAudioBitrate.Kbps(),
-			VideoQuality:    m.AvgVideoQuality,
-			AudioQuality:    m.AvgAudioQuality,
-			VideoSwitches:   m.VideoSwitches,
-			AudioSwitches:   m.AudioSwitches,
-			DistinctCombos:  m.DistinctCombos,
-			OffManifest:     m.OffManifest,
-			StallCount:      m.StallCount,
-			RebufferSecs:    m.RebufferTime.Seconds(),
-			RebufferRatio:   m.RebufferRatio,
-			StartupSecs:     m.StartupDelay.Seconds(),
-			MaxImbalanceS:   m.MaxImbalance.Seconds(),
-			MeanImbalanceS:  m.MeanImbalance.Seconds(),
-			BufferHealthP10: m.BufferHealth.P10,
-			Score:           m.Score,
-		},
+		Metrics:         MetricsFrom(m),
 	}
 	for _, p := range res.Timeline {
 		point := Point{
