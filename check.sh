@@ -9,7 +9,9 @@
 #                    floateq, units (see docs/STATIC_ANALYSIS.md)
 #   5. equivalence   fleet runners must be byte-identical serial vs
 #                    GOMAXPROCS-parallel (see docs/PERFORMANCE.md)
-#   6. benchmem      fleet benchmarks compile and run once, so the
+#   6. timeline      flight-recorder exports must be byte-identical
+#                    across repeat runs and worker counts
+#   7. benchmem      fleet benchmarks compile and run once, so the
 #                    allocs/op trajectory is always measurable
 #
 # Exits non-zero on the first failing step.
@@ -32,6 +34,10 @@ echo "== parallel-vs-serial equivalence (incl. fault-injection and fleet determi
 go test -race -count=1 \
 	-run 'TestParallelEquivalence|TestCacheSweepParallelMatchesSerial|TestMapCollectsInSubmissionOrder|TestResilienceSweepDeterministic|TestResilienceSweepParallelEquivalence|TestFleetScaleParallelEquivalence|TestFleetDeterministic' \
 	./internal/experiments ./internal/cdnsim ./internal/runpool ./internal/fleet
+
+echo "== timeline determinism (flight-recorder exports byte-identical across runs and worker counts)"
+go test -race -count=1 -run 'TestTimeline' \
+	./internal/timeline ./internal/fleet ./cmd/abrsim
 
 echo "== benchmem smoke (1 iteration per fleet benchmark)"
 go test -run=NONE -bench 'BenchmarkBandwidthSweep|BenchmarkSeedSweep|BenchmarkCDNCacheSweep|BenchmarkFleet' \

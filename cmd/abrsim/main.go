@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	abrsim -player bestpractice -kbps 700 [-content drama] [-timeline out.csv]
+//	abrsim -player bestpractice -kbps 700 [-content drama] [-timeline-csv out.csv] [-timeline dir]
 //	abrsim -player shaka -trace profile.csv [-manifest hall] [-audio-first A3]
 //	abrsim -compare -kbps 700 [-parallel n]
 //	abrsim -sessions 8 -kbps 24000 [-arrival-spread 30s] [-mix bestpractice,bola-joint] [-json fleet.json]
@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"demuxabr/internal/media"
 	"demuxabr/internal/report"
 	"demuxabr/internal/runpool"
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -38,7 +41,8 @@ func main() {
 	contentName := flag.String("content", "drama", "content: drama, drama-low-audio, drama-high-audio, music-show, action-movie")
 	manifest := flag.String("manifest", "hsub", "HLS manifest combinations: hsub (curated) or hall (all)")
 	audioFirst := flag.String("audio-first", "", "audio track listed first in the HLS manifest (e.g. A3)")
-	timelineOut := flag.String("timeline", "", "write the session timeline as CSV to this file")
+	timelineCSV := flag.String("timeline-csv", "", "write the session timeline as CSV to this file")
+	timelineDir := flag.String("timeline", "", "write flight-recorder timelines (JSONL + Chrome trace) into this directory")
 	jsonOut := flag.String("json", "", "write the full session (or fleet) report as JSON to this file")
 	compare := flag.Bool("compare", false, "run every player model and print a comparison table (ignores -player)")
 	parallel := flag.Int("parallel", 0, "worker count for -compare (0 = GOMAXPROCS, 1 = serial)")
@@ -49,28 +53,70 @@ func main() {
 	arrivalSpread := flag.Duration("arrival-spread", 30*time.Second, "fleet arrival window: session starts are staggered (seeded) over [0, spread)")
 	mix := flag.String("mix", "", "comma-separated player kinds assigned round-robin across fleet sessions (default: -player for every session)")
 	seed := flag.Int64("seed", 17, "fleet seed: drives arrival draws and per-session fault plan derivation")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	fo := faultOpts{rate: *faultRate, seed: *faultSeed, noRetry: *noRetry}
-	if *compare {
-		if err := runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, fo); err != nil {
-			fmt.Fprintln(os.Stderr, "abrsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *sessions > 1 {
-		if err := runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *seed, fo); err != nil {
-			fmt.Fprintln(os.Stderr, "abrsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if err := run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineOut, *jsonOut, fo); err != nil {
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)
 		os.Exit(1)
 	}
+
+	fo := faultOpts{rate: *faultRate, seed: *faultSeed, noRetry: *noRetry}
+	switch {
+	case *compare:
+		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo)
+	case *sessions > 1:
+		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, fo)
+	default:
+		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo)
+	}
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abrsim:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles arms the pprof outputs; the returned stop function flushes
+// them and must run before exit (the dispatch above keeps os.Exit after it).
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }
 
 // faultOpts carries the fault-injection CLI flags into core.Spec. A zero
@@ -103,10 +149,19 @@ func (fo faultOpts) policy() *faults.Policy {
 // fan out across parallel workers (each on its own simulation engine);
 // collection is in PlayerKinds order, so the table is identical at any
 // worker count.
-func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, fo faultOpts) error {
+func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, timelineDir string, fo faultOpts) error {
 	kinds := core.PlayerKinds()
+	// Recorders are pre-created in kind order: each worker appends only to
+	// its own, so the exported timeline is byte-identical at any -parallel.
+	var recs []*timeline.Recorder
+	if timelineDir != "" {
+		recs = make([]*timeline.Recorder, len(kinds))
+		for i := range recs {
+			recs[i] = timeline.New(i, string(kinds[i]))
+		}
+	}
 	sessions, err := runpool.Map(parallel, len(kinds), func(i int) (*core.Session, error) {
-		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, fo)
+		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, recFor(recs, i), fo)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", kinds[i], err)
 		}
@@ -114,6 +169,11 @@ func runCompare(kbps float64, traceFile, profileName, contentName, manifest, aud
 	})
 	if err != nil {
 		return err
+	}
+	if timelineDir != "" {
+		if err := timeline.WriteFiles(timelineDir, "compare", recs); err != nil {
+			return err
+		}
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Model\tVideo\tAudio\tStalls\tRebuffer\tSwitches\tOff-manifest\tQoE")
@@ -196,9 +256,17 @@ func parseManifest(content *media.Content, manifest, audioFirst string) (core.Ma
 	return mo, nil
 }
 
+// recFor indexes a recorder slice that may be nil (timelines disabled).
+func recFor(recs []*timeline.Recorder, i int) *timeline.Recorder {
+	if recs == nil {
+		return nil
+	}
+	return recs[i]
+}
+
 // playOnce builds content, profile and manifest options from the CLI flags
-// and runs one session.
-func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, fo faultOpts) (*core.Session, error) {
+// and runs one session, attaching rec (may be nil) as its flight recorder.
+func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, rec *timeline.Recorder, fo faultOpts) (*core.Session, error) {
 	kind, err := core.ParsePlayerKind(playerName)
 	if err != nil {
 		return nil, err
@@ -222,6 +290,7 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 		Manifest:   mo,
 		Faults:     fo.plan(),
 		Robustness: fo.policy(),
+		Recorder:   rec,
 	})
 }
 
@@ -247,7 +316,7 @@ func parseMix(mixStr, playerName string) ([]core.PlayerKind, error) {
 // shared edge uplink, every client gets a generous access link behind it,
 // and all sessions hit one shared edge cache. Output is a per-session table
 // plus the fleet aggregates; -json writes the full fleet report.
-func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut string, seed int64, fo faultOpts) error {
+func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, fo faultOpts) error {
 	content, err := parseContent(contentName)
 	if err != nil {
 		return err
@@ -275,9 +344,15 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 		Seed:          seed,
 		FaultPlan:     fo.plan(),
 		Robustness:    fo.policy(),
+		Timeline:      timelineDir != "",
 	})
 	if err != nil {
 		return err
+	}
+	if timelineDir != "" {
+		if err := timeline.WriteFiles(timelineDir, "fleet", res.Recorders); err != nil {
+			return err
+		}
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -315,8 +390,12 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 	return nil
 }
 
-func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineOut, jsonOut string, fo faultOpts) error {
-	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, fo)
+func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineCSV, timelineDir, jsonOut string, fo faultOpts) error {
+	var rec *timeline.Recorder
+	if timelineDir != "" {
+		rec = timeline.New(0, playerName)
+	}
+	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, rec, fo)
 	if err != nil {
 		return err
 	}
@@ -337,6 +416,14 @@ func run(playerName string, kbps float64, traceFile, profileName, contentName, m
 	if sess.Result.Aborted {
 		fmt.Printf("ABORTED:         %s\n", sess.Result.AbortReason)
 	}
+	if rec != nil {
+		c := rec.Counters()
+		fmt.Printf("timeline:        %d events (%d decisions, %d requests, %d retries, %d stalls)\n",
+			c.Events, c.Decisions, c.Requests, c.Retries, c.Stalls)
+		if err := timeline.WriteFiles(timelineDir, "session", []*timeline.Recorder{rec}); err != nil {
+			return err
+		}
+	}
 
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)
@@ -344,6 +431,9 @@ func run(playerName string, kbps float64, traceFile, profileName, contentName, m
 			return err
 		}
 		doc := report.FromResult(contentName, sess.Result, sess.Metrics)
+		if rec != nil {
+			doc.TimelineCounters = report.CountersFrom(rec.Counters())
+		}
 		if err := doc.WriteJSON(f); err != nil {
 			f.Close()
 			return err
@@ -353,8 +443,8 @@ func run(playerName string, kbps float64, traceFile, profileName, contentName, m
 		}
 	}
 
-	if timelineOut != "" {
-		f, err := os.Create(timelineOut)
+	if timelineCSV != "" {
+		f, err := os.Create(timelineCSV)
 		if err != nil {
 			return err
 		}

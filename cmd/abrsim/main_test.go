@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunFixedBandwidth(t *testing.T) {
 	tl := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", tl, "", faultOpts{}); err != nil {
+	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", tl, "", "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(tl)
@@ -30,20 +31,20 @@ func TestRunTraceFile(t *testing.T) {
 	if err := os.WriteFile(traceFile, []byte("0,900\n30,300\n#cycle,60\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("shaka", 0, traceFile, "", "drama", "hall", "", "", "", faultOpts{}); err != nil {
+	if err := run("shaka", 0, traceFile, "", "drama", "hall", "", "", "", "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAudioFirst(t *testing.T) {
-	if err := run("exoplayer-hls", 2000, "", "", "drama", "hsub", "A3", "", "", faultOpts{}); err != nil {
+	if err := run("exoplayer-hls", 2000, "", "", "drama", "hsub", "A3", "", "", "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunContentVariants(t *testing.T) {
 	for _, c := range []string{"drama-low-audio", "drama-high-audio"} {
-		if err := run("exoplayer-dash", 900, "", "", c, "hsub", "", "", "", faultOpts{}); err != nil {
+		if err := run("exoplayer-dash", 900, "", "", c, "hsub", "", "", "", "", faultOpts{}); err != nil {
 			t.Fatalf("%s: %v", c, err)
 		}
 	}
@@ -63,7 +64,7 @@ func TestRunErrors(t *testing.T) {
 		{name: "missing trace", player: "shaka", content: "drama", manifest: "hsub", traceF: "/nonexistent.csv"},
 	}
 	for _, tc := range cases {
-		if err := run(tc.player, tc.kbps, tc.traceF, "", tc.content, tc.manifest, tc.audioFirst, tc.timeline, "", faultOpts{}); err == nil {
+		if err := run(tc.player, tc.kbps, tc.traceF, "", tc.content, tc.manifest, tc.audioFirst, tc.timeline, "", "", faultOpts{}); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -71,7 +72,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunJSONExport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "session.json")
-	if err := run("mpc-joint", 1300, "", "", "drama", "hsub", "", "", out, faultOpts{}); err != nil {
+	if err := run("mpc-joint", 1300, "", "", "drama", "hsub", "", "", "", out, faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -87,17 +88,17 @@ func TestRunJSONExport(t *testing.T) {
 }
 
 func TestRunNamedProfile(t *testing.T) {
-	if err := run("shaka", 0, "", "fig4a", "drama", "hall", "", "", "", faultOpts{}); err != nil {
+	if err := run("shaka", 0, "", "fig4a", "drama", "hall", "", "", "", "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("shaka", 0, "", "bogus", "drama", "hall", "", "", "", faultOpts{}); err == nil {
+	if err := run("shaka", 0, "", "bogus", "drama", "hall", "", "", "", "", faultOpts{}); err == nil {
 		t.Error("unknown profile should fail")
 	}
 }
 
 func TestPlayOnceFaultFlags(t *testing.T) {
 	fo := faultOpts{rate: 0.01, seed: 1009}
-	on, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", fo)
+	on, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", nil, fo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPlayOnceFaultFlags(t *testing.T) {
 		t.Fatal("fault injection flags had no effect: no faults recorded")
 	}
 	fo.noRetry = true
-	off, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", fo)
+	off, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", nil, fo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestRunFleetDeterministicJSON(t *testing.T) {
 	render := func() []byte {
 		out := filepath.Join(t.TempDir(), "fleet.json")
 		if err := runFleet(4, 10*time.Second, "bestpractice,bola-joint", "bestpractice",
-			12000, "", "", "drama", "hsub", "", out, 17, faultOpts{}); err != nil {
+			12000, "", "", "drama", "hsub", "", out, "", 17, faultOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -147,20 +148,77 @@ func TestRunFleetDeterministicJSON(t *testing.T) {
 
 func TestRunFleetErrors(t *testing.T) {
 	if err := runFleet(4, 0, "bestpractice,vlc", "bestpractice",
-		12000, "", "", "drama", "hsub", "", "", 17, faultOpts{}); err == nil {
+		12000, "", "", "drama", "hsub", "", "", "", 17, faultOpts{}); err == nil {
 		t.Error("bad mix entry: expected error")
 	}
 	if err := runFleet(4, 0, "", "bestpractice",
-		0, "", "", "drama", "hsub", "", "", 17, faultOpts{}); err == nil {
+		0, "", "", "drama", "hsub", "", "", "", 17, faultOpts{}); err == nil {
 		t.Error("no bandwidth: expected error")
 	}
 }
 
 func TestRunCompare(t *testing.T) {
-	if err := runCompare(900, "", "", "drama", "hsub", "", 0, faultOpts{}); err != nil {
+	if err := runCompare(900, "", "", "drama", "hsub", "", 0, "", faultOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(0, "", "", "drama", "hsub", "", 1, faultOpts{}); err == nil {
+	if err := runCompare(0, "", "", "drama", "hsub", "", 1, "", faultOpts{}); err == nil {
 		t.Error("compare without bandwidth should fail")
+	}
+}
+
+func TestRunTimelineDir(t *testing.T) {
+	dir := t.TempDir()
+	fo := faultOpts{rate: 0.01, seed: 1009}
+	if err := run("bestpractice", 0, "", "fig3", "drama", "hsub", "", "", dir, "", fo); err != nil {
+		t.Fatal(err)
+	}
+	jsonl, err := os.ReadFile(filepath.Join(dir, "session.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{`"decision"`, `"request-done"`, `"retry"`} {
+		if !strings.Contains(string(jsonl), kind) {
+			t.Errorf("session.jsonl missing %s events", kind)
+		}
+	}
+	traceJSON, err := os.ReadFile(filepath.Join(dir, "session.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(traceJSON) {
+		t.Error("session.trace.json is not valid JSON")
+	}
+}
+
+// TestTimelineCompareParallelEquivalence is the acceptance gate for the
+// flight recorder's determinism: the exported timelines must be
+// byte-identical between a serial run and a fully parallel one.
+func TestTimelineCompareParallelEquivalence(t *testing.T) {
+	render := func(parallel int) (jsonl, traceJSON []byte) {
+		dir := t.TempDir()
+		fo := faultOpts{rate: 0.01, seed: 1009}
+		if err := runCompare(0, "", "fig3", "drama", "hsub", "", parallel, dir, fo); err != nil {
+			t.Fatal(err)
+		}
+		jsonl, err := os.ReadFile(filepath.Join(dir, "compare.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traceJSON, err = os.ReadFile(filepath.Join(dir, "compare.trace.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jsonl, traceJSON
+	}
+	serialJSONL, serialTrace := render(1)
+	parallelJSONL, parallelTrace := render(8)
+	if string(serialJSONL) != string(parallelJSONL) {
+		t.Error("compare.jsonl differs between -parallel 1 and -parallel 8")
+	}
+	if string(serialTrace) != string(parallelTrace) {
+		t.Error("compare.trace.json differs between -parallel 1 and -parallel 8")
+	}
+	if !json.Valid(serialTrace) {
+		t.Error("compare.trace.json is not valid JSON")
 	}
 }

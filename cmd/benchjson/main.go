@@ -22,9 +22,12 @@ import (
 	"time"
 
 	"demuxabr/internal/cdnsim"
+	"demuxabr/internal/core"
 	"demuxabr/internal/experiments"
 	"demuxabr/internal/media"
 	"demuxabr/internal/runpool"
+	"demuxabr/internal/timeline"
+	"demuxabr/internal/trace"
 )
 
 // result is one measured workload.
@@ -71,6 +74,22 @@ func fleetWorkloads() []workload {
 			pop := cdnsim.Population{Viewers: 60, VideoZipf: 1.2, AudioSpread: 3, Seed: 11}
 			cdnsim.CacheSweepParallel(content, pop, []int64{32 << 20, 128 << 20, 512 << 20}, p)
 			return nil
+		}},
+		// The recorder-off/on pair exposes the flight recorder's overhead:
+		// the off row must track the pre-recorder baseline (the recorder is
+		// a nil pointer, every emit a no-op), the on row prices event
+		// collection. Single-session, so worker count is irrelevant.
+		{"session-recorder-off", func(int) error {
+			_, err := core.Play(core.Spec{Profile: trace.Fig3VaryingAvg600(), Player: core.BestPractice})
+			return err
+		}},
+		{"session-recorder-on", func(int) error {
+			_, err := core.Play(core.Spec{
+				Profile:  trace.Fig3VaryingAvg600(),
+				Player:   core.BestPractice,
+				Recorder: timeline.New(0, "bench"),
+			})
+			return err
 		}},
 	}
 }

@@ -23,21 +23,67 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"demuxabr/internal/cdnsim"
 	"demuxabr/internal/experiments"
 	"demuxabr/internal/media"
 	"demuxabr/internal/plot"
+	"demuxabr/internal/timeline"
 )
 
 // parallelN is the worker count for fleet experiments; 0 = GOMAXPROCS.
 var parallelN int
 
+// timelineDir, when set, writes flight-recorder exports (currently the fig3
+// walkthrough) into the directory.
+var timelineDir string
+
 func main() {
+	// realMain carries the deferred profile flushes; os.Exit here would
+	// skip them, so the exit code travels back as a return value.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn)")
 	csvDir := flag.String("csv", "", "write figure timelines as CSV into this directory")
 	flag.IntVar(&parallelN, "parallel", 0, "fleet worker count (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&timelineDir, "timeline", "", "write flight-recorder timelines (JSONL + Chrome trace) into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			f.Close()
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			}
+		}()
+	}
 
 	runs := []struct {
 		id string
@@ -62,14 +108,15 @@ func main() {
 		fmt.Printf("\n===== %s =====\n", r.id)
 		if err := r.fn(*csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
-			os.Exit(1)
+			return 1
 		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func table1(string) error {
@@ -171,9 +218,18 @@ func chartTimeline(tl []experiments.TimelinePoint, withEstimate bool) {
 }
 
 func fig3(csvDir string) error {
-	r, err := experiments.Fig3()
+	var rec *timeline.Recorder
+	if timelineDir != "" {
+		rec = timeline.New(0, "fig3 exoplayer-hls")
+	}
+	r, err := experiments.Fig3Traced(rec)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := timeline.WriteFiles(timelineDir, "fig3", []*timeline.Recorder{rec}); err != nil {
+			return err
+		}
 	}
 	m := r.Outcome.Metrics
 	fmt.Println("ExoPlayer HLS, H_sub with A3 listed first, time-varying avg 600 Kbps")

@@ -24,6 +24,9 @@ var SimPackagePrefixes = []string{
 	// inside its jobs would still break replay determinism and are banned
 	// like in any other simulation package.
 	"demuxabr/internal/runpool",
+	// The flight recorder stores engine timestamps only; a wall-clock read
+	// here would leak nondeterminism into every exported timeline.
+	"demuxabr/internal/timeline",
 }
 
 // DefaultAnalyzers is the vetabr suite: every project invariant the repo

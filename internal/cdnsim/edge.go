@@ -18,6 +18,11 @@ type Edge struct {
 	content *media.Content
 	per     []Stats
 
+	// Observer, when non-nil, sees every request's outcome after the
+	// per-session accounting — the flight recorder's hook for cache
+	// hit/miss events. It must not issue further requests.
+	Observer func(session int, key string, size int64, hit bool)
+
 	// Lazily built key/size tables, shared across sessions requesting the
 	// same track or combination — the per-request path does no string
 	// formatting (see objectStream).
@@ -77,6 +82,9 @@ func (e *Edge) request(session int, obj Object) bool {
 	} else {
 		s.Misses++
 		s.BytesOrigin += obj.Size
+	}
+	if e.Observer != nil {
+		e.Observer(session, obj.Key, obj.Size, hit)
 	}
 	return hit
 }

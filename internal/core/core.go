@@ -25,6 +25,7 @@ import (
 	"demuxabr/internal/netsim"
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -230,6 +231,10 @@ type Spec struct {
 	// Deadline overrides the engine's default session deadline when
 	// non-zero.
 	Deadline time.Duration
+	// Recorder, when non-nil, collects the session's flight-recorder
+	// events (ABR decisions, request lifecycle, stalls, link-rate changes;
+	// see internal/timeline). Nil disables recording.
+	Recorder *timeline.Recorder
 }
 
 // Session is a finished run: the raw result plus derived metrics.
@@ -267,6 +272,9 @@ func Play(spec Spec) (*Session, error) {
 	}
 	eng := netsim.NewEngine()
 	link := netsim.NewLink(eng, spec.Profile)
+	if spec.Recorder != nil {
+		link.SetRecorder(spec.Recorder, "link")
+	}
 	res, err := player.Run(link, player.Config{
 		Content:       spec.Content,
 		Model:         model,
@@ -277,6 +285,7 @@ func Play(spec Spec) (*Session, error) {
 		FaultPlan:     spec.Faults,
 		Robustness:    spec.Robustness,
 		Deadline:      spec.Deadline,
+		Recorder:      spec.Recorder,
 	})
 	if err != nil {
 		return nil, err

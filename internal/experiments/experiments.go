@@ -19,6 +19,7 @@ import (
 	"demuxabr/internal/netsim"
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -32,9 +33,18 @@ type Outcome struct {
 // Run executes one streaming session. allowed (may be nil) is used for
 // off-manifest accounting in the metrics.
 func Run(content *media.Content, profile trace.Profile, model abr.Algorithm, allowed []media.Combo) (Outcome, error) {
+	return RunRecorded(content, profile, model, allowed, nil)
+}
+
+// RunRecorded is Run with a flight recorder attached to the session and
+// its link (nil rec behaves exactly like Run).
+func RunRecorded(content *media.Content, profile trace.Profile, model abr.Algorithm, allowed []media.Combo, rec *timeline.Recorder) (Outcome, error) {
 	eng := netsim.NewEngine()
 	link := netsim.NewLink(eng, profile)
-	res, err := player.Run(link, player.Config{Content: content, Model: model})
+	if rec != nil {
+		link.SetRecorder(rec, "link")
+	}
+	res, err := player.Run(link, player.Config{Content: content, Model: model, Recorder: rec})
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: %s: %w", model.Name(), err)
 	}

@@ -8,6 +8,7 @@ import (
 	"demuxabr/internal/abr/exoplayer"
 	"demuxabr/internal/abr/shaka"
 	"demuxabr/internal/media"
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -94,6 +95,12 @@ type Fig3Result struct {
 // stays pinned at A3, stalls accumulate, and selected pairs leave the
 // manifest's subset.
 func Fig3() (Fig3Result, error) {
+	return Fig3Traced(nil)
+}
+
+// Fig3Traced is Fig3 with a flight recorder attached — the timeline the
+// docs' stall-diagnosis walkthrough is drawn from.
+func Fig3Traced(rec *timeline.Recorder) (Fig3Result, error) {
 	content := media.DramaShow()
 	order := []*media.Track{content.AudioTracks[2], content.AudioTracks[1], content.AudioTracks[0]}
 	combos, parsedOrder, err := hlsMaster(content, media.HSub(content), order)
@@ -101,7 +108,7 @@ func Fig3() (Fig3Result, error) {
 		return Fig3Result{}, err
 	}
 	model := exoplayer.NewHLS(combos, parsedOrder)
-	out, err := Run(content, trace.Fig3VaryingAvg600(), model, combos)
+	out, err := RunRecorded(content, trace.Fig3VaryingAvg600(), model, combos, rec)
 	if err != nil {
 		return Fig3Result{}, err
 	}

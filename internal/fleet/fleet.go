@@ -27,6 +27,8 @@ import (
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
 	"demuxabr/internal/report"
+	"demuxabr/internal/stats"
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -76,6 +78,10 @@ type Config struct {
 	// MaxEvents bounds the whole co-simulation (default 20 million plus
 	// 2 million per session).
 	MaxEvents int
+	// Timeline attaches a flight recorder to every session (plus one for
+	// the shared uplink and cache): the Result carries the recorders for
+	// JSONL / Chrome-trace export and the Report gains aggregate counters.
+	Timeline bool
 }
 
 // SessionResult is one session's outcome within a fleet.
@@ -107,6 +113,9 @@ type Result struct {
 	Cache cdnsim.Stats
 	// Fleet aggregates the per-session metrics (distributions, Jain).
 	Fleet qoe.FleetMetrics
+	// Recorders holds the flight recorders when Config.Timeline was set:
+	// one per session in ID order, then the shared uplink's. Nil otherwise.
+	Recorders []*timeline.Recorder
 }
 
 func (c *Config) setDefaults() error {
@@ -180,6 +189,29 @@ func Run(cfg Config) (*Result, error) {
 	edge := cdnsim.NewEdge(cdnsim.NewCache(cfg.CacheBytes), cfg.Mode, cfg.Content, cfg.Sessions)
 	arrive := cfg.arrivals()
 
+	var recs []*timeline.Recorder
+	var upRec *timeline.Recorder
+	if cfg.Timeline {
+		recs = make([]*timeline.Recorder, cfg.Sessions)
+		for i := range recs {
+			recs[i] = timeline.New(i, fmt.Sprintf("s%d %s", i, cfg.Mix[i%len(cfg.Mix)]))
+		}
+		upRec = timeline.New(cfg.Sessions, "uplink")
+		up.SetRecorder(upRec, "uplink")
+		// Cache outcomes land in the requesting session's recorder; the
+		// edge calls the observer from inside the engine loop, so ordering
+		// is deterministic.
+		edge.Observer = func(session int, key string, size int64, hit bool) {
+			kind := timeline.CacheMiss
+			if hit {
+				kind = timeline.CacheHit
+			}
+			recs[session].Emit(timeline.Event{
+				At: eng.Now(), Kind: kind, Index: -1, Detail: key, Bytes: size,
+			})
+		}
+	}
+
 	kinds := make([]core.PlayerKind, cfg.Sessions)
 	sessions := make([]*player.Session, cfg.Sessions)
 	allowed := make([][]media.Combo, cfg.Sessions)
@@ -203,6 +235,7 @@ func Run(cfg Config) (*Result, error) {
 			MaxEvents:  cfg.MaxEvents,
 			FaultPlan:  cfg.sessionPlan(i),
 			Robustness: cfg.Robustness,
+			Recorder:   recFor(recs, i),
 			OnRequest: func(req player.ChunkRequest) time.Duration {
 				var hit bool
 				if req.MuxedWith != nil {
@@ -257,7 +290,18 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 	res.Fleet = qoe.ComputeFleet(metrics)
+	if cfg.Timeline {
+		res.Recorders = append(append([]*timeline.Recorder(nil), recs...), upRec)
+	}
 	return res, nil
+}
+
+// recFor returns session i's recorder, or nil when recording is off.
+func recFor(recs []*timeline.Recorder, i int) *timeline.Recorder {
+	if recs == nil {
+		return nil
+	}
+	return recs[i]
 }
 
 // Report flattens the fleet result into the stable JSON export schema.
@@ -277,6 +321,20 @@ func (r *Result) Report(contentName string) *report.Fleet {
 		},
 	}
 	f.ApplyFleetMetrics(r.Fleet)
+	var completed []float64
+	for _, s := range r.Sessions {
+		if s.Result.Ended {
+			completed = append(completed, s.Metrics.Score)
+		}
+	}
+	f.ScoreCompleted = report.FromSummary(stats.Summarize(completed))
+	if len(r.Recorders) > 0 {
+		var c timeline.Counters
+		for _, rec := range r.Recorders {
+			c = c.Merge(rec.Counters())
+		}
+		f.TimelineCounters = report.CountersFrom(c)
+	}
 	for _, s := range r.Sessions {
 		f.PerSession = append(f.PerSession, report.FleetSession{
 			ID:            s.ID,

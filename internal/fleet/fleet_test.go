@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"demuxabr/internal/netsim"
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -214,5 +216,116 @@ func TestFleetFaultInjectionDeterministic(t *testing.T) {
 	}
 	if a.Completed != 3 {
 		t.Fatalf("Completed = %d, want 3 (robust sessions should survive 5%% loss)", a.Completed)
+	}
+}
+
+// TestTimelineFleetDeterministic pins the fleet flight recorder: with
+// Timeline on, two identical runs export byte-identical JSONL and Chrome
+// traces, and the recording covers the shared-infrastructure kinds (cache
+// outcomes, uplink rate changes) alongside per-session fault handling.
+func TestTimelineFleetDeterministic(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.Timeline = true
+	cfg.FaultPlan = &faults.Plan{Seed: 5, Rate: 0.02}
+	pol := faults.DefaultPolicy()
+	cfg.Robustness = &pol
+
+	export := func() (jsonl, chrome []byte, res *Result) {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jb, cb bytes.Buffer
+		if err := timeline.WriteJSONL(&jb, res.Recorders); err != nil {
+			t.Fatal(err)
+		}
+		if err := timeline.WriteChromeTrace(&cb, res.Recorders); err != nil {
+			t.Fatal(err)
+		}
+		return jb.Bytes(), cb.Bytes(), res
+	}
+	ja, ca, res := export()
+	jb, cb, _ := export()
+	if !bytes.Equal(ja, jb) {
+		t.Error("fleet JSONL export differs between identical runs")
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Error("fleet Chrome trace differs between identical runs")
+	}
+	if !json.Valid(ca) {
+		t.Error("fleet Chrome trace is not valid JSON")
+	}
+
+	if len(res.Recorders) != cfg.Sessions+1 {
+		t.Fatalf("recorders = %d, want %d sessions + uplink", len(res.Recorders), cfg.Sessions+1)
+	}
+	if got := res.Recorders[cfg.Sessions].Label(); got != "uplink" {
+		t.Errorf("last recorder label = %q, want uplink", got)
+	}
+	kinds := map[timeline.Kind]int{}
+	for _, rec := range res.Recorders {
+		for _, ev := range rec.Events() {
+			kinds[ev.Kind]++
+		}
+	}
+	for _, kind := range []timeline.Kind{
+		timeline.Decision, timeline.Request, timeline.RequestDone,
+		timeline.CacheHit, timeline.CacheMiss, timeline.FaultInjected,
+		timeline.Retry, timeline.LinkRate,
+	} {
+		if kinds[kind] == 0 {
+			t.Errorf("fleet recorded no %s events", kind)
+		}
+	}
+	// The report surfaces the merged counters.
+	doc := res.Report("drama-show")
+	if doc.TimelineCounters == nil || doc.TimelineCounters.Events == 0 {
+		t.Error("fleet report missing timeline counters")
+	}
+	if doc.TimelineCounters != nil && doc.TimelineCounters.CacheHits == 0 {
+		t.Error("fleet counters missing cache hits")
+	}
+}
+
+// TestTimelineOffLeavesNoRecorders guards the default path: without
+// Timeline, the result carries no recorders and the report no counters.
+func TestTimelineOffLeavesNoRecorders(t *testing.T) {
+	res, err := Run(baseConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorders != nil {
+		t.Error("recorders attached without Timeline")
+	}
+	if res.Report("drama-show").TimelineCounters != nil {
+		t.Error("report has counters without Timeline")
+	}
+}
+
+// TestAllAbortFleetExport is the regression test for the NaN export bug: a
+// fleet where every session aborts has an empty completed-score
+// distribution, whose NaN summary used to kill the whole JSON export.
+func TestAllAbortFleetExport(t *testing.T) {
+	cfg := baseConfig(2)
+	cfg.UplinkProfile = trace.Fixed(media.Kbps(80)) // starve everyone
+	cfg.AccessProfile = trace.Fixed(media.Kbps(80))
+	cfg.ArrivalSpread = 0
+	cfg.Deadline = 30 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("Completed = %d, want 0 (config no longer starves the fleet)", res.Completed)
+	}
+	data := fleetJSON(t, res)
+	if !json.Valid(data) {
+		t.Fatalf("all-abort fleet report is not valid JSON:\n%s", data)
+	}
+	if !bytes.Contains(data, []byte(`"qoe_score_completed"`)) {
+		t.Error("report missing qoe_score_completed distribution")
+	}
+	if !bytes.Contains(data, []byte(`"median": null`)) && !bytes.Contains(data, []byte(`"median":null`)) {
+		t.Error("empty distribution's NaN median not exported as null")
 	}
 }

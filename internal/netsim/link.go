@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -34,6 +35,13 @@ type Link struct {
 	// group, which allocates weighted max-min rates across the whole
 	// two-tier tree (see uplink.go).
 	up *Uplink
+
+	// rec, when non-nil, receives a LinkRate event each time the observed
+	// effective capacity changes while the link is being integrated.
+	rec      *timeline.Recorder
+	recLabel string
+	lastRate float64
+	rateSeen bool
 }
 
 // outageWindow is one half-open blackout interval.
@@ -172,7 +180,10 @@ type StartOptions struct {
 	SampleEvery time.Duration
 	OnSample    func(tr *Transfer, bytes float64, interval time.Duration)
 	// ExtraDelay postpones the first byte beyond the link RTT — e.g. a CDN
-	// edge-cache miss paying an origin round trip before bytes flow.
+	// edge-cache miss paying an origin round trip before bytes flow. A
+	// negative value (e.g. a buggy OnRequest hook subtracting more than the
+	// RTT covers) is clamped so the total pre-byte delay never goes below
+	// zero: the discrete-event engine refuses to schedule into the past.
 	ExtraDelay time.Duration
 }
 
@@ -196,8 +207,44 @@ func (l *Link) Start(size int64, opts StartOptions) *Transfer {
 		sampleEvery: opts.SampleEvery,
 		onSample:    opts.OnSample,
 	}
-	l.eng.After(l.RTT+opts.ExtraDelay, func() { l.activate(tr) })
+	delay := l.RTT + opts.ExtraDelay
+	if delay < 0 {
+		delay = 0
+	}
+	l.eng.After(delay, func() { l.activate(tr) })
 	return tr
+}
+
+// SetRecorder attaches a flight recorder: the link emits a LinkRate event
+// (labelled typ, e.g. "link" or "uplink") whenever its observed effective
+// capacity changes during integration. Pass nil to detach.
+func (l *Link) SetRecorder(rec *timeline.Recorder, typ string) {
+	l.rec = rec
+	l.recLabel = typ
+	l.rateSeen = false
+}
+
+// observeRate emits a LinkRate event when the effective capacity at now
+// differs from the last observed value. Rate changes are only observed
+// while the link is actively integrating (idle links schedule no wakes).
+func (l *Link) observeRate(now time.Duration) {
+	if l.rec == nil {
+		return
+	}
+	rate := l.rateAt(now) / 1000 // bits/s → Kbps
+	//lint:ignore floateq piecewise-constant profiles repeat exact values between breakpoints; equality deduplicates, it never gates logic
+	if l.rateSeen && rate == l.lastRate {
+		return
+	}
+	l.rateSeen = true
+	l.lastRate = rate
+	l.rec.Emit(timeline.Event{
+		At:    now,
+		Kind:  timeline.LinkRate,
+		Type:  l.recLabel,
+		Index: -1,
+		Rate:  rate,
+	})
 }
 
 // Cancel aborts an in-flight (or not-yet-activated) transfer. Its
@@ -275,6 +322,7 @@ func (l *Link) advance() {
 
 func (l *Link) advanceSolo() {
 	now := l.eng.Now()
+	l.observeRate(now)
 	if now <= l.lastUpdate {
 		l.lastUpdate = now
 		return

@@ -605,3 +605,27 @@ func TestOutageInvalidWindowIgnored(t *testing.T) {
 		t.Errorf("empty outage window changed the rate: %v", r)
 	}
 }
+
+// TestStartNegativeExtraDelayClamped is the regression test for the
+// ExtraDelay contract: a caller-supplied negative delay (e.g. a buggy
+// OnRequest hook returning a "speedup") must clamp to zero at the network
+// boundary, not schedule the activation in the engine's past and panic.
+func TestStartNegativeExtraDelayClamped(t *testing.T) {
+	eng := NewEngine()
+	link := NewLink(eng, trace.Fixed(media.Kbps(8000)))
+	link.RTT = 50 * time.Millisecond
+	var done *Transfer
+	tr := link.Start(1000, StartOptions{
+		ExtraDelay: -200 * time.Millisecond, // more negative than the RTT covers
+		OnComplete: func(tr *Transfer) { done = tr },
+	})
+	if err := eng.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if done != tr {
+		t.Fatal("transfer never completed")
+	}
+	if tr.Started() != 0 {
+		t.Errorf("first byte at %v, want 0 (clamped, not time travel)", tr.Started())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
 
@@ -32,6 +33,13 @@ type Uplink struct {
 	weight []float64
 	remain []float64
 	sat    []bool
+
+	// rec, when non-nil, receives a LinkRate event each time the observed
+	// uplink capacity changes while the group is being integrated.
+	rec      *timeline.Recorder
+	recLabel string
+	lastRate float64
+	rateSeen bool
 }
 
 // NewUplink creates the shared uplink constraint with the given capacity
@@ -154,8 +162,42 @@ func (u *Uplink) alloc(t time.Duration, total int) []float64 {
 // the allocation that applied over the span (group wake events at every
 // completion and breakpoint guarantee the allocation was constant), then
 // completes finished transfers member by member.
+// SetRecorder attaches a flight recorder: the uplink emits a LinkRate
+// event (labelled typ, e.g. "uplink") whenever its observed capacity
+// changes during integration. Pass nil to detach.
+func (u *Uplink) SetRecorder(rec *timeline.Recorder, typ string) {
+	u.rec = rec
+	u.recLabel = typ
+	u.rateSeen = false
+}
+
+// observeRate emits a LinkRate event when the uplink capacity at now
+// differs from the last observed value, then lets every member leaf do the
+// same for its own access capacity.
+func (u *Uplink) observeRate(now time.Duration) {
+	if u.rec != nil {
+		rate := float64(u.profile.RateAt(now)) / 1000 // bits/s → Kbps
+		//lint:ignore floateq piecewise-constant profiles repeat exact values between breakpoints; equality deduplicates, it never gates logic
+		if !u.rateSeen || rate != u.lastRate {
+			u.rateSeen = true
+			u.lastRate = rate
+			u.rec.Emit(timeline.Event{
+				At:    now,
+				Kind:  timeline.LinkRate,
+				Type:  u.recLabel,
+				Index: -1,
+				Rate:  rate,
+			})
+		}
+	}
+	for _, l := range u.members {
+		l.observeRate(now)
+	}
+}
+
 func (u *Uplink) advance() {
 	now := u.eng.Now()
+	u.observeRate(now)
 	if now <= u.lastUpdate {
 		u.touch(now)
 		return

@@ -26,6 +26,7 @@ import (
 	"demuxabr/internal/faults"
 	"demuxabr/internal/media"
 	"demuxabr/internal/netsim"
+	"demuxabr/internal/timeline"
 )
 
 // Config parameterizes a streaming session.
@@ -95,7 +96,15 @@ type Config struct {
 	// and returns an extra first-byte delay — the hook a CDN edge uses to
 	// serve from cache (zero) or charge an origin round trip (miss
 	// penalty). Fail-fast faults (404/503, hung responses) never reach it.
+	// The returned delay must be non-negative; a negative value is clamped
+	// to zero at the network layer (the discrete-event engine cannot
+	// schedule into the past).
 	OnRequest func(ChunkRequest) time.Duration
+	// Recorder, when non-nil, receives the session's flight-recorder
+	// events: ABR decisions, request lifecycle, buffer samples, stalls,
+	// faults (see internal/timeline). Events carry absolute engine time.
+	// Nil disables recording at zero cost.
+	Recorder *timeline.Recorder
 }
 
 // ChunkRequest identifies one wire request to the delivery path.
@@ -195,6 +204,12 @@ type Session struct {
 	blacklist *faults.Blacklist
 	gen       [2]int // per-type generation; bumped on reset to void stale retry timers
 
+	// plan is the effective fault plan: cfg.FaultPlan, or (when recording)
+	// a copy of it with the flight recorder's Observe hook attached.
+	plan *faults.Plan
+	// rec is the flight recorder; nil when disabled.
+	rec *timeline.Recorder
+
 	// Playback state.
 	started  bool
 	playing  bool
@@ -277,6 +292,24 @@ func Start(videoLink, audioLink *netsim.Link, cfg Config) (*Session, error) {
 		pol := cfg.Robustness.WithDefaults()
 		s.pol = &pol
 		s.blacklist = faults.NewBlacklist()
+	}
+	s.rec = cfg.Recorder
+	s.plan = cfg.FaultPlan
+	if s.rec.Enabled() && cfg.FaultPlan != nil {
+		// Observe positive fault decisions through a session-local copy so
+		// shared plans stay untouched; the copy draws identically.
+		plan := *cfg.FaultPlan
+		plan.Observe = func(trackID string, idx, attempt int, f faults.Fault) {
+			s.rec.Emit(timeline.Event{
+				At:      s.eng.Now(),
+				Kind:    timeline.FaultInjected,
+				Track:   trackID,
+				Index:   idx,
+				Attempt: attempt,
+				Detail:  f.Kind.String(),
+			})
+		}
+		s.plan = &plan
 	}
 	if cfg.FaultPlan != nil {
 		for _, w := range cfg.FaultPlan.Blackouts {
@@ -380,6 +413,11 @@ func (s *Session) onFrontierAdvance() {
 			s.playing = true
 			s.lastTick = now
 			s.res.StartupDelay = s.rel(now)
+			s.rec.Emit(timeline.Event{
+				At: now, Dur: s.rel(now), Kind: timeline.Startup, Index: -1,
+				VideoBuf: s.bufferOf(media.Video, now),
+				AudioBuf: s.bufferOf(media.Audio, now),
+			})
 			s.rescheduleUnderrun()
 		}
 		return
@@ -388,6 +426,11 @@ func (s *Session) onFrontierAdvance() {
 		if s.minFrontier()-s.playPos >= needed(s.cfg.ResumeBuffer) {
 			if now > s.stallAt {
 				s.res.Stalls = append(s.res.Stalls, Stall{Start: s.rel(s.stallAt), End: s.rel(now)})
+				s.rec.Emit(timeline.Event{
+					At: now, Dur: now - s.stallAt, Kind: timeline.StallEnd, Index: -1,
+					VideoBuf: s.bufferOf(media.Video, now),
+					AudioBuf: s.bufferOf(media.Audio, now),
+				})
 			}
 			s.playing = true
 			s.lastTick = now
@@ -433,6 +476,11 @@ func (s *Session) onUnderrun() {
 	// Ran out of one (or both) buffers: stall.
 	s.playing = false
 	s.stallAt = now
+	s.rec.Emit(timeline.Event{
+		At: now, Kind: timeline.StallStart, Index: -1,
+		VideoBuf: s.bufferOf(media.Video, now),
+		AudioBuf: s.bufferOf(media.Audio, now),
+	})
 }
 
 func (s *Session) finish(now time.Duration) {
@@ -441,6 +489,7 @@ func (s *Session) finish(now time.Duration) {
 	s.res.Ended = true
 	s.res.EndedAt = s.rel(now)
 	s.logSample(now)
+	s.rec.Emit(timeline.Event{At: now, Kind: timeline.SessionEnd, Index: -1, Detail: "ended"})
 	s.teardown()
 	if s.cfg.OnDone != nil {
 		s.cfg.OnDone(s)
@@ -499,9 +548,41 @@ func (s *Session) logSample(now time.Duration) {
 		sample.Estimate, sample.EstimateOK = br.BandwidthEstimate()
 	}
 	s.res.Timeline = append(s.res.Timeline, sample)
+	if s.rec.Enabled() {
+		ev := timeline.Event{
+			At: now, Kind: timeline.Buffer, Index: -1,
+			VideoBuf: sample.VideoBuffer,
+			AudioBuf: sample.AudioBuffer,
+		}
+		if sample.EstimateOK {
+			ev.Rate = sample.Estimate.Kbps()
+		}
+		s.rec.Emit(ev)
+	}
 }
 
 // --- Decision state ----------------------------------------------------
+
+// emitDecision records one ABR selection with the buffer levels and
+// bandwidth estimate that drove it. Callers guard with s.rec.Enabled()
+// before building the track string.
+func (s *Session) emitDecision(typ, track string, idx int, now time.Duration) {
+	ev := timeline.Event{
+		At:       now,
+		Kind:     timeline.Decision,
+		Type:     typ,
+		Track:    track,
+		Index:    idx,
+		VideoBuf: s.bufferOf(media.Video, now),
+		AudioBuf: s.bufferOf(media.Audio, now),
+	}
+	if br, ok := s.cfg.Model.(abr.BandwidthReporter); ok {
+		if est, estOK := br.BandwidthEstimate(); estOK {
+			ev.Rate = est.Kbps()
+		}
+	}
+	s.rec.Emit(ev)
+}
 
 func (s *Session) state(chunkIdx int) abr.State {
 	now := s.eng.Now()
@@ -547,6 +628,9 @@ func (s *Session) fetchJoint() {
 	if combo.Video == nil || combo.Audio == nil {
 		panic(fmt.Sprintf("player: model %q returned incomplete combo %v", s.joint.Name(), combo))
 	}
+	if s.rec.Enabled() {
+		s.emitDecision("combo", combo.Video.ID+"+"+combo.Audio.ID, idx, now)
+	}
 	s.lastSel[media.Video] = combo.Video
 	s.lastSel[media.Audio] = combo.Audio
 	if s.cfg.Muxed {
@@ -578,6 +662,17 @@ func (s *Session) startMuxedChunk(idx int, combo media.Combo, then func()) {
 				return // teardown raced this completion on a shared engine
 			}
 			done := s.eng.Now()
+			if s.rec.Enabled() {
+				s.rec.Emit(timeline.Event{
+					At:    done,
+					Dur:   done - tr.Started(),
+					Kind:  timeline.RequestDone,
+					Type:  "muxed",
+					Track: combo.Video.ID + "+" + combo.Audio.ID,
+					Index: idx,
+					Bytes: tr.Size(),
+				})
+			}
 			s.frontier[media.Video] = s.chunkStarts[idx+1]
 			s.frontier[media.Audio] = s.chunkStarts[idx+1]
 			s.res.Chunks = append(s.res.Chunks,
@@ -613,6 +708,16 @@ func (s *Session) startMuxedChunk(idx int, combo media.Combo, then func()) {
 	if s.cfg.OnRequest != nil {
 		opts.ExtraDelay = s.cfg.OnRequest(ChunkRequest{
 			Index: idx, Type: media.Video, Track: combo.Video, MuxedWith: combo.Audio,
+		})
+	}
+	if s.rec.Enabled() {
+		s.rec.Emit(timeline.Event{
+			At:    now,
+			Kind:  timeline.Request,
+			Type:  "muxed",
+			Track: combo.Video.ID + "+" + combo.Audio.ID,
+			Index: idx,
+			Bytes: size,
 		})
 	}
 	s.transfers[media.Video] = link.Start(size, opts)
@@ -675,6 +780,10 @@ func (s *Session) resetAudio(at time.Duration) {
 		discard(media.Video)
 		s.jointPending = 0
 		s.res.AudioResets = append(s.res.AudioResets, rec)
+		s.rec.Emit(timeline.Event{
+			At: now, Kind: timeline.AudioReset, Index: rec.RefetchFrom,
+			Bytes: rec.DiscardedBytes,
+		})
 		s.rescheduleUnderrun()
 		s.fetchJoint()
 		return
@@ -688,6 +797,10 @@ func (s *Session) resetAudio(at time.Duration) {
 		}
 	}
 	s.res.AudioResets = append(s.res.AudioResets, rec)
+	s.rec.Emit(timeline.Event{
+		At: now, Kind: timeline.AudioReset, Index: rec.RefetchFrom,
+		Bytes: rec.DiscardedBytes,
+	})
 	s.rescheduleUnderrun()
 	if s.perType != nil {
 		s.fetchIndependent(media.Audio)
@@ -730,6 +843,9 @@ func (s *Session) fetchWindowed(t media.Type) {
 		if combo.Video == nil || combo.Audio == nil {
 			panic(fmt.Sprintf("player: model %q returned incomplete combo %v", s.joint.Name(), combo))
 		}
+		if s.rec.Enabled() {
+			s.emitDecision("combo", combo.Video.ID+"+"+combo.Audio.ID, idx, now)
+		}
 		s.comboFor[idx] = combo
 		delete(s.comboFor, idx-2*s.cfg.SyncWindow-2) // bound the map
 	}
@@ -766,6 +882,9 @@ func (s *Session) fetchIndependent(t media.Type) {
 	if track == nil || track.Type != t {
 		panic(fmt.Sprintf("player: model %q returned bad track for %s", s.perType.Name(), t))
 	}
+	if s.rec.Enabled() {
+		s.emitDecision(t.String(), track.ID, idx, now)
+	}
 	s.lastSel[t] = track
 	s.startChunk(t, idx, track, 0, func() {
 		s.next[t]++
@@ -785,15 +904,28 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 	if s.pol != nil && s.blacklist.Blocked(track.ID, now) {
 		if repl := s.failoverTrack(t, track); repl != nil && repl != track {
 			s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: s.rel(now)})
+			if s.rec.Enabled() {
+				s.rec.Emit(timeline.Event{
+					At: now, Kind: timeline.Failover, Type: t.String(),
+					Track: repl.ID, Index: idx, Detail: track.ID,
+				})
+			}
 			s.lastSel[t] = repl
 			track = repl
 			attempt = 0
 		}
 	}
+	if s.rec.Enabled() {
+		s.rec.Emit(timeline.Event{
+			At: now, Kind: timeline.Request, Type: t.String(),
+			Track: track.ID, Index: idx, Attempt: attempt,
+			Bytes: s.content.ChunkSize(track, idx),
+		})
+	}
 	var fault faults.Fault
 	faulted := false
-	if s.cfg.FaultPlan != nil {
-		fault, faulted = s.cfg.FaultPlan.SegmentFault(track.ID, idx, attempt)
+	if s.plan != nil {
+		fault, faulted = s.plan.SegmentFault(track.ID, idx, attempt)
 	}
 	if faulted {
 		switch fault.Kind {
@@ -860,6 +992,13 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 			}
 			if s.pol != nil {
 				s.blacklist.Clear(track.ID)
+			}
+			if s.rec.Enabled() {
+				s.rec.Emit(timeline.Event{
+					At: done, Dur: done - tr.Started(), Kind: timeline.RequestDone,
+					Type: t.String(), Track: track.ID, Index: idx,
+					Attempt: attempt, Bytes: tr.Size(),
+				})
 			}
 			s.frontier[t] = s.chunkStarts[idx+1]
 			s.res.Chunks = append(s.res.Chunks, ChunkDecision{
@@ -930,6 +1069,13 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 				At:         s.rel(done),
 				Concurrent: link.ActiveTransfers() + 1,
 			})
+			if s.rec.Enabled() {
+				s.rec.Emit(timeline.Event{
+					At: done, Kind: timeline.RequestTimeout, Type: t.String(),
+					Track: track.ID, Index: idx, Attempt: attempt,
+					Bytes: int64(transfer.Done()),
+				})
+			}
 			s.failChunk(t, idx, track, attempt, faults.Timeout, int64(transfer.Done()), then)
 		})
 	}
@@ -956,6 +1102,13 @@ func (s *Session) recordFault(t media.Type, idx int, track *media.Track, attempt
 		Index: idx, Type: t, Track: track, Kind: kind,
 		Attempt: attempt, At: s.rel(s.eng.Now()), WastedBytes: wasted,
 	})
+	if s.rec.Enabled() {
+		s.rec.Emit(timeline.Event{
+			At: s.eng.Now(), Kind: timeline.RequestFailed, Type: t.String(),
+			Track: track.ID, Index: idx, Attempt: attempt,
+			Detail: kind.String(), Bytes: wasted,
+		})
+	}
 }
 
 // failChunk is the load-error handler. Without a policy the session
@@ -975,8 +1128,20 @@ func (s *Session) failChunk(t media.Type, idx int, track *media.Track, attempt i
 	now := s.eng.Now()
 	key := faults.Key(s.retrySeed(), track.ID, idx)
 	blocked := s.blacklist.Strike(track.ID, now, *s.pol)
+	if blocked && s.rec.Enabled() {
+		s.rec.Emit(timeline.Event{
+			At: now, Kind: timeline.Blacklist, Type: t.String(),
+			Track: track.ID, Index: idx,
+		})
+	}
 	if !blocked && attempt+1 < s.pol.MaxAttempts {
 		s.res.Retries++
+		if s.rec.Enabled() {
+			s.rec.Emit(timeline.Event{
+				At: now, Kind: timeline.Retry, Type: t.String(),
+				Track: track.ID, Index: idx, Attempt: attempt + 1,
+			})
+		}
 		s.afterGuarded(t, s.pol.Backoff(attempt, key), func() {
 			s.startChunk(t, idx, track, attempt+1, then)
 		})
@@ -989,9 +1154,21 @@ func (s *Session) failChunk(t media.Type, idx int, track *media.Track, attempt i
 	}
 	if repl != track {
 		s.res.Failovers = append(s.res.Failovers, Failover{Index: idx, Type: t, From: track, To: repl, At: s.rel(now)})
+		if s.rec.Enabled() {
+			s.rec.Emit(timeline.Event{
+				At: now, Kind: timeline.Failover, Type: t.String(),
+				Track: repl.ID, Index: idx, Detail: track.ID,
+			})
+		}
 		s.lastSel[t] = repl
 	}
 	s.res.Retries++
+	if s.rec.Enabled() {
+		s.rec.Emit(timeline.Event{
+			At: now, Kind: timeline.Retry, Type: t.String(),
+			Track: repl.ID, Index: idx,
+		})
+	}
 	s.afterGuarded(t, s.pol.Backoff(attempt, key), func() {
 		s.startChunk(t, idx, repl, 0, then)
 	})
@@ -1035,8 +1212,8 @@ func (s *Session) failoverTrack(t media.Type, failed *media.Track) *media.Track 
 // retrySeed keys the backoff jitter; sharing the fault plan's seed keeps
 // one knob controlling all injected randomness.
 func (s *Session) retrySeed() int64 {
-	if s.cfg.FaultPlan != nil {
-		return s.cfg.FaultPlan.Seed
+	if s.plan != nil {
+		return s.plan.Seed
 	}
 	return 1
 }
@@ -1048,6 +1225,7 @@ func (s *Session) abort(reason string) {
 	s.ended = true
 	s.playing = false
 	s.logSample(s.eng.Now())
+	s.rec.Emit(timeline.Event{At: s.eng.Now(), Kind: timeline.SessionEnd, Index: -1, Detail: reason})
 	s.teardown()
 	if s.cfg.OnDone != nil {
 		s.cfg.OnDone(s)
@@ -1090,6 +1268,13 @@ func (s *Session) maybeAbandon(tr *netsim.Transfer, t media.Type, idx int, track
 	s.res.Abandonments = append(s.res.Abandonments, Abandonment{
 		Index: idx, Type: t, From: track, To: repl, At: s.rel(now),
 	})
+	if s.rec.Enabled() {
+		s.rec.Emit(timeline.Event{
+			At: now, Kind: timeline.Abandon, Type: t.String(),
+			Track: repl.ID, Index: idx, Detail: track.ID,
+			Bytes: int64(tr.Done()),
+		})
+	}
 	s.lastSel[t] = repl
 	s.startChunk(t, idx, repl, attempt+1, then)
 }

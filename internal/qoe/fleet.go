@@ -8,13 +8,19 @@ import (
 // allocations: 1 when every session gets the same share, approaching 1/n
 // when one session takes everything. Degenerate fleets are defined as
 // perfectly fair: an empty or single-session fleet has no one to be unfair
-// to, and an all-zero fleet starves everyone equally.
+// to, and an all-zero fleet starves everyone equally. Negative inputs are
+// clamped to zero — an allocation cannot be negative, and letting one
+// cancel mass in the numerator would push the index below its 1/n floor —
+// so the result always lies in [1/n, 1].
 func Jain(xs []float64) float64 {
 	if len(xs) <= 1 {
 		return 1
 	}
 	var sum, sumSq float64
 	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
 		sum += x
 		sumSq += x * x
 	}

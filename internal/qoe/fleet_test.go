@@ -2,6 +2,7 @@ package qoe
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -70,5 +71,29 @@ func TestComputeFleetEmpty(t *testing.T) {
 	f := ComputeFleet(nil)
 	if f.Sessions != 0 || f.JainVideoKbps != 1 {
 		t.Fatalf("empty fleet: %+v", f)
+	}
+}
+
+// TestJainNegativeInputsClamped is the regression test for the Jain contract:
+// a negative input (e.g. a corrupted bitrate) must clamp to zero rather than
+// cancel mass in the numerator and push the index below its 1/n floor.
+func TestJainNegativeInputsClamped(t *testing.T) {
+	// Pre-fix: (1+1-1)² / (3·3) = 1/9 < 1/3 — below the documented floor.
+	if got, want := Jain([]float64{1, 1, -1}), Jain([]float64{1, 1, 0}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jain{1,1,-1} = %g, want %g (negative clamped to zero)", got, want)
+	}
+	// Property: over seeded random inputs with negatives mixed in, the
+	// result always lies in [1/n, 1].
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*2000 - 500 // ~25% negative
+		}
+		j := Jain(xs)
+		if j < 1/float64(n)-1e-12 || j > 1+1e-12 {
+			t.Fatalf("trial %d: Jain(%v) = %g outside [1/%d, 1]", trial, xs, j, n)
+		}
 	}
 }

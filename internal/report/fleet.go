@@ -22,13 +22,21 @@ type Fleet struct {
 
 	JainVideoKbps float64 `json:"jain_video_kbps"`
 
-	Score     Distribution `json:"qoe_score"`
-	VideoKbps Distribution `json:"video_kbps"`
-	AudioKbps Distribution `json:"audio_kbps"`
-	RebufferS Distribution `json:"rebuffer_s"`
-	StartupS  Distribution `json:"startup_s"`
+	Score Distribution `json:"qoe_score"`
+	// ScoreCompleted is the QoE distribution over sessions that played to
+	// the end only. When every session aborts it is the empty distribution
+	// (all-null quantiles, n-free), which must still marshal cleanly.
+	ScoreCompleted Distribution `json:"qoe_score_completed"`
+	VideoKbps      Distribution `json:"video_kbps"`
+	AudioKbps      Distribution `json:"audio_kbps"`
+	RebufferS      Distribution `json:"rebuffer_s"`
+	StartupS       Distribution `json:"startup_s"`
 
 	Cache CacheStats `json:"cache"`
+
+	// TimelineCounters aggregates the flight-recorder counters across all
+	// sessions when the run was recorded; nil otherwise.
+	TimelineCounters *TimelineCounters `json:"timeline_counters,omitempty"`
 
 	PerSession []FleetSession `json:"per_session"`
 }
@@ -41,6 +49,51 @@ type Distribution struct {
 	P90    float64 `json:"p90"`
 	Max    float64 `json:"max"`
 	Mean   float64 `json:"mean"`
+}
+
+// MarshalJSON renders NaN/Inf quantiles (the empty distribution) as null;
+// encoding/json rejects them outright, which used to make an all-abort
+// fleet's export fail.
+func (d Distribution) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Min    stats.NullableFloat `json:"min"`
+		P10    stats.NullableFloat `json:"p10"`
+		Median stats.NullableFloat `json:"median"`
+		P90    stats.NullableFloat `json:"p90"`
+		Max    stats.NullableFloat `json:"max"`
+		Mean   stats.NullableFloat `json:"mean"`
+	}{
+		Min:    stats.NullableFloat(d.Min),
+		P10:    stats.NullableFloat(d.P10),
+		Median: stats.NullableFloat(d.Median),
+		P90:    stats.NullableFloat(d.P90),
+		Max:    stats.NullableFloat(d.Max),
+		Mean:   stats.NullableFloat(d.Mean),
+	})
+}
+
+// UnmarshalJSON accepts the null-quantile form, decoding null back to NaN.
+func (d *Distribution) UnmarshalJSON(data []byte) error {
+	var in struct {
+		Min    stats.NullableFloat `json:"min"`
+		P10    stats.NullableFloat `json:"p10"`
+		Median stats.NullableFloat `json:"median"`
+		P90    stats.NullableFloat `json:"p90"`
+		Max    stats.NullableFloat `json:"max"`
+		Mean   stats.NullableFloat `json:"mean"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*d = Distribution{
+		Min:    float64(in.Min),
+		P10:    float64(in.P10),
+		Median: float64(in.Median),
+		P90:    float64(in.P90),
+		Max:    float64(in.Max),
+		Mean:   float64(in.Mean),
+	}
+	return nil
 }
 
 // CacheStats is the shared-edge accounting: hit ratios and origin offload.

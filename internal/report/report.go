@@ -11,6 +11,7 @@ import (
 	"demuxabr/internal/media"
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
+	"demuxabr/internal/timeline"
 )
 
 // Session is the export schema. Durations are serialized in seconds to be
@@ -28,6 +29,45 @@ type Session struct {
 	Chunks       []Chunk       `json:"chunks"`
 	Stalls       []Stall       `json:"stalls"`
 	Abandonments []Abandonment `json:"abandonments,omitempty"`
+
+	// TimelineCounters carries the flight-recorder counters registry when
+	// the session ran with a recorder attached; nil otherwise.
+	TimelineCounters *TimelineCounters `json:"timeline_counters,omitempty"`
+}
+
+// TimelineCounters is the export shape of the flight recorder's counters
+// registry (see internal/timeline).
+type TimelineCounters struct {
+	Events          int64 `json:"events"`
+	Decisions       int64 `json:"decisions"`
+	Requests        int64 `json:"requests"`
+	Retries         int64 `json:"retries"`
+	Timeouts        int64 `json:"timeouts"`
+	Blacklists      int64 `json:"blacklists"`
+	Failovers       int64 `json:"failovers"`
+	Faults          int64 `json:"faults"`
+	Stalls          int64 `json:"stalls"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	BytesDownloaded int64 `json:"bytes_downloaded"`
+}
+
+// CountersFrom converts a timeline counters registry to the export shape.
+func CountersFrom(c timeline.Counters) *TimelineCounters {
+	return &TimelineCounters{
+		Events:          c.Events,
+		Decisions:       c.Decisions,
+		Requests:        c.Requests,
+		Retries:         c.Retries,
+		Timeouts:        c.Timeouts,
+		Blacklists:      c.Blacklists,
+		Failovers:       c.Failovers,
+		Faults:          c.Faults,
+		Stalls:          c.Stalls,
+		CacheHits:       c.CacheHits,
+		CacheMisses:     c.CacheMisses,
+		BytesDownloaded: c.BytesDownloaded,
+	}
 }
 
 // Metrics mirrors qoe.Metrics in plottable units.

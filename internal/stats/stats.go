@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -98,4 +99,57 @@ func Summarize(xs []float64) Summary {
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d min=%.2f p10=%.2f med=%.2f p90=%.2f max=%.2f mean=%.2f",
 		s.N, s.Min, s.P10, s.Median, s.P90, s.Max, s.Mean)
+}
+
+// NullableFloat marshals a float64 as JSON, emitting null for NaN and ±Inf
+// — values encoding/json rejects outright. The empty distribution's NaN
+// quantiles would otherwise make any document embedding a Summary fail to
+// serialize.
+type NullableFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f NullableFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; null decodes to NaN, matching
+// what Summarize reports for an empty distribution.
+func (f *NullableFloat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = NullableFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = NullableFloat(v)
+	return nil
+}
+
+// MarshalJSON serializes the summary with NaN/Inf statistics (the empty
+// distribution) rendered as null, so documents embedding a Summary always
+// marshal cleanly.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Min    NullableFloat `json:"min"`
+		P10    NullableFloat `json:"p10"`
+		Median NullableFloat `json:"median"`
+		P90    NullableFloat `json:"p90"`
+		Max    NullableFloat `json:"max"`
+		Mean   NullableFloat `json:"mean"`
+		N      int           `json:"n"`
+	}{
+		Min:    NullableFloat(s.Min),
+		P10:    NullableFloat(s.P10),
+		Median: NullableFloat(s.Median),
+		P90:    NullableFloat(s.P90),
+		Max:    NullableFloat(s.Max),
+		Mean:   NullableFloat(s.Mean),
+		N:      s.N,
+	})
 }

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -75,5 +77,55 @@ func TestPercentileProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSummarizeEmptyMarshals is the regression test for the NaN export bug:
+// an empty distribution summarizes to NaN fields, which encoding/json
+// rejects outright — the whole report export died on the first aborted-only
+// fleet. NaN must marshal as null (and null must round-trip back to NaN).
+func TestSummarizeEmptyMarshals(t *testing.T) {
+	s := Summarize(nil)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("empty summary does not marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"median":null`) {
+		t.Errorf("NaN median not exported as null: %s", data)
+	}
+	if !strings.Contains(string(data), `"n":0`) {
+		t.Errorf("count missing: %s", data)
+	}
+	var back struct {
+		Median NullableFloat `json:"median"`
+		Mean   NullableFloat `json:"mean"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(back.Median)) || !math.IsNaN(float64(back.Mean)) {
+		t.Errorf("null did not round-trip to NaN: %+v", back)
+	}
+}
+
+func TestNullableFloatFinite(t *testing.T) {
+	for _, v := range []float64{0, -3.5, 1e12} {
+		data, err := json.Marshal(NullableFloat(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back NullableFloat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if float64(back) != v {
+			t.Errorf("round-trip %g -> %s -> %g", v, data, float64(back))
+		}
+	}
+	for _, v := range []float64{math.Inf(1), math.Inf(-1)} {
+		data, err := json.Marshal(NullableFloat(v))
+		if err != nil || string(data) != "null" {
+			t.Errorf("Inf marshal = %s, %v; want null", data, err)
+		}
 	}
 }

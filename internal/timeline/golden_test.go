@@ -1,0 +1,159 @@
+package timeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"demuxabr/internal/core"
+	"demuxabr/internal/faults"
+	"demuxabr/internal/media"
+	"demuxabr/internal/timeline"
+	"demuxabr/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden timeline export")
+
+// goldenContent is a short synthetic asset (96 s, 2 s chunks, 2x2 ladder)
+// so the golden export stays small while still exercising adaptation.
+func goldenContent() *media.Content {
+	return media.MustNewContent(media.ContentSpec{
+		Name:          "golden",
+		Duration:      96 * time.Second,
+		ChunkDuration: 2 * time.Second,
+		VideoTracks: media.Ladder{
+			{ID: "V1", Type: media.Video, AvgBitrate: media.Kbps(300), PeakBitrate: media.Kbps(450), DeclaredBitrate: media.Kbps(450), Resolution: "360p"},
+			{ID: "V2", Type: media.Video, AvgBitrate: media.Kbps(700), PeakBitrate: media.Kbps(1000), DeclaredBitrate: media.Kbps(1000), Resolution: "480p"},
+		},
+		AudioTracks: media.Ladder{
+			{ID: "A1", Type: media.Audio, AvgBitrate: media.Kbps(64), PeakBitrate: media.Kbps(72), DeclaredBitrate: media.Kbps(72), Channels: 2, SampleRateHz: 44100},
+			{ID: "A2", Type: media.Audio, AvgBitrate: media.Kbps(160), PeakBitrate: media.Kbps(176), DeclaredBitrate: media.Kbps(176), Channels: 2, SampleRateHz: 48000},
+		},
+		Model: media.ChunkModel{Seed: 7, Spread: 0.2, PeakEvery: 4},
+	})
+}
+
+// recordGoldenSession plays the reference session — faults injected, retries
+// on, a low-bandwidth phase deep enough to stall — with a recorder attached.
+func recordGoldenSession(t *testing.T) *timeline.Recorder {
+	t.Helper()
+	pol := faults.DefaultPolicy()
+	rec := timeline.New(0, "golden bestpractice")
+	sess, err := core.Play(core.Spec{
+		Content:    goldenContent(),
+		Profile:    trace.Fig3VaryingAvg600(),
+		Player:     core.BestPractice,
+		Faults:     &faults.Plan{Seed: 7, Rate: 0.06},
+		Robustness: &pol,
+		Recorder:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Result.Aborted {
+		t.Fatalf("golden session aborted: %s", sess.Result.AbortReason)
+	}
+	return rec
+}
+
+func exportJSONL(t *testing.T, rec *timeline.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := timeline.WriteJSONL(&buf, []*timeline.Recorder{rec}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTimelineGoldenExport pins the JSONL schema and the recording itself:
+// any change to event emission order, field names, or formatting shows up as
+// a diff against testdata/golden_session.jsonl (regenerate with -update).
+func TestTimelineGoldenExport(t *testing.T) {
+	rec := recordGoldenSession(t)
+
+	// The reference session must exercise the recorder's full single-session
+	// vocabulary before it is worth pinning.
+	got := map[timeline.Kind]int{}
+	for _, ev := range rec.Events() {
+		got[ev.Kind]++
+	}
+	for _, kind := range []timeline.Kind{
+		timeline.Decision, timeline.Request, timeline.RequestDone,
+		timeline.RequestFailed, timeline.Retry, timeline.FaultInjected,
+		timeline.Buffer, timeline.StallStart, timeline.StallEnd,
+		timeline.Startup, timeline.SessionEnd, timeline.LinkRate,
+	} {
+		if got[kind] == 0 {
+			t.Errorf("golden session recorded no %s events", kind)
+		}
+	}
+
+	data := exportJSONL(t, rec)
+	golden := filepath.Join("testdata", "golden_session.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("JSONL export differs from %s (run with -update if the change is intended)", golden)
+	}
+}
+
+// TestTimelineRepeatRunsByteIdentical replays the same seeded session and
+// demands byte-equal exports — the determinism contract the whole recorder
+// rests on.
+func TestTimelineRepeatRunsByteIdentical(t *testing.T) {
+	first := recordGoldenSession(t)
+	second := recordGoldenSession(t)
+	if !bytes.Equal(exportJSONL(t, first), exportJSONL(t, second)) {
+		t.Error("JSONL export differs between two identical runs")
+	}
+	var a, b bytes.Buffer
+	if err := timeline.WriteChromeTrace(&a, []*timeline.Recorder{first}); err != nil {
+		t.Fatal(err)
+	}
+	if err := timeline.WriteChromeTrace(&b, []*timeline.Recorder{second}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Chrome trace differs between two identical runs")
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Error("Chrome trace is not valid JSON")
+	}
+}
+
+// TestTimelineWriteFiles drives the directory exporter end to end.
+func TestTimelineWriteFiles(t *testing.T) {
+	rec := recordGoldenSession(t)
+	dir := filepath.Join(t.TempDir(), "timelines")
+	if err := timeline.WriteFiles(dir, "session", []*timeline.Recorder{rec}); err != nil {
+		t.Fatal(err)
+	}
+	jsonl, err := os.ReadFile(filepath.Join(dir, "session.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonl, exportJSONL(t, rec)) {
+		t.Error("session.jsonl differs from the in-memory export")
+	}
+	traceJSON, err := os.ReadFile(filepath.Join(dir, "session.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(traceJSON) {
+		t.Error("session.trace.json is not valid JSON")
+	}
+}
