@@ -5,13 +5,18 @@
 #   2. go build      every package compiles
 #   3. go test -race full test suite (includes TestVetABR and the
 #                    determinism regression test) under the race detector
-#   4. vetabr        project-specific static analysis: simclock, maporder,
-#                    floateq, units (see docs/STATIC_ANALYSIS.md)
-#   5. equivalence   fleet runners must be byte-identical serial vs
+#   4. vetabr        project-specific static analysis: simclock, globalrand,
+#                    maporder, rangeleak, sharedcapture, recmut, floateq,
+#                    units (see docs/STATIC_ANALYSIS.md) — gated by
+#                    vetabr.baseline, with a SARIF artifact written to
+#                    artifacts/vetabr.sarif
+#   5. suppressions  every //lint:ignore in the tree must be rule-scoped
+#                    (a blanket ignore would silence future analyzers too)
+#   6. equivalence   fleet runners must be byte-identical serial vs
 #                    GOMAXPROCS-parallel (see docs/PERFORMANCE.md)
-#   6. timeline      flight-recorder exports must be byte-identical
+#   7. timeline      flight-recorder exports must be byte-identical
 #                    across repeat runs and worker counts
-#   7. benchmem      fleet benchmarks compile and run once, so the
+#   8. benchmem      fleet benchmarks compile and run once, so the
 #                    allocs/op trajectory is always measurable
 #
 # Exits non-zero on the first failing step.
@@ -27,8 +32,19 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== go run ./cmd/vetabr ./..."
-go run ./cmd/vetabr ./...
+echo "== go run ./cmd/vetabr -baseline vetabr.baseline -sarif artifacts/vetabr.sarif ./..."
+mkdir -p artifacts
+go run ./cmd/vetabr -baseline vetabr.baseline -sarif artifacts/vetabr.sarif ./...
+
+echo "== suppression scope (no unscoped //lint:ignore)"
+# Every directive must name its rule(s): '//lint:ignore <rule>[,rule] <reason>'.
+# The engine already rejects missing reasons (bad-suppression); this guards
+# the other half — a bare or 'all'-scoped ignore that would also silence
+# analyzers added later.
+if grep -rn --include='*.go' -E '//lint:ignore([[:space:]]+all([[:space:]]|$)|[[:space:]]*$)' cmd internal; then
+	echo "check.sh: unscoped //lint:ignore directive(s) above — scope each to a rule with a reason" >&2
+	exit 1
+fi
 
 echo "== parallel-vs-serial equivalence (incl. fault-injection and fleet determinism)"
 go test -race -count=1 \

@@ -81,12 +81,15 @@ type jsonError struct {
 func run(paths []string, jsonOut bool, out, errOut io.Writer) (warnings, errs int) {
 	var inputs []parsed
 	peaks := lint.TrackPeaks{}
+	medias := map[string]*hls.MediaPlaylist{}
 	for _, p := range expandDirs(paths) {
 		inputs = append(inputs, parseFile(p))
 		i := len(inputs) - 1
-		// Media playlists feed the master BANDWIDTH cross-check, keyed by
-		// base name to match however the master spells the URI.
+		// Media playlists feed the master BANDWIDTH cross-check and the
+		// A/V segment-alignment check, keyed by base name to match however
+		// the master spells the URI.
 		if mp := inputs[i].media; mp != nil {
+			medias[filepath.Base(p)] = mp
 			if peak, _, err := hls.TrackBitrate(mp); err == nil {
 				peaks[filepath.Base(p)] = peak
 			}
@@ -106,7 +109,7 @@ func run(paths []string, jsonOut bool, out, errOut io.Writer) (warnings, errs in
 			}
 			continue
 		}
-		findings := lintParsed(in, peaks)
+		findings := lintParsed(in, peaks, medias)
 		for _, f := range findings {
 			if f.Severity == lint.Warning {
 				warnings++
@@ -138,17 +141,48 @@ func run(paths []string, jsonOut bool, out, errOut io.Writer) (warnings, errs in
 }
 
 // lintParsed applies every applicable rule set to one parsed file.
-func lintParsed(in parsed, peaks lint.TrackPeaks) []lint.Finding {
+func lintParsed(in parsed, peaks lint.TrackPeaks, medias map[string]*hls.MediaPlaylist) []lint.Finding {
 	switch {
 	case in.mpd != nil:
-		return lint.MPD(in.mpd)
+		return append(lint.MPD(in.mpd), lint.MPDTimeline(in.mpd)...)
 	case in.master != nil:
 		findings := lint.Master(in.master)
-		return append(findings, lint.MasterBandwidth(in.master, resolvePeaks(in.master, peaks))...)
+		findings = append(findings, lint.MasterBandwidth(in.master, resolvePeaks(in.master, peaks))...)
+		return append(findings, masterAlignment(in.master, medias)...)
 	case in.media != nil:
-		return lint.MediaPlaylist(filepath.Base(in.path), in.media)
+		name := filepath.Base(in.path)
+		return append(lint.MediaPlaylist(name, in.media), lint.MediaTimeline(name, in.media)...)
 	}
 	return nil
+}
+
+// masterAlignment cross-checks segment boundaries for every distinct
+// video/audio playlist pair a master's variants reference, for the pairs
+// whose media playlists were passed in the same invocation.
+func masterAlignment(m *hls.MasterPlaylist, medias map[string]*hls.MediaPlaylist) []lint.Finding {
+	renditionURI := map[string]string{}
+	for _, r := range m.Renditions {
+		if r.Type == "AUDIO" {
+			renditionURI[r.GroupID] = r.URI
+		}
+	}
+	seen := map[string]bool{}
+	var out []lint.Finding
+	for _, v := range m.Variants {
+		audioURI := renditionURI[v.AudioGroup]
+		if audioURI == "" {
+			continue
+		}
+		videoName, audioName := path.Base(v.URI), path.Base(audioURI)
+		key := videoName + "\x00" + audioName
+		vp, ap := medias[videoName], medias[audioName]
+		if vp == nil || ap == nil || seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, lint.SegmentAlignment(videoName, audioName, vp, ap)...)
+	}
+	return out
 }
 
 // resolvePeaks rekeys base-name peaks onto the URIs the master uses.

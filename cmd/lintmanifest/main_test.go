@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	dashpkg "demuxabr/internal/manifest/dash"
 	"demuxabr/internal/manifest/hls"
@@ -230,4 +231,59 @@ func TestLintErrors(t *testing.T) {
 
 func dashGenerate(f *os.File) error {
 	return dashpkg.Generate(media.DramaShow()).Encode(f)
+}
+
+// TestLintMasterAlignment lints a master alongside its video and audio
+// media playlists whose segment boundaries drift apart — the wiring that
+// pairs each variant with its audio rendition by base name.
+func TestLintMasterAlignment(t *testing.T) {
+	dir := t.TempDir()
+	const s = time.Second
+	mediaPlaylist := func(durs ...time.Duration) *hls.MediaPlaylist {
+		p := &hls.MediaPlaylist{TargetDuration: 4 * s, EndList: true}
+		var off int64
+		for _, d := range durs {
+			p.Segments = append(p.Segments, hls.Segment{
+				Duration: d, URI: "data.m4s", ByteRangeLength: 1000, ByteRangeOffset: off,
+			})
+			off += 1000
+		}
+		return p
+	}
+	master := writeFile(t, dir, "master.m3u8", func(f *os.File) error {
+		m := &hls.MasterPlaylist{
+			Renditions: []hls.Rendition{{
+				Type: "AUDIO", GroupID: "aud", Name: "A1", URI: "audio/A1.m3u8", Default: true,
+			}},
+			Variants: []hls.Variant{{
+				Bandwidth: 10_000_000, AverageBandwidth: 8_000_000,
+				AudioGroup: "aud", URI: "video/V1.m3u8",
+			}},
+		}
+		return m.Encode(f)
+	})
+	video := writeFile(t, dir, "V1.m3u8", func(f *os.File) error {
+		return mediaPlaylist(4*s, 4*s, 4*s, 2*s).Encode(f)
+	})
+	audio := writeFile(t, dir, "A1.m3u8", func(f *os.File) error {
+		// Same total length, but every boundary sits 1 s early.
+		return mediaPlaylist(3*s, 4*s, 4*s, 3*s).Encode(f)
+	})
+	var out bytes.Buffer
+	warnings, errs := run([]string{master, video, audio}, false, &out, io.Discard)
+	if errs != 0 {
+		t.Fatalf("errs = %d, output:\n%s", errs, out.String())
+	}
+	if warnings == 0 || !strings.Contains(out.String(), "hls-av-misaligned-segments") {
+		t.Errorf("misaligned pair not flagged; warnings=%d output:\n%s", warnings, out.String())
+	}
+	// Realigned audio lints clean end to end.
+	aligned := writeFile(t, dir, "A1.m3u8", func(f *os.File) error {
+		return mediaPlaylist(4*s, 4*s, 4*s, 2*s).Encode(f)
+	})
+	out.Reset()
+	warnings, errs = run([]string{master, video, aligned}, false, &out, io.Discard)
+	if warnings != 0 || errs != 0 {
+		t.Errorf("aligned pair should lint clean; warnings=%d errs=%d output:\n%s", warnings, errs, out.String())
+	}
 }

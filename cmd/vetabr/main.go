@@ -1,16 +1,27 @@
 // Command vetabr runs the project's static-analysis suite
 // (internal/analysis) over the repository's own source, enforcing the
 // simulator-determinism and unit-safety invariants every regenerated
-// figure depends on: simclock, maporder, floateq, units.
+// figure depends on: simclock, globalrand, maporder, rangeleak,
+// sharedcapture, recmut, floateq, units.
 //
 // Usage:
 //
-//	vetabr [-json] [dir ...]
+//	vetabr [-json] [-fix] [-sarif file] [-baseline file [-write-baseline]] [dir ...]
 //
 // Each dir is a module root or package tree ("./..." suffixes are
 // accepted and stripped; the walk always recurses). With no argument the
-// current directory's module is analyzed. Exit status 1 when any
-// unsuppressed warning fires, 2 on load errors.
+// current directory's module is analyzed.
+//
+// -fix applies the mechanical rewrites attached to findings (inserting
+// the missing sort after a map range, substituting a constant seed for a
+// wall-clock one) and re-analyzes; -sarif writes a SARIF 2.1.0 log for
+// CI annotation surfaces; -baseline tolerates (but still reports)
+// findings grandfathered in the given file, failing on stale entries so
+// the baseline only ever burns down; -write-baseline regenerates that
+// file from the current findings instead of gating on it.
+//
+// Exit status 1 when any unsuppressed, unbaselined warning fires (or a
+// baseline entry is stale), 2 on load errors.
 package main
 
 import (
@@ -26,13 +37,19 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	var opts options
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit findings as JSON")
+	flag.BoolVar(&opts.fix, "fix", false, "apply mechanical fixes to the source tree, then re-analyze")
+	flag.StringVar(&opts.sarifPath, "sarif", "", "write findings as SARIF 2.1.0 to `file`")
+	flag.StringVar(&opts.baselinePath, "baseline", "", "tolerate findings grandfathered in `file`; fail on stale entries")
+	flag.BoolVar(&opts.writeBaseline, "write-baseline", false, "regenerate the -baseline file from current findings and exit")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vetabr [-json] [dir ...]")
+		fmt.Fprintln(os.Stderr, "usage: vetabr [-json] [-fix] [-sarif file] [-baseline file [-write-baseline]] [dir ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	code, err := run(flag.Args(), *jsonOut, os.Stdout)
+	opts.roots = flag.Args()
+	code, err := run(opts, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vetabr:", err)
 		os.Exit(2)
@@ -40,20 +57,35 @@ func main() {
 	os.Exit(code)
 }
 
+// options collects the command line.
+type options struct {
+	roots         []string
+	jsonOut       bool
+	fix           bool
+	sarifPath     string
+	baselinePath  string
+	writeBaseline bool
+}
+
 // jsonFinding is the machine-readable finding schema (-json), shared in
 // shape with cmd/lintmanifest.
 type jsonFinding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Severity string `json:"severity"`
-	Rule     string `json:"rule"`
-	Message  string `json:"message"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Severity  string `json:"severity"`
+	Rule      string `json:"rule"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
 }
 
 // run analyzes each root and renders findings; it returns the exit code.
-func run(roots []string, jsonOut bool, out io.Writer) (int, error) {
+func run(opts options, out io.Writer) (int, error) {
+	roots := opts.roots
 	if len(roots) == 0 {
 		roots = []string{"."}
+	}
+	if opts.writeBaseline && opts.baselinePath == "" {
+		return 2, fmt.Errorf("-write-baseline needs -baseline to name the file")
 	}
 	var all []analysis.Finding
 	for _, root := range roots {
@@ -66,25 +98,80 @@ func run(roots []string, jsonOut bool, out io.Writer) (int, error) {
 		if err != nil {
 			return 2, err
 		}
+		if opts.fix {
+			n, files, err := applyFixes(findings)
+			if err != nil {
+				return 2, err
+			}
+			if n > 0 {
+				fmt.Fprintf(out, "vetabr: applied %d fix(es) across %d file(s) under %s\n", n, files, root)
+				if findings, err = analysis.RunDir(root, analysis.DefaultAnalyzers()); err != nil {
+					return 2, err
+				}
+			}
+		}
+		analysis.RelFindings(root, findings)
 		all = append(all, findings...)
 	}
+
+	if opts.writeBaseline {
+		var warn []analysis.Finding
+		for _, f := range all {
+			if f.Severity == analysis.Warning {
+				warn = append(warn, f)
+			}
+		}
+		if err := os.WriteFile(opts.baselinePath, analysis.FormatBaseline(warn), 0o644); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "vetabr: wrote %d finding(s) to %s\n", len(warn), opts.baselinePath)
+		return 0, nil
+	}
+
+	baselined := map[int]bool{}
+	var stale []string
+	if opts.baselinePath != "" {
+		base, err := analysis.LoadBaseline(opts.baselinePath)
+		if err != nil {
+			return 2, err
+		}
+		for i, f := range all {
+			if f.Severity == analysis.Warning && base.Take(f) {
+				baselined[i] = true
+			}
+		}
+		stale = base.Stale()
+	}
 	warnings := 0
-	for _, f := range all {
-		if f.Severity == analysis.Warning {
+	for i, f := range all {
+		if f.Severity == analysis.Warning && !baselined[i] {
 			warnings++
 		}
 	}
-	if jsonOut {
+
+	if opts.sarifPath != "" {
+		doc, err := analysis.SARIF(all, analysis.DefaultAnalyzers())
+		if err != nil {
+			return 2, err
+		}
+		if err := os.WriteFile(opts.sarifPath, append(doc, '\n'), 0o644); err != nil {
+			return 2, err
+		}
+	}
+
+	if opts.jsonOut {
 		doc := struct {
 			Findings []jsonFinding `json:"findings"`
-		}{Findings: []jsonFinding{}}
-		for _, f := range all {
+			Stale    []string      `json:"stale_baseline,omitempty"`
+		}{Findings: []jsonFinding{}, Stale: stale}
+		for i, f := range all {
 			doc.Findings = append(doc.Findings, jsonFinding{
-				File:     f.Pos.Filename,
-				Line:     f.Pos.Line,
-				Severity: f.Severity.String(),
-				Rule:     f.Rule,
-				Message:  f.Message,
+				File:      f.Pos.Filename,
+				Line:      f.Pos.Line,
+				Severity:  f.Severity.String(),
+				Rule:      f.Rule,
+				Message:   f.Message,
+				Baselined: baselined[i],
 			})
 		}
 		enc := json.NewEncoder(out)
@@ -93,15 +180,55 @@ func run(roots []string, jsonOut bool, out io.Writer) (int, error) {
 			return 2, err
 		}
 	} else {
-		for _, f := range all {
-			fmt.Fprintln(out, f)
+		for i, f := range all {
+			if baselined[i] {
+				fmt.Fprintf(out, "%s (baselined)\n", f)
+			} else {
+				fmt.Fprintln(out, f)
+			}
 		}
-		if len(all) == 0 {
+		for _, key := range stale {
+			fmt.Fprintf(out, "stale baseline entry (finding fixed — delete the line): %s\n", strings.ReplaceAll(key, "\t", " "))
+		}
+		if len(all) == 0 && len(stale) == 0 {
 			fmt.Fprintln(out, "vetabr: ok")
 		}
 	}
-	if warnings > 0 {
+	if warnings > 0 || len(stale) > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// applyFixes loads every file a finding's fixes touch, splices the edits
+// in, and writes the results back preserving file modes. It returns the
+// number of findings fixed and files rewritten.
+func applyFixes(findings []analysis.Finding) (fixed, files int, err error) {
+	src := map[string][]byte{}
+	for _, f := range findings {
+		for _, e := range f.Fixes {
+			if _, ok := src[e.Filename]; ok {
+				continue
+			}
+			data, err := os.ReadFile(e.Filename)
+			if err != nil {
+				return 0, 0, err
+			}
+			src[e.Filename] = data
+		}
+	}
+	out, fixed, err := analysis.ApplyFixes(findings, src)
+	if err != nil {
+		return 0, 0, err
+	}
+	for name, data := range out {
+		mode := os.FileMode(0o644)
+		if st, err := os.Stat(name); err == nil {
+			mode = st.Mode().Perm()
+		}
+		if err := os.WriteFile(name, data, mode); err != nil {
+			return 0, 0, err
+		}
+	}
+	return fixed, len(out), nil
 }

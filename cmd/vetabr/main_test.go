@@ -42,10 +42,24 @@ import "time"
 func tick(d time.Duration) time.Duration { return d + time.Second }
 `
 
+// fixableSrc carries a globalrand finding with an attached rewrite: the
+// wall-clock seed becomes the constant 1 and the time import goes away.
+const fixableSrc = `package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func rng() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+`
+
 func TestRunFlagsViolation(t *testing.T) {
 	dir := writeModule(t, violatingSrc)
 	var out bytes.Buffer
-	code, err := run([]string{dir}, false, &out)
+	code, err := run(options{roots: []string{dir}}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +74,7 @@ func TestRunFlagsViolation(t *testing.T) {
 func TestRunCleanTree(t *testing.T) {
 	dir := writeModule(t, cleanSrc)
 	var out bytes.Buffer
-	code, err := run([]string{dir + string(filepath.Separator) + "..."}, false, &out)
+	code, err := run(options{roots: []string{dir + string(filepath.Separator) + "..."}}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +86,7 @@ func TestRunCleanTree(t *testing.T) {
 func TestRunJSON(t *testing.T) {
 	dir := writeModule(t, violatingSrc)
 	var out bytes.Buffer
-	code, err := run([]string{dir}, true, &out)
+	code, err := run(options{roots: []string{dir}, jsonOut: true}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,10 +106,180 @@ func TestRunJSON(t *testing.T) {
 	if f.Rule != "simclock" || f.Severity != "WARN" || f.Line != 5 || !strings.HasSuffix(f.File, "clock.go") {
 		t.Errorf("finding = %+v", f)
 	}
+	if !strings.HasPrefix(f.File, "internal/") {
+		t.Errorf("finding file = %q, want root-relative path", f.File)
+	}
 }
 
 func TestRunMissingModule(t *testing.T) {
-	if _, err := run([]string{t.TempDir()}, false, os.Stdout); err == nil {
+	if _, err := run(options{roots: []string{t.TempDir()}}, os.Stdout); err == nil {
 		t.Error("directory without go.mod should error")
+	}
+}
+
+// TestBaselineGate pins the burn-down cycle: -write-baseline grandfathers
+// the current findings, a gated rerun passes, and fixing the finding
+// without deleting its baseline line fails as stale.
+func TestBaselineGate(t *testing.T) {
+	dir := writeModule(t, violatingSrc)
+	basePath := filepath.Join(dir, "vetabr.baseline")
+
+	var out bytes.Buffer
+	code, err := run(options{roots: []string{dir}, baselinePath: basePath, writeBaseline: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0:\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "internal/netsim/clock.go\tsimclock\t") {
+		t.Fatalf("baseline missing root-relative entry:\n%s", data)
+	}
+
+	out.Reset()
+	code, err = run(options{roots: []string{dir}, baselinePath: basePath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("baselined run exit = %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "(baselined)") {
+		t.Errorf("baselined finding should still be reported:\n%s", out.String())
+	}
+
+	// Fix the finding; the stale baseline entry must now fail the run.
+	if err := os.WriteFile(filepath.Join(dir, "internal", "netsim", "clock.go"), []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err = run(options{roots: []string{dir}, baselinePath: basePath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("stale baseline exit = %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "stale baseline entry") {
+		t.Errorf("missing stale-entry report:\n%s", out.String())
+	}
+}
+
+// TestMissingBaselineIsEmpty: gating against a nonexistent file behaves
+// like an empty baseline rather than erroring, so clean repos need no
+// baseline file at all.
+func TestMissingBaselineIsEmpty(t *testing.T) {
+	dir := writeModule(t, cleanSrc)
+	var out bytes.Buffer
+	code, err := run(options{roots: []string{dir}, baselinePath: filepath.Join(dir, "no-such-baseline")}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0:\n%s", code, out.String())
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := writeModule(t, violatingSrc)
+	sarifPath := filepath.Join(dir, "vetabr.sarif")
+	var out bytes.Buffer
+	code, err := run(options{roots: []string{dir}, sarifPath: sarifPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad SARIF: %v\n%s", err, data)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	run0 := doc.Runs[0]
+	if run0.Tool.Driver.Name != "vetabr" || len(run0.Tool.Driver.Rules) < 8 {
+		t.Errorf("driver = %+v, want vetabr with the full rule set", run0.Tool.Driver)
+	}
+	if len(run0.Results) != 1 {
+		t.Fatalf("results = %+v, want 1", run0.Results)
+	}
+	res := run0.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "simclock" || res.Level != "warning" ||
+		loc.ArtifactLocation.URI != "internal/netsim/clock.go" || loc.Region.StartLine != 5 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+// TestFixRewritesTree pins the -fix acceptance criterion end to end: the
+// wall-clock seed is rewritten, the orphaned time import removed, the
+// result is gofmt-clean, and a re-run passes.
+func TestFixRewritesTree(t *testing.T) {
+	dir := writeModule(t, fixableSrc)
+	var out bytes.Buffer
+	code, err := run(options{roots: []string{dir}, fix: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit after fix = %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "applied 1 fix(es)") {
+		t.Errorf("missing fix report:\n%s", out.String())
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "internal", "netsim", "clock.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(fixed)
+	if !strings.Contains(got, "rand.NewSource(1)") {
+		t.Errorf("seed not substituted:\n%s", got)
+	}
+	if strings.Contains(got, `"time"`) {
+		t.Errorf("orphaned time import kept:\n%s", got)
+	}
+	var rerun bytes.Buffer
+	code, err = run(options{roots: []string{dir}}, &rerun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("re-run exit = %d, want 0:\n%s", code, rerun.String())
 	}
 }

@@ -2,22 +2,37 @@
 // go/ast + go/types) with project-specific analyzers that guard the
 // simulator invariants every regenerated figure depends on:
 //
-//   - simclock: no wall clock or unseeded randomness in simulation packages
-//     (replay determinism);
+//   - simclock: no wall clock in simulation packages (replay determinism);
+//   - globalrand: no global math/rand source and no time-seeded generators
+//     in simulation packages (same-seed replay);
 //   - maporder: no map-iteration-ordered output (report reproducibility);
+//   - rangeleak: no map-range values escaping through assignment chains
+//     into returns without a sort (the dataflow generalization of
+//     maporder's unconditional-return rule);
+//   - sharedcapture: no runpool job closures writing shared captured state
+//     (serial-vs-parallel equivalence);
+//   - recmut: no timeline recorder mutation from worker closures (export
+//     determinism);
 //   - floateq: no ==/!= between floats (silent metric drift);
 //   - units: no arithmetic mixing bits/bytes or sec/ms identifiers without
 //     an explicit conversion (the silent unit bugs measurement
 //     reproductions die from).
 //
+// Packages are parsed and type-checked module-wide in import order over a
+// shared TypeGraph, so analyzers can resolve identities across package
+// boundaries (is this a *timeline.Recorder? does this call land in
+// runpool?) rather than guessing from single ASTs.
+//
 // Findings mirror the Severity/Rule/Finding shape of
 // internal/manifest/lint and render as "file:line: [rule] message".
-// A finding is suppressed by a directive comment on its line or the line
-// above:
+// A finding is suppressed by a rule-scoped directive comment on its line
+// or the line above:
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
-// The reason is mandatory: an unexplained suppression is itself a finding.
+// The reason is mandatory: an unexplained suppression is itself a
+// finding, and so is the legacy "all" wildcard — a suppression must name
+// the exact rules it silences.
 package analysis
 
 import (
@@ -52,6 +67,23 @@ func (s Severity) String() string {
 	return "INFO"
 }
 
+// TextEdit is one mechanical source rewrite attached to a finding:
+// replace the [Start, End) byte range of Filename with NewText
+// (End == Start inserts). Offsets are resolved against the analyzed
+// source, so appliers need no access to the engine's FileSet.
+type TextEdit struct {
+	Filename   string
+	Start, End int
+	NewText    string
+}
+
+// Edit is the unresolved form analyzers hand to ReportFixf, addressed by
+// token positions; the engine resolves it to a TextEdit.
+type Edit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
 // Finding is one analyzer result.
 type Finding struct {
 	// Pos locates the finding (filename + line are what the renderers use).
@@ -62,6 +94,13 @@ type Finding struct {
 	Rule string
 	// Message explains the finding.
 	Message string
+	// Fixes, when non-empty, are mechanical rewrites (vetabr -fix) that
+	// make the finding go away without changing observable behaviour
+	// beyond restoring determinism.
+	Fixes []TextEdit
+	// End, when valid, closes the source range the finding covers (SARIF
+	// regions); findings reported with Reportf leave it unset.
+	End token.Position
 }
 
 // String renders "file:line: [rule] message".
@@ -93,6 +132,10 @@ type Pass struct {
 	// tolerate missing entries: type checking is best-effort so the suite
 	// still runs when an import cannot be resolved.
 	Info *types.Info
+	// Graph is the cross-package type graph: every module package checked
+	// before (and including) this one, for identity queries across
+	// package boundaries.
+	Graph *TypeGraph
 
 	rule     string
 	findings *[]Finding
@@ -105,6 +148,30 @@ func (p *Pass) Reportf(pos token.Pos, sev Severity, format string, args ...any) 
 		Severity: sev,
 		Rule:     p.rule,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFixf records a finding carrying mechanical rewrites for -fix. The
+// end position bounds the flagged construct for SARIF regions.
+func (p *Pass) ReportFixf(pos, end token.Pos, sev Severity, fixes []Edit, format string, args ...any) {
+	resolved := make([]TextEdit, 0, len(fixes))
+	for _, e := range fixes {
+		start := p.Fset.Position(e.Pos)
+		stop := p.Fset.Position(e.End)
+		resolved = append(resolved, TextEdit{
+			Filename: start.Filename,
+			Start:    start.Offset,
+			End:      stop.Offset,
+			NewText:  e.NewText,
+		})
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		End:      p.Fset.Position(end),
+		Severity: sev,
+		Rule:     p.rule,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    resolved,
 	})
 }
 
@@ -170,6 +237,19 @@ func collectSuppressions(fset *token.FileSet, file *ast.File, sup suppressions, 
 				})
 				continue
 			}
+			// Suppressions are rule-scoped: a directive must name the exact
+			// rules it silences. The old "all" wildcard silenced rules that
+			// did not exist yet, so a later analyzer could be muted by a
+			// comment written before it was.
+			if hasWildcard(rules) {
+				*findings = append(*findings, Finding{
+					Pos:      pos,
+					Severity: Warning,
+					Rule:     "bad-suppression",
+					Message:  "//lint:ignore must name specific rules; the \"all\" wildcard is not accepted (it would silence analyzers added later)",
+				})
+				continue
+			}
 			byLine := sup[pos.Filename]
 			if byLine == nil {
 				byLine = map[int]map[string]bool{}
@@ -187,15 +267,26 @@ func collectSuppressions(fset *token.FileSet, file *ast.File, sup suppressions, 
 	}
 }
 
-// suppressed reports whether a finding is covered by a directive on its
-// own line or the line directly above.
+// hasWildcard reports whether a comma-separated rule list contains the
+// banned blanket wildcard.
+func hasWildcard(rules string) bool {
+	for _, r := range strings.Split(rules, ",") {
+		if strings.TrimSpace(r) == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether a finding is covered by a directive naming
+// its rule on its own line or the line directly above.
 func (s suppressions) suppressed(f Finding) bool {
 	byLine := s[f.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		if set := byLine[line]; set != nil && (set[f.Rule] || set["all"]) {
+		if set := byLine[line]; set != nil && set[f.Rule] {
 			return true
 		}
 	}
@@ -228,6 +319,13 @@ func RunDir(root string, analyzers []*Analyzer) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runOrder(fset, order, analyzers), nil
+}
+
+// runOrder type-checks packages in topological order over one shared type
+// graph and applies the analyzers to each.
+func runOrder(fset *token.FileSet, order []*pkgSrc, analyzers []*Analyzer) []Finding {
+	graph := newTypeGraph(fset)
 	checked := map[string]*types.Package{}
 	imp := &moduleImporter{
 		checked:  checked,
@@ -237,44 +335,66 @@ func RunDir(root string, analyzers []*Analyzer) ([]Finding, error) {
 	sup := suppressions{}
 	for _, p := range order {
 		pass := checkPackage(fset, p, imp)
+		pass.Graph = graph
 		checked[p.path] = pass.Pkg
+		graph.add(p.path, pass.Pkg)
 		for _, f := range pass.Files {
 			collectSuppressions(fset, f, sup, &findings)
 		}
 		runAnalyzers(pass, analyzers, &findings)
 	}
-	return finish(findings, sup), nil
+	return finish(findings, sup)
 }
 
 // RunSource type-checks a single synthetic package (filename -> source)
 // and runs the analyzers — the entry point analyzer tests use.
 func RunSource(pkgPath string, files map[string]string, analyzers []*Analyzer) ([]Finding, error) {
+	return RunPackages(map[string]map[string]string{pkgPath: files}, analyzers)
+}
+
+// RunPackages type-checks a set of synthetic packages (import path ->
+// filename -> source), resolving imports between them, and runs the
+// analyzers over each — the entry point cross-package fixture tests use
+// to mimic module packages such as runpool or timeline without touching
+// the real tree.
+func RunPackages(pkgs map[string]map[string]string, analyzers []*Analyzer) ([]Finding, error) {
 	fset := token.NewFileSet()
-	var names []string
-	for name := range files {
-		names = append(names, name)
+	srcs := map[string]*pkgSrc{}
+	var paths []string
+	for path := range pkgs {
+		paths = append(paths, path)
 	}
-	sort.Strings(names)
-	p := &pkgSrc{path: pkgPath}
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
-		if err != nil {
-			return nil, err
+	sort.Strings(paths)
+	for _, path := range paths {
+		files := pkgs[path]
+		var names []string
+		for name := range files {
+			names = append(names, name)
 		}
-		p.files = append(p.files, f)
+		sort.Strings(names)
+		p := &pkgSrc{path: path}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, f)
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip != path {
+					if _, ok := pkgs[ip]; ok {
+						p.imports = append(p.imports, ip)
+					}
+				}
+			}
+		}
+		srcs[path] = p
 	}
-	imp := &moduleImporter{
-		checked:  map[string]*types.Package{},
-		fallback: importer.ForCompiler(fset, "source", nil),
+	order, err := topoOrder(srcs)
+	if err != nil {
+		return nil, err
 	}
-	pass := checkPackage(fset, p, imp)
-	var findings []Finding
-	sup := suppressions{}
-	for _, f := range pass.Files {
-		collectSuppressions(fset, f, sup, &findings)
-	}
-	runAnalyzers(pass, analyzers, &findings)
-	return finish(findings, sup), nil
+	return runOrder(fset, order, analyzers), nil
 }
 
 // finish filters suppressed findings and orders the rest.

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the set of grandfathered findings vetabr tolerates: each
+// entry keys one finding by slash-relative file, rule, and message —
+// deliberately not by line, so unrelated edits above a grandfathered
+// finding do not churn the file. The committed vetabr.baseline gates
+// check.sh: a finding in the baseline is reported but does not fail the
+// run; a finding absent from it does; and a baseline entry matching
+// nothing is stale and must be burned down (deleted) — the file only
+// ever shrinks.
+type Baseline struct {
+	entries map[string]int
+}
+
+// baselineKey renders one finding's identity line.
+func baselineKey(f Finding) string {
+	return f.Pos.Filename + "\t" + f.Rule + "\t" + f.Message
+}
+
+// ParseBaseline reads the baseline format: one tab-separated
+// file/rule/message triple per line, "#" comments and blank lines
+// ignored. Duplicate lines grandfather that many findings.
+func ParseBaseline(data []byte) *Baseline {
+	b := &Baseline{entries: map[string]int{}}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		b.entries[line]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, so a repo without grandfathered findings needs no file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ParseBaseline(nil), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	return ParseBaseline(data), nil
+}
+
+// FormatBaseline renders findings in the parseable baseline format,
+// sorted, with a header documenting the burn-down contract. Findings
+// should carry root-relative slash paths (see RelFindings).
+func FormatBaseline(findings []Finding) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# vetabr.baseline — grandfathered static-analysis findings.\n")
+	buf.WriteString("# Format: file<TAB>rule<TAB>message, one entry per tolerated finding.\n")
+	buf.WriteString("# Entries may only be deleted (burned down), never added by hand:\n")
+	buf.WriteString("# regenerate with `go run ./cmd/vetabr -baseline vetabr.baseline -write-baseline ./...`.\n")
+	var keys []string
+	for _, f := range findings {
+		keys = append(keys, baselineKey(f))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Take consumes one grandfathered slot for the finding, reporting
+// whether the baseline covered it.
+func (b *Baseline) Take(f Finding) bool {
+	key := baselineKey(f)
+	if b.entries[key] > 0 {
+		b.entries[key]--
+		return true
+	}
+	return false
+}
+
+// Stale returns the baseline entries no finding consumed — fixed
+// findings whose lines must now be deleted from the file.
+func (b *Baseline) Stale() []string {
+	var keys []string
+	for key, n := range b.entries {
+		for ; n > 0; n-- {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RelFindings rewrites finding positions to slash-separated paths
+// relative to root — the stable form baselines, SARIF artifacts, and CI
+// logs want regardless of the invocation directory. Paths outside root
+// are left untouched.
+func RelFindings(root string, findings []Finding) {
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(root, findings[i].Pos.Filename)
+		if findings[i].End.IsValid() {
+			findings[i].End.Filename = relPath(root, findings[i].End.Filename)
+		}
+	}
+}
+
+// relPath makes one path root-relative when it lies under root.
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

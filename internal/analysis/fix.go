@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ApplyFixes applies every finding's mechanical rewrites to the given
+// sources (filename -> content) and returns the rewritten files, gofmt
+// formatted, with imports orphaned by a rewrite removed. Only files that
+// changed appear in the result. Overlapping edits within one file are an
+// error: vetabr -fix refuses to guess rather than corrupt source.
+func ApplyFixes(findings []Finding, src map[string][]byte) (map[string][]byte, int, error) {
+	byFile := map[string][]TextEdit{}
+	applied := 0
+	for _, f := range findings {
+		for _, e := range f.Fixes {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+		if len(f.Fixes) > 0 {
+			applied++
+		}
+	}
+	out := map[string][]byte{}
+	var files []string
+	for name := range byFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		content, ok := src[name]
+		if !ok {
+			return nil, 0, fmt.Errorf("analysis: fix targets unknown file %s", name)
+		}
+		fixed, err := applyEdits(content, byFile[name])
+		if err != nil {
+			return nil, 0, fmt.Errorf("analysis: %s: %w", name, err)
+		}
+		fixed, err = tidySource(fixed)
+		if err != nil {
+			return nil, 0, fmt.Errorf("analysis: %s after fix: %w", name, err)
+		}
+		out[name] = fixed
+	}
+	return out, applied, nil
+}
+
+// applyEdits splices the edits into content, highest offset first so
+// earlier offsets stay valid.
+func applyEdits(content []byte, edits []TextEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start > edits[j].Start
+		}
+		return edits[i].End > edits[j].End
+	})
+	prevStart := len(content) + 1
+	for _, e := range edits {
+		if e.Start < 0 || e.End > len(content) || e.Start > e.End {
+			return nil, fmt.Errorf("edit range [%d,%d) outside file of %d bytes", e.Start, e.End, len(content))
+		}
+		if e.End > prevStart {
+			return nil, fmt.Errorf("overlapping fixes at offset %d; apply and re-run", e.Start)
+		}
+		prevStart = e.Start
+		content = append(content[:e.Start], append([]byte(e.NewText), content[e.End:]...)...)
+	}
+	return content, nil
+}
+
+// tidySource drops imports a rewrite orphaned (a fix that replaces
+// time.Now().UnixNano() with a literal leaves "time" unused, which would
+// not compile) and gofmt-formats the result.
+func tidySource(src []byte) ([]byte, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixed.go", src, parser.ParseComments)
+	if err != nil {
+		// The edit produced unparseable code; surface it instead of
+		// writing a broken file.
+		return nil, err
+	}
+	used := usedNames(file)
+	var drops []TextEdit
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." || used[name] {
+			continue
+		}
+		start := fset.Position(imp.Pos()).Offset
+		end := fset.Position(imp.End()).Offset
+		// Swallow the rest of the line so no blank line is left behind.
+		for end < len(src) && src[end] != '\n' {
+			end++
+		}
+		if end < len(src) {
+			end++
+		}
+		drops = append(drops, TextEdit{Start: start, End: end})
+	}
+	if len(drops) > 0 {
+		if src, err = applyEdits(src, drops); err != nil {
+			return nil, err
+		}
+	}
+	return format.Source(src)
+}
+
+// usedNames collects identifier names referenced outside import specs —
+// the conservative "is this import still used" test.
+func usedNames(file *ast.File) map[string]bool {
+	used := map[string]bool{}
+	for _, decl := range file.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				used[id.Name] = true
+			}
+			return true
+		})
+	}
+	return used
+}

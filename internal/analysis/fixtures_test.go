@@ -1,0 +1,203 @@
+package analysis
+
+// The fixture harness: every analyzer gets a testdata/<rule>/ directory
+// holding one or more fixture packages (one subdirectory each), loaded
+// into the in-memory RunPackages entry point. Expectations live in the
+// fixture source itself as trailing comments:
+//
+//	total += i // want "writes captured variable"
+//
+// Each quoted string is a regular expression that must match a finding's
+// "[rule] message" rendering on that exact line; unmatched expectations
+// and unexpected findings both fail the test. A fixture file may pin its
+// package import path (to enter the sim scope, or to impersonate a module
+// package such as runpool) with a directive anywhere in the file:
+//
+//	//fixture:path demuxabr/internal/fleet
+//
+// Adding analyzer #9 is therefore a two-file change: the analyzer source
+// and its fixture directory.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixturePathDirective pins a fixture package's import path.
+const fixturePathDirective = "//fixture:path "
+
+// wantRe extracts quoted expectations from a `// want` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// fixture is one rule's loaded testdata tree.
+type fixture struct {
+	pkgs  map[string]map[string]string // import path -> file -> source
+	wants map[string]map[int][]string  // file -> line -> regexes
+}
+
+// loadFixture reads testdata/<rule>/<pkg>/*.go into memory.
+func loadFixture(t *testing.T, rule string) fixture {
+	t.Helper()
+	root := filepath.Join("testdata", rule)
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("fixture for %s: %v", rule, err)
+	}
+	fx := fixture{
+		pkgs:  map[string]map[string]string{},
+		wants: map[string]map[int][]string{},
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		pkgDir := filepath.Join(root, d.Name())
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgPath := d.Name()
+		files := map[string]string{}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(pkgDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			name := d.Name() + "/" + e.Name()
+			files[name] = src
+			for ln, line := range strings.Split(src, "\n") {
+				if strings.HasPrefix(strings.TrimSpace(line), fixturePathDirective) {
+					pkgPath = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), fixturePathDirective))
+				}
+				_, wantPart, ok := strings.Cut(line, "// want ")
+				if !ok {
+					continue
+				}
+				for _, m := range wantRe.FindAllStringSubmatch(wantPart, -1) {
+					byLine := fx.wants[name]
+					if byLine == nil {
+						byLine = map[int][]string{}
+						fx.wants[name] = byLine
+					}
+					byLine[ln+1] = append(byLine[ln+1], m[1])
+				}
+			}
+		}
+		if len(files) > 0 {
+			fx.pkgs[pkgPath] = files
+		}
+	}
+	if len(fx.pkgs) == 0 {
+		t.Fatalf("fixture for %s: no packages under %s", rule, root)
+	}
+	return fx
+}
+
+// runFixture analyzes one rule's fixture tree and diffs findings against
+// the // want expectations.
+func runFixture(t *testing.T, rule string, analyzers []*Analyzer) {
+	t.Helper()
+	fx := loadFixture(t, rule)
+	findings, err := RunPackages(fx.pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchFindings(t, fx.wants, findings)
+}
+
+// matchFindings pairs findings with expectations one-to-one.
+func matchFindings(t *testing.T, wants map[string]map[int][]string, findings []Finding) {
+	t.Helper()
+	type slot struct {
+		re   string
+		used bool
+	}
+	slots := map[string][]*slot{} // "file:line" -> expectations
+	for file, byLine := range wants {
+		for line, res := range byLine {
+			key := fmt.Sprintf("%s:%d", file, line)
+			for _, re := range res {
+				slots[key] = append(slots[key], &slot{re: re})
+			}
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		text := fmt.Sprintf("[%s] %s", f.Rule, f.Message)
+		matched := false
+		for _, s := range slots[key] {
+			if s.used {
+				continue
+			}
+			re, err := regexp.Compile(s.re)
+			if err != nil {
+				t.Fatalf("bad want regexp %q: %v", s.re, err)
+			}
+			if re.MatchString(text) {
+				s.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ss := range slots {
+		for _, s := range ss {
+			if !s.used {
+				t.Errorf("%s: expected finding matching %q, got none", key, s.re)
+			}
+		}
+	}
+}
+
+func TestSharedCaptureFixture(t *testing.T) {
+	runFixture(t, "sharedcapture", []*Analyzer{NewSharedCapture()})
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	runFixture(t, "globalrand", []*Analyzer{NewGlobalRand(SimPackagePrefixes...)})
+}
+
+func TestRangeLeakFixture(t *testing.T) {
+	runFixture(t, "rangeleak", []*Analyzer{NewRangeLeak()})
+}
+
+func TestRecMutFixture(t *testing.T) {
+	runFixture(t, "recmut", []*Analyzer{NewRecMut(SimPackagePrefixes...)})
+}
+
+// TestFleetBugsFailVetabrWhereVetIsSilent is the acceptance pin: the
+// deliberate shared-capture, global-rand, and unsorted-map-range bugs the
+// fixtures seed into a package impersonating internal/fleet all
+// type-check (and contain nothing `go vet` reports), yet the full vetabr
+// suite fails each of them.
+func TestFleetBugsFailVetabrWhereVetIsSilent(t *testing.T) {
+	for _, rule := range []string{"sharedcapture", "globalrand", "rangeleak", "recmut"} {
+		t.Run(rule, func(t *testing.T) {
+			fx := loadFixture(t, rule)
+			findings, err := RunPackages(fx.pkgs, DefaultAnalyzers())
+			if err != nil {
+				t.Fatal(err)
+			}
+			warned := map[string]bool{}
+			for _, f := range findings {
+				if f.Severity == Warning {
+					warned[f.Rule] = true
+				}
+			}
+			if !warned[rule] {
+				t.Errorf("full suite over the %s fixture raised no %s warning (got %v)", rule, rule, findings)
+			}
+		})
+	}
+}

@@ -34,7 +34,7 @@ func runMapOrder(pass *Pass) {
 				return true
 			}
 			if body != nil {
-				checkFuncMapRanges(pass, body)
+				checkFuncMapRanges(pass, file, body)
 			}
 			return true
 		})
@@ -43,7 +43,7 @@ func runMapOrder(pass *Pass) {
 
 // checkFuncMapRanges inspects one function body for unordered map ranges.
 // Nested function literals are checked by their own runMapOrder visit.
-func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
+func checkFuncMapRanges(pass *Pass, file *ast.File, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
 			return false
@@ -55,9 +55,11 @@ func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
 		if !isMapType(pass.TypeOf(rng.X)) {
 			return true
 		}
-		for _, name := range appendTargets(rng) {
+		for _, target := range appendTargets(rng) {
+			name := target.Name
 			if !sortedAfter(body, rng, name) {
-				pass.Reportf(rng.Pos(), Warning,
+				fixes := sortInsertFix(pass, file, rng, target)
+				pass.ReportFixf(rng.Pos(), rng.End(), Warning, fixes,
 					"map range appends to %q with no subsequent sort: iteration order is randomized per run, making output non-reproducible", name)
 			}
 		}
@@ -82,9 +84,9 @@ func isMapType(t types.Type) bool {
 	return ok
 }
 
-// appendTargets returns names of variables declared outside the range
-// body that its statements grow via append.
-func appendTargets(rng *ast.RangeStmt) []string {
+// appendTargets returns identifiers of variables declared outside the
+// range body that its statements grow via append.
+func appendTargets(rng *ast.RangeStmt) []*ast.Ident {
 	declared := map[string]bool{}
 	// The loop variables themselves are per-iteration.
 	for _, e := range []ast.Expr{rng.Key, rng.Value} {
@@ -93,7 +95,7 @@ func appendTargets(rng *ast.RangeStmt) []string {
 		}
 	}
 	seen := map[string]bool{}
-	var out []string
+	var out []*ast.Ident
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.AssignStmt:
@@ -119,7 +121,7 @@ func appendTargets(rng *ast.RangeStmt) []string {
 					continue
 				}
 				seen[id.Name] = true
-				out = append(out, id.Name)
+				out = append(out, id)
 			}
 		case *ast.DeclStmt:
 			if gd, ok := st.Decl.(*ast.GenDecl); ok {
@@ -263,6 +265,70 @@ func unconditionalReturn(rng *ast.RangeStmt) token.Pos {
 		return token.NoPos
 	}
 	return token.NoPos
+}
+
+// sortInsertFix builds the mechanical rewrite for an append-without-sort
+// finding: insert `slices.Sort(name)` directly after the range loop (plus
+// the "slices" import when missing). Only slices of ordered basic types
+// (strings, numbers) get a fix — sorting them deterministically is
+// unambiguous, whereas struct slices need a human-chosen key.
+func sortInsertFix(pass *Pass, file *ast.File, rng *ast.RangeStmt, target *ast.Ident) []Edit {
+	if !sortableSlice(pass, target) {
+		return nil
+	}
+	edits := []Edit{{
+		Pos:     rng.End(),
+		End:     rng.End(),
+		NewText: "\nslices.Sort(" + target.Name + ")",
+	}}
+	if imp := importSlicesFix(file); imp != nil {
+		edits = append(edits, *imp)
+	}
+	return edits
+}
+
+// sortableSlice reports whether the identifier is a slice of an ordered
+// basic type.
+func sortableSlice(pass *Pass, id *ast.Ident) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	sl, ok := obj.Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsOrdered) != 0
+}
+
+// importSlicesFix returns the edit adding the "slices" import, or nil
+// when the file already imports it.
+func importSlicesFix(file *ast.File) *Edit {
+	var impDecl *ast.GenDecl
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		impDecl = gd
+		for _, spec := range gd.Specs {
+			if is, ok := spec.(*ast.ImportSpec); ok && is.Path.Value == `"slices"` {
+				return nil
+			}
+		}
+	}
+	switch {
+	case impDecl != nil && impDecl.Rparen.IsValid():
+		return &Edit{Pos: impDecl.Rparen, End: impDecl.Rparen, NewText: "\"slices\"\n"}
+	case impDecl != nil:
+		return &Edit{Pos: impDecl.End(), End: impDecl.End(), NewText: "\nimport \"slices\""}
+	default:
+		return &Edit{Pos: file.Name.End(), End: file.Name.End(), NewText: "\n\nimport \"slices\""}
+	}
 }
 
 // isPrintName matches fmt's printing functions (not Sprintf-style, whose

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NewRangeLeak builds the rangeleak analyzer, the dataflow generalization
+// of maporder's unconditional-return rule: a value derived from map-range
+// loop variables that escapes the loop through a chain of plain
+// assignments into a variable declared outside the loop, and then reaches
+// a return (or is a named result) without an intervening sort, is an
+// arbitrary map entry leaking into the function's output.
+//
+// The walk is deliberately small and intra-procedural:
+//
+//   - taint seeds are the range statement's key and value identifiers;
+//   - taint propagates through := and = whose right-hand side mentions a
+//     tainted name;
+//   - compound assignments (+=, *=, ...) never propagate — accumulation
+//     commutes, which is why sums over maps are the house idiom;
+//   - an assignment guarded by a condition that mentions a variable
+//     written in the same branch is an extremum reduction
+//     (if v > best { best = v }) and never flagged;
+//   - direct appends are maporder's domain and skipped here, so one bug
+//     is one finding.
+func NewRangeLeak() *Analyzer {
+	return &Analyzer{
+		Name: "rangeleak",
+		Doc:  "flag map-range values escaping through assignments into returns without a sort",
+		Run:  runRangeLeak,
+	}
+}
+
+func runRangeLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var results *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, results = fn.Body, fn.Type.Results
+			case *ast.FuncLit:
+				body, results = fn.Body, fn.Type.Results
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncRangeLeaks(pass, body, results)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncRangeLeaks inspects one function body; nested literals get
+// their own visit.
+func checkFuncRangeLeaks(pass *Pass, body *ast.BlockStmt, results *ast.FieldList) {
+	named := namedResults(results)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMapType(pass.TypeOf(rng.X)) {
+			return true
+		}
+		for _, esc := range escapes(pass, rng) {
+			if sortedAfter(body, rng, esc.name) {
+				continue
+			}
+			if named[esc.name] || returnedAfter(body, rng, esc.name) {
+				pass.Reportf(esc.pos, Warning,
+					"%q is assigned from map-range loop variables and reaches the function's return without a sort: iteration order is randomized per run, so an arbitrary entry escapes", esc.name)
+			}
+		}
+		return true
+	})
+}
+
+// escape is one outer-scope variable receiving tainted data in the loop.
+type escape struct {
+	name string
+	pos  token.Pos
+}
+
+// escapes runs the taint walk over one map-range body and returns the
+// outer variables that received values derived from the loop variables.
+func escapes(pass *Pass, rng *ast.RangeStmt) []escape {
+	tainted := map[string]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			tainted[id.Name] = true
+		}
+	}
+	if len(tainted) == 0 {
+		return nil
+	}
+	inner := map[string]bool{} // declared inside the loop body
+	seen := map[string]bool{}
+	var out []escape
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							inner[id.Name] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			rhsTainted := false
+			for _, rhs := range st.Rhs {
+				if isDirectAppend(rhs) {
+					// maporder's domain: appends are flagged there.
+					continue
+				}
+				if mentionsAny(rhs, tainted) {
+					rhsTainted = true
+				}
+			}
+			switch st.Tok {
+			case token.DEFINE:
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						inner[id.Name] = true
+						if rhsTainted {
+							tainted[id.Name] = true
+						}
+					}
+				}
+			case token.ASSIGN:
+				if !rhsTainted {
+					break
+				}
+				for _, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" || inner[id.Name] || seen[id.Name] {
+						// Indexed and field writes rebuild keyed content —
+						// deterministic regardless of visit order.
+						continue
+					}
+					tainted[id.Name] = true
+					if reductionGuarded(rng, st) {
+						continue
+					}
+					seen[id.Name] = true
+					out = append(out, escape{name: id.Name, pos: st.Pos()})
+				}
+			default:
+				// Compound assignment: order-insensitive accumulation.
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isDirectAppend matches append(...) right-hand sides.
+func isDirectAppend(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// mentionsAny reports whether expr mentions any name in the set.
+func mentionsAny(expr ast.Expr, names map[string]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reductionGuarded reports whether the assignment sits under an if (inside
+// the range body) whose condition mentions a variable that the same branch
+// assigns — the extremum-reduction shape (if v > best { best = v }), which
+// converges to the same value in any iteration order.
+func reductionGuarded(rng *ast.RangeStmt, target *ast.AssignStmt) bool {
+	guarded := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || guarded {
+			return !guarded
+		}
+		if target.Pos() < ifs.Body.Pos() || target.End() > ifs.Body.End() {
+			return true
+		}
+		assigned := map[string]bool{}
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			if as, ok := m.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						assigned[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+		if mentionsAny(ifs.Cond, assigned) {
+			guarded = true
+			return false
+		}
+		return true
+	})
+	return guarded
+}
+
+// returnedAfter reports whether name appears in a return statement
+// positioned after the range loop within the function body.
+func returnedAfter(body *ast.BlockStmt, rng *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= rng.End() {
+			return true
+		}
+		for _, res := range ret.Results {
+			if mentionsIdent(res, name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedResults collects the function's named result identifiers: a bare
+// `return` makes any of them an implicit sink.
+func namedResults(results *ast.FieldList) map[string]bool {
+	named := map[string]bool{}
+	if results == nil {
+		return named
+	}
+	for _, f := range results.List {
+		for _, id := range f.Names {
+			named[id.Name] = true
+		}
+	}
+	return named
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TimelinePath is the flight-recorder package whose mutation discipline
+// recmut enforces.
+const TimelinePath = "demuxabr/internal/timeline"
+
+// recorderTypes are the timeline types whose mutation is confined to the
+// engine goroutine's call tree.
+var recorderTypes = []string{"Recorder", "Counters"}
+
+// NewRecMut builds the recmut analyzer: a timeline.Recorder (or its
+// Counters) captured from an enclosing scope must not be mutated inside a
+// goroutine or a runpool job closure. Every event is appended from inside
+// the discrete-event engine's single-threaded run loop — that is what
+// makes flight-recorder exports byte-identical across repeat runs and
+// -parallel worker counts. A worker closure calling Emit (or writing a
+// counter field) on a captured recorder interleaves events in scheduling
+// order and silently breaks the export-determinism contract.
+//
+// A recorder constructed inside the closure is fine: it belongs to that
+// job's own session and engine.
+func NewRecMut(simPrefixes ...string) *Analyzer {
+	return &Analyzer{
+		Name: "recmut",
+		Doc:  "forbid mutating captured timeline recorders from worker closures",
+		Run: func(pass *Pass) {
+			if !pathHasPrefix(pass.Path, simPrefixes) {
+				return
+			}
+			for _, file := range pass.Files {
+				runRecMut(pass, file)
+			}
+		},
+	}
+}
+
+func runRecMut(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				checkWorkerRecorderUse(pass, lit, "goroutine")
+			}
+		case *ast.CallExpr:
+			pkgPath, fn := pass.CalleePkgFunc(file, st)
+			if pkgPath == RunpoolPath && (fn == "Map" || fn == "Collect") && len(st.Args) > 0 {
+				if lit, ok := st.Args[len(st.Args)-1].(*ast.FuncLit); ok {
+					checkWorkerRecorderUse(pass, lit, "runpool job")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWorkerRecorderUse flags recorder mutations on captured receivers
+// inside one worker closure.
+func checkWorkerRecorderUse(pass *Pass, lit *ast.FuncLit, ctx string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isRecorderExpr(pass, sel.X) || !isMutatingMethod(sel.Sel.Name) {
+				return true
+			}
+			if capturedBase(pass, sel.X, lit) {
+				pass.Reportf(st.Pos(), Warning,
+					"%s on a recorder captured by a %s: timeline events must be appended from the engine goroutine's call tree only, or exports stop being byte-identical across worker counts", sel.Sel.Name, ctx)
+			}
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				checkRecorderFieldWrite(pass, lit, lhs, ctx)
+			}
+		case *ast.IncDecStmt:
+			checkRecorderFieldWrite(pass, lit, st.X, ctx)
+		}
+		return true
+	})
+}
+
+// checkRecorderFieldWrite flags writes through a captured recorder or
+// counters value (c.Events++, rec.X = ...).
+func checkRecorderFieldWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, ctx string) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if !isRecorderExpr(pass, sel.X) {
+		return
+	}
+	if capturedBase(pass, sel.X, lit) {
+		pass.Reportf(lhs.Pos(), Warning,
+			"write to %s of a recorder captured by a %s: timeline state must only change inside the engine goroutine's call tree", sel.Sel.Name, ctx)
+	}
+}
+
+// isMutatingMethod names the recorder methods that append or alter state;
+// the read-only accessors (Enabled, Events, Counters, ...) are safe from
+// any goroutine that observes a quiescent recorder.
+func isMutatingMethod(name string) bool {
+	switch name {
+	case "Emit", "Record", "Append", "Reset", "Observe":
+		return true
+	}
+	return false
+}
+
+// isRecorderExpr reports whether e's static type is (a pointer to) one of
+// the timeline recorder types.
+func isRecorderExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	for _, name := range recorderTypes {
+		if IsNamedType(t, TimelinePath, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedBase reports whether the expression's base identifier is
+// declared outside the closure (captured). An unresolvable base counts as
+// captured only when it is not declared anywhere inside the literal.
+func capturedBase(pass *Pass, e ast.Expr, lit *ast.FuncLit) bool {
+	base := rootIdent(e)
+	if base == nil {
+		return false
+	}
+	outside, known := pass.DeclaredOutside(base, lit.Pos(), lit.End())
+	if !known {
+		return !localNames(lit)[base.Name]
+	}
+	return outside
+}

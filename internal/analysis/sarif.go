@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"encoding/json"
+)
+
+// Minimal SARIF 2.1.0 document model: one run, one driver, one result
+// per finding. Only the fields CI viewers actually consume are emitted.
+type sarifDoc struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+	EndLine   int `json:"endLine,omitempty"`
+}
+
+// SARIF renders findings as a SARIF 2.1.0 log (the interchange format CI
+// annotation surfaces ingest), declaring every analyzer as a rule even
+// when it produced no results so the artifact documents the whole suite.
+func SARIF(findings []Finding, analyzers []*Analyzer) ([]byte, error) {
+	driver := sarifDriver{Name: "vetabr"}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		level := "warning"
+		if f.Severity != Warning {
+			level = "note"
+		}
+		region := sarifRegion{StartLine: f.Pos.Line}
+		if f.End.IsValid() && f.End.Line >= f.Pos.Line {
+			region.EndLine = f.End.Line
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   level,
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+					Region:           region,
+				},
+			}},
+		})
+	}
+	doc := sarifDoc{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RunpoolPath is the import path of the worker-pool package whose job
+// closures the sharedcapture analyzer inspects.
+const RunpoolPath = "demuxabr/internal/runpool"
+
+// NewSharedCapture builds the sharedcapture analyzer: a closure submitted
+// to runpool.Map or runpool.Collect must not write state captured from
+// the enclosing scope. Jobs run on worker goroutines in claim order, so a
+// captured variable, map, slice element, or field written by one job is
+// read (or racily overwritten) by another in a schedule-dependent order —
+// the exact bug class the serial-vs-parallel equivalence tests catch at
+// runtime, caught here before the code ever runs.
+//
+// Writing through the job's own index into a captured slice
+// (`out[i] = ...` where i is the job parameter) is the one allowed
+// pattern: the partitions are disjoint and the result independent of
+// scheduling — it is how runpool itself collects results.
+func NewSharedCapture() *Analyzer {
+	return &Analyzer{
+		Name: "sharedcapture",
+		Doc:  "forbid runpool job closures writing shared captured state",
+		Run:  runSharedCapture,
+	}
+}
+
+func runSharedCapture(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn := pass.CalleePkgFunc(file, call)
+			if pkgPath != RunpoolPath || (fn != "Map" && fn != "Collect") {
+				return true
+			}
+			// Map(workers, n, job) / Collect(workers, n, job): the job is
+			// the final argument.
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkJobClosure(pass, lit)
+			return true
+		})
+	}
+}
+
+// checkJobClosure flags writes inside the job literal whose target is
+// declared outside it.
+func checkJobClosure(pass *Pass, lit *ast.FuncLit) {
+	params := jobParams(lit)
+	local := localNames(lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				checkWrite(pass, lit, lhs, params, local)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, st.X, params, local)
+		}
+		return true
+	})
+}
+
+// checkWrite reports one write target when its base is captured from the
+// enclosing scope.
+func checkWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, params, local map[string]bool) {
+	base, kind, exempt := writeBase(pass, lhs, params)
+	if base == nil || base.Name == "_" || exempt {
+		return
+	}
+	outside, known := pass.DeclaredOutside(base, lit.Pos(), lit.End())
+	if !known {
+		// Degraded type info: fall back to the closure's declared-name set.
+		outside = !local[base.Name]
+	}
+	if !outside {
+		return
+	}
+	pass.Reportf(lhs.Pos(), Warning,
+		"runpool job writes captured %s %q: jobs run on worker goroutines, so shared writes make the result depend on scheduling; return the value from the job (or index a slice by the job parameter) instead", kind, base.Name)
+}
+
+// writeBase peels an assignment target down to its base identifier,
+// classifying the write and deciding the disjoint-index exemption.
+func writeBase(pass *Pass, lhs ast.Expr, params map[string]bool) (base *ast.Ident, kind string, exempt bool) {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		return e, "variable", false
+	case *ast.SelectorExpr:
+		b := rootIdent(e.X)
+		return b, "field of", false
+	case *ast.StarExpr:
+		b := rootIdent(e.X)
+		return b, "pointee of", false
+	case *ast.IndexExpr:
+		b := rootIdent(e.X)
+		if b == nil {
+			return nil, "", false
+		}
+		if isMapType(pass.TypeOf(e.X)) {
+			// Concurrent map writes race even on distinct keys.
+			return b, "map", false
+		}
+		// Slice or array: writing the job's own index is the sanctioned
+		// disjoint-partition pattern.
+		if id, ok := e.Index.(*ast.Ident); ok && params[id.Name] {
+			return b, "slice", true
+		}
+		return b, "slice", false
+	}
+	return nil, "", false
+}
+
+// rootIdent walks selector/index/star chains down to the base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// jobParams collects the job literal's parameter names (the per-job index
+// that makes disjoint slice writes safe).
+func jobParams(lit *ast.FuncLit) map[string]bool {
+	params := map[string]bool{}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, id := range f.Names {
+				params[id.Name] = true
+			}
+		}
+	}
+	return params
+}
+
+// localNames collects every name declared inside the literal — the
+// fallback free-variable test when type information is degraded.
+func localNames(lit *ast.FuncLit) map[string]bool {
+	local := jobParams(lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						local[id.Name] = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						local[id.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := e.(*ast.Ident); ok && st.Tok == token.DEFINE {
+					local[id.Name] = true
+				}
+			}
+		case *ast.FuncLit:
+			for _, f := range st.Type.Params.List {
+				for _, id := range f.Names {
+					local[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return local
+}

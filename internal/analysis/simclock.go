@@ -20,26 +20,16 @@ var wallClockFuncs = map[string]bool{
 	"Until":     true,
 }
 
-// seededRandFuncs are the math/rand names that construct explicitly
-// seeded generators (or name types); everything else on the package is
-// the process-global source, which breaks same-seed replay.
-var seededRandFuncs = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"Rand":      true,
-	"Source":    true,
-	"Zipf":      true,
-}
-
 // NewSimClock builds the simclock analyzer. It fires only in packages
 // whose import path starts with one of simPrefixes: the discrete-event
-// simulation packages where wall-clock time or the global math/rand
-// source silently breaks bit-for-bit replay determinism.
+// simulation packages where a wall-clock read silently breaks
+// bit-for-bit replay determinism. Randomness discipline (the global
+// math/rand source, time-seeded generators) is the globalrand analyzer's
+// domain.
 func NewSimClock(simPrefixes ...string) *Analyzer {
 	return &Analyzer{
 		Name: "simclock",
-		Doc:  "forbid wall-clock time and global math/rand in simulation packages",
+		Doc:  "forbid wall-clock time in simulation packages",
 		Run: func(pass *Pass) {
 			if !pathHasPrefix(pass.Path, simPrefixes) {
 				return
@@ -54,17 +44,9 @@ func NewSimClock(simPrefixes ...string) *Analyzer {
 					if !ok {
 						return true
 					}
-					switch pass.PkgName(file, base) {
-					case "time":
-						if wallClockFuncs[sel.Sel.Name] {
-							pass.Reportf(sel.Pos(), Warning,
-								"time.%s reads the wall clock: simulation packages must use virtual time (netsim.Engine) for replay determinism", sel.Sel.Name)
-						}
-					case "math/rand", "math/rand/v2":
-						if !seededRandFuncs[sel.Sel.Name] {
-							pass.Reportf(sel.Pos(), Warning,
-								"rand.%s uses the process-global random source: simulation packages must thread an explicitly seeded *rand.Rand for replay determinism", sel.Sel.Name)
-						}
+					if pass.PkgName(file, base) == "time" && wallClockFuncs[sel.Sel.Name] {
+						pass.Reportf(sel.Pos(), Warning,
+							"time.%s reads the wall clock: simulation packages must use virtual time (netsim.Engine) for replay determinism", sel.Sel.Name)
 					}
 					return true
 				})

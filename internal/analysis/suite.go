@@ -35,7 +35,11 @@ var SimPackagePrefixes = []string{
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewSimClock(SimPackagePrefixes...),
+		NewGlobalRand(SimPackagePrefixes...),
 		NewMapOrder(),
+		NewRangeLeak(),
+		NewSharedCapture(),
+		NewRecMut(SimPackagePrefixes...),
 		NewFloatEq(),
 		NewUnits(),
 	}

@@ -1,0 +1,8 @@
+// Package other sits outside the simulation scope: tooling and
+// real-network helpers may use the convenience global source.
+package other
+
+import "math/rand"
+
+// Jitter spreads retry delays; reproducibility is not a goal here.
+func Jitter(n int) int { return rand.Intn(n) }

@@ -1,0 +1,47 @@
+//fixture:path demuxabr/internal/faults
+
+// Package faults impersonates a simulation-scope package: every random
+// draw here must come from an explicitly seeded, locally constructed
+// source or the same fault plan stops replaying run to run.
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw(n int) int {
+	return rand.Intn(n) // want "rand.Intn draws from the process-global source"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the process-global source"
+}
+
+func seedGlobal(seed int64) {
+	rand.Seed(seed) // want "rand.Seed reseeds the process-global source"
+}
+
+func wallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock .time.Now."
+}
+
+func wallSeedDirect() rand.Source {
+	return rand.NewSource(time.Now().Unix()) // want "seeded from the wall clock .time.Now."
+}
+
+// good is the house idiom: the seed arrives from configuration.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// derived sources seeded from another draw are equally fine.
+func derived(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}
+
+func suppressed() int {
+	//lint:ignore globalrand jitter only pads a log line, never reaches results
+	return rand.Intn(3)
+}

@@ -1,0 +1,106 @@
+// Package fix seeds the assignment-chain escapes rangeleak exists for:
+// values derived from map-range loop variables that reach a return
+// through plain assignments, without a sort, so an arbitrary entry
+// (whichever the runtime iterates last) becomes the function's answer.
+package fix
+
+import "slices"
+
+func lastEntry(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k // want ".last. is assigned from map-range loop variables"
+	}
+	return last
+}
+
+// chained taints an intermediate first: d carries v into pick.
+func chained(m map[int]int) int {
+	pick := 0
+	for _, v := range m {
+		d := v * 2
+		pick = d // want ".pick. is assigned from map-range loop variables"
+	}
+	return pick
+}
+
+// namedResult leaks through a bare return of a named result.
+func namedResult(m map[string]float64) (peak float64) {
+	for _, v := range m {
+		peak = v // want ".peak. is assigned from map-range loop variables"
+		break
+	}
+	return
+}
+
+// overLimit looks like a search but overwrites on every match: when
+// several entries pass the threshold, an arbitrary one wins.
+func overLimit(m map[string]int, limit int) string {
+	hit := ""
+	for k, v := range m {
+		if v > limit {
+			hit = k // want ".hit. is assigned from map-range loop variables"
+		}
+	}
+	return hit
+}
+
+// sortedAfterwards pins the escape hatch: a sort between the loop and
+// the return restores determinism.
+func sortedAfterwards(m map[string][]int) []int {
+	var segs []int
+	for _, v := range m {
+		segs = v
+	}
+	slices.Sort(segs)
+	return segs
+}
+
+// appended is maporder's domain, not rangeleak's: one bug, one finding.
+func appended(m map[string][]string) []string {
+	var all []string
+	for _, vs := range m {
+		all = append(all, vs...)
+	}
+	slices.Sort(all)
+	return all
+}
+
+// total is the house idiom: compound accumulation commutes.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// maxVal is the extremum reduction: converges in any iteration order.
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// invert rebuilds keyed content: deterministic regardless of visit order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// anyKey documents the suppression escape hatch.
+func anyKey(m map[string]int) string {
+	pick := ""
+	for k := range m {
+		//lint:ignore rangeleak any witness key works for the error message
+		pick = k
+	}
+	return pick
+}

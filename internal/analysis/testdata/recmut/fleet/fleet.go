@@ -1,0 +1,53 @@
+//fixture:path demuxabr/internal/fleet
+
+// Package fleet seeds the recorder-mutation bugs recmut catches: events
+// appended from worker goroutines interleave in scheduling order, so
+// timeline exports stop being byte-identical across -parallel counts.
+package fleet
+
+import (
+	"demuxabr/internal/runpool"
+	"demuxabr/internal/timeline"
+)
+
+func emitFromGoroutine(rec *timeline.Recorder, done chan struct{}) {
+	go func() {
+		rec.Emit("join", 0) // want "Emit on a recorder captured by a goroutine"
+		close(done)
+	}()
+}
+
+func emitFromJob(rec *timeline.Recorder, n int) []int {
+	return runpool.Collect(0, n, func(i int) int {
+		rec.Emit("session-done", float64(i)) // want "Emit on a recorder captured by a runpool job"
+		return i
+	})
+}
+
+func countFromGoroutine(c *timeline.Counters) {
+	go func() {
+		c.Events++ // want "write to Events of a recorder captured by a goroutine"
+	}()
+}
+
+// perJobRecorder is the sanctioned pattern: each job owns its recorder
+// (its own session, its own engine) and mutation stays inside.
+func perJobRecorder(n int) []int {
+	return runpool.Collect(0, n, func(i int) int {
+		rec := timeline.New()
+		rec.Emit("start", 0)
+		return rec.Count().Events
+	})
+}
+
+// engineEmit appends from the engine call tree — no closure, no finding.
+func engineEmit(rec *timeline.Recorder) {
+	rec.Emit("tick", 1)
+}
+
+// readOnly observers may look at a quiescent recorder from any goroutine.
+func readOnly(rec *timeline.Recorder, done chan bool) {
+	go func() {
+		done <- rec.Enabled()
+	}()
+}

@@ -1,0 +1,39 @@
+//fixture:path demuxabr/internal/timeline
+
+// Package timeline is a fixture stub of the flight recorder: the same
+// type names at the same import path, so consumer fixtures resolve to
+// the identities recmut checks for in the live tree.
+package timeline
+
+// Event is one recorded timeline entry.
+type Event struct {
+	At   float64
+	Kind string
+}
+
+// Counters mirrors the recorder's tally block: exported fields mutated
+// only inside the engine's call tree.
+type Counters struct {
+	Events int
+}
+
+// Recorder mirrors the real flight recorder's surface.
+type Recorder struct {
+	events []Event
+	c      Counters
+}
+
+// New constructs an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Emit appends one event.
+func (r *Recorder) Emit(kind string, at float64) {
+	r.events = append(r.events, Event{At: at, Kind: kind})
+	r.c.Events++
+}
+
+// Enabled reports whether recording is on.
+func (r *Recorder) Enabled() bool { return true }
+
+// Count returns a copy of the tallies.
+func (r *Recorder) Count() Counters { return r.c }

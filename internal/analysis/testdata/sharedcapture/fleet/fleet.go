@@ -1,0 +1,101 @@
+//fixture:path demuxabr/internal/fleet
+
+// Package fleet seeds the deliberate shared-capture bugs the analyzer
+// must catch: every write below compiles, passes go vet, and would only
+// surface at runtime as a serial-vs-parallel divergence.
+package fleet
+
+import "demuxabr/internal/runpool"
+
+// Stats is shared aggregation state a careless job might reach for.
+type Stats struct {
+	Total int
+	ByID  map[int]int
+}
+
+func sharedScalar(n int) int {
+	total := 0
+	runpool.Collect(0, n, func(i int) int {
+		total += i // want "writes captured variable .total."
+		return i
+	})
+	return total
+}
+
+func sharedField(n int, st *Stats) ([]int, error) {
+	return runpool.Map(0, n, func(i int) (int, error) {
+		st.Total = st.Total + i // want "writes captured field of .st."
+		return i, nil
+	})
+}
+
+func sharedMap(n int, st *Stats) []int {
+	return runpool.Collect(0, n, func(i int) int {
+		st.ByID[i] = i // want "writes captured map .st."
+		return i
+	})
+}
+
+func sharedMapVar(n int) map[int]int {
+	agg := map[int]int{}
+	runpool.Collect(0, n, func(i int) int {
+		agg[i] = i // want "writes captured map .agg."
+		return i
+	})
+	return agg
+}
+
+func sharedSliceWrongIndex(n int) []int {
+	out := make([]int, n)
+	runpool.Collect(0, n, func(i int) int {
+		out[0] = i // want "writes captured slice .out."
+		return i
+	})
+	return out
+}
+
+func sharedPointer(n int, p *int) []int {
+	return runpool.Collect(0, n, func(i int) int {
+		*p = i // want "writes captured pointee of .p."
+		return i
+	})
+}
+
+// disjointIndex is the sanctioned pattern: each job owns its own slot.
+func disjointIndex(n int) []int {
+	out := make([]int, n)
+	runpool.Collect(0, n, func(i int) int {
+		out[i] = i * 2
+		return i
+	})
+	return out
+}
+
+// localState never escapes the job.
+func localState(n int) []int {
+	return runpool.Collect(0, n, func(i int) int {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j
+		}
+		return acc
+	})
+}
+
+// capturedRead is fine: jobs may read shared immutable configuration.
+func capturedRead(n int, scale int) []int {
+	return runpool.Collect(0, n, func(i int) int {
+		return i * scale
+	})
+}
+
+// suppressed documents the escape hatch.
+func suppressed(n int) int {
+	hits := 0
+	runpool.Collect(1, n, func(i int) int {
+		//lint:ignore sharedcapture single-worker pool in this diagnostic path runs jobs serially
+		hits++
+		return i
+	})
+	return hits
+}

@@ -1,0 +1,25 @@
+//fixture:path demuxabr/internal/runpool
+
+// Package runpool is a fixture stub of the real worker pool: the same
+// exported signatures, so consumer fixtures type-check against the same
+// identities the sharedcapture analyzer resolves in the live tree.
+package runpool
+
+// Map mirrors runpool.Map.
+func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := job(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Collect mirrors runpool.Collect.
+func Collect[T any](workers, n int, job func(i int) T) []T {
+	out, _ := Map(workers, n, func(i int) (T, error) { return job(i), nil })
+	return out
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+)
+
+// playlist builds a media playlist from segment durations.
+func playlist(target time.Duration, durs ...time.Duration) *hls.MediaPlaylist {
+	p := &hls.MediaPlaylist{TargetDuration: target, EndList: true}
+	for _, d := range durs {
+		p.Segments = append(p.Segments, hls.Segment{Duration: d, URI: "s.m4s", ByteRangeLength: 1})
+	}
+	return p
+}
+
+func TestMediaTimelineDrift(t *testing.T) {
+	const s = time.Second
+	bad := playlist(4*s, 4*s, 4*s, 6*s, 4*s, 1*s)
+	fs := MediaTimeline("V1.m3u8", bad)
+	if len(fs) != 1 || fs[0].Rule != "hls-irregular-segment-durations" {
+		t.Fatalf("irregular playlist not flagged: %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "segment 2 at 6s") {
+		t.Errorf("worst offender not reported: %s", fs[0].Message)
+	}
+
+	// The short final segment is exempt: it is how streams end.
+	good := playlist(4*s, 4*s, 4*s, 4*s, 1*s)
+	if fs := MediaTimeline("V1.m3u8", good); len(fs) != 0 {
+		t.Errorf("regular playlist flagged: %v", fs)
+	}
+	// Sub-tolerance jitter passes.
+	jitter := playlist(4*s, 4*s, 3700*time.Millisecond, 4*s, 2*s)
+	if fs := MediaTimeline("V1.m3u8", jitter); len(fs) != 0 {
+		t.Errorf("sub-tolerance jitter flagged: %v", fs)
+	}
+	// No declared target, nothing to check against.
+	if fs := MediaTimeline("V1.m3u8", playlist(0, 4*s, 9*s)); len(fs) != 0 {
+		t.Errorf("targetless playlist flagged: %v", fs)
+	}
+}
+
+func TestSegmentAlignment(t *testing.T) {
+	const s = time.Second
+	video := playlist(4*s, 4*s, 4*s, 4*s, 2*s)
+	skewed := playlist(4*s, 3500*time.Millisecond, 4*s, 4*s, 2500*time.Millisecond)
+	fs := SegmentAlignment("V1.m3u8", "A1.m3u8", video, skewed)
+	if len(fs) != 1 || fs[0].Rule != "hls-av-misaligned-segments" {
+		t.Fatalf("misaligned tracks not flagged: %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "V1.m3u8") || !strings.Contains(fs[0].Message, "A1.m3u8") {
+		t.Errorf("pair not named: %s", fs[0].Message)
+	}
+
+	// Audio quantized to frame sizes: tens of milliseconds are fine.
+	quantized := playlist(4*s, 3990*time.Millisecond, 4010*time.Millisecond, 4*s, 2*s)
+	if fs := SegmentAlignment("V1.m3u8", "A1.m3u8", video, quantized); len(fs) != 0 {
+		t.Errorf("frame-quantized audio flagged: %v", fs)
+	}
+	// Different tails do not misalign the common prefix.
+	shorter := playlist(4*s, 4*s, 4*s, 4*s)
+	if fs := SegmentAlignment("V1.m3u8", "A1.m3u8", video, shorter); len(fs) != 0 {
+		t.Errorf("differing tails flagged: %v", fs)
+	}
+}
+
+// timelineMPD builds a two-adaptation-set MPD with explicit control of
+// each set's segment template.
+func timelineMPD(video, audio *dash.SegmentTemplate) *dash.MPD {
+	return &dash.MPD{
+		MediaPresentationDuration: "PT40S",
+		Periods: []dash.Period{{
+			AdaptationSets: []dash.AdaptationSet{
+				{ContentType: "video", SegmentTemplate: video},
+				{ContentType: "audio", SegmentTemplate: audio},
+			},
+		}},
+	}
+}
+
+func TestMPDTimelineDrift(t *testing.T) {
+	video := &dash.SegmentTemplate{
+		Timescale: 1000, Duration: 4000,
+		Timeline: &dash.SegmentTimeline{S: []dash.S{
+			{D: 4000, R: 2}, {D: 6000}, {D: 4000, R: 5}, {D: 2000},
+		}},
+	}
+	audio := &dash.SegmentTemplate{Timescale: 1000, Duration: 4000}
+	rules := ruleSet(MPDTimeline(timelineMPD(video, audio)))
+	if f, ok := rules["dash-irregular-segment-durations"]; !ok {
+		t.Fatalf("drifting timeline not flagged: %v", rules)
+	} else if !strings.Contains(f.Message, "video SegmentTimeline") {
+		t.Errorf("adaptation set not named: %s", f.Message)
+	}
+	// The drifting video timeline also shifts every later boundary away
+	// from the audio track's nominal grid.
+	if _, ok := rules["dash-av-misaligned-segments"]; !ok {
+		t.Errorf("shifted boundaries not flagged: %v", rules)
+	}
+
+	regular := &dash.SegmentTemplate{
+		Timescale: 1000, Duration: 4000,
+		Timeline: &dash.SegmentTimeline{S: []dash.S{{D: 4000, R: 8}, {D: 2000}}},
+	}
+	if fs := MPDTimeline(timelineMPD(regular, audio)); len(fs) != 0 {
+		t.Errorf("regular timeline flagged: %v", fs)
+	}
+}
+
+func TestMPDTimelineMisalignedNominals(t *testing.T) {
+	video := &dash.SegmentTemplate{Timescale: 1000, Duration: 4000}
+	audio := &dash.SegmentTemplate{Timescale: 1000, Duration: 3500}
+	rules := ruleSet(MPDTimeline(timelineMPD(video, audio)))
+	if _, ok := rules["dash-av-misaligned-segments"]; !ok {
+		t.Fatalf("3.5s audio vs 4s video chunking not flagged: %v", rules)
+	}
+	if _, ok := rules["dash-irregular-segment-durations"]; ok {
+		t.Errorf("nominal-only templates have no timeline to drift: %v", rules)
+	}
+}
+
+// TestGeneratedManifestsHaveRegularTimelines pins the repo's own
+// generators to the practice the rules enforce.
+func TestGeneratedManifestsHaveRegularTimelines(t *testing.T) {
+	c := media.DramaShow()
+	if fs := MPDTimeline(dash.Generate(c)); len(fs) != 0 {
+		t.Errorf("generated MPD flagged: %v", fs)
+	}
+	v := hls.GenerateMedia(c, c.TrackByID("V1"), hls.SingleFile, false)
+	a := hls.GenerateMedia(c, c.TrackByID("A1"), hls.SingleFile, false)
+	if fs := MediaTimeline("V1", v); len(fs) != 0 {
+		t.Errorf("generated video playlist flagged: %v", fs)
+	}
+	if fs := SegmentAlignment("V1", "A1", v, a); len(fs) != 0 {
+		t.Errorf("generated pair flagged: %v", fs)
+	}
+}
