@@ -15,6 +15,7 @@ import (
 	"demuxabr/internal/cdnsim"
 	"demuxabr/internal/core"
 	"demuxabr/internal/experiments"
+	"demuxabr/internal/fleet"
 	"demuxabr/internal/media"
 	"demuxabr/internal/trace"
 )
@@ -594,6 +595,27 @@ func BenchmarkFleetScale(b *testing.B) {
 		b.ReportMetric(p.Fleet.JainVideoKbps, fmt.Sprintf("N%d-jain", p.N))
 		b.ReportMetric(p.Cache.ByteHitRatio(), fmt.Sprintf("N%d-byte-hit", p.N))
 	}
+}
+
+// BenchmarkFleetStream measures the sharded streaming path that takes the
+// co-simulation to N=100k: 16-session contention cells, calendar-queue
+// engines, sketch aggregation (memory O(shards + sketch), no per-session
+// retention). N here is kept small enough for the benchmem smoke; the
+// fleet-1e3/1e4/1e5 wall-clock rows live in BENCH_*.json via benchjson.
+func BenchmarkFleetStream(b *testing.B) {
+	const n = 96
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.FleetAtScale(n, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Cells), "cells")
+	b.ReportMetric(res.Fleet.Score.Median, "qoe-median")
+	b.ReportMetric(res.Fleet.JainVideoKbps, "jain")
+	b.ReportMetric(float64(len(res.Sampled)), "sampled-rows")
 }
 
 func boolMetric(v bool) float64 {

@@ -14,9 +14,12 @@
 #                    (a blanket ignore would silence future analyzers too)
 #   6. equivalence   fleet runners must be byte-identical serial vs
 #                    GOMAXPROCS-parallel (see docs/PERFORMANCE.md)
-#   7. timeline      flight-recorder exports must be byte-identical
+#   7. shards        sharded fleet aggregation must be byte-identical for
+#                    any shard count (-shards 1 vs 2/4/32 fleet JSON at
+#                    N=32, exact and streaming paths, under -race)
+#   8. timeline      flight-recorder exports must be byte-identical
 #                    across repeat runs and worker counts
-#   8. benchmem      fleet benchmarks compile and run once, so the
+#   9. benchmem      fleet benchmarks compile and run once, so the
 #                    allocs/op trajectory is always measurable
 #
 # Exits non-zero on the first failing step.
@@ -50,6 +53,9 @@ echo "== parallel-vs-serial equivalence (incl. fault-injection and fleet determi
 go test -race -count=1 \
 	-run 'TestParallelEquivalence|TestCacheSweepParallelMatchesSerial|TestMapCollectsInSubmissionOrder|TestResilienceSweepDeterministic|TestResilienceSweepParallelEquivalence|TestFleetScaleParallelEquivalence|TestFleetDeterministic' \
 	./internal/experiments ./internal/cdnsim ./internal/runpool ./internal/fleet
+
+echo "== shard equivalence (-shards 1 vs -shards 4 byte-identical fleet JSON at N=32)"
+go test -race -count=1 -run 'TestFleetShardEquivalence' ./internal/fleet
 
 echo "== timeline determinism (flight-recorder exports byte-identical across runs and worker counts)"
 go test -race -count=1 -run 'TestTimeline' \

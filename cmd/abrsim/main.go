@@ -10,6 +10,13 @@
 //	abrsim -player shaka -trace profile.csv [-manifest hall] [-audio-first A3]
 //	abrsim -compare -kbps 700 [-parallel n]
 //	abrsim -sessions 8 -kbps 24000 [-arrival-spread 30s] [-mix bestpractice,bola-joint] [-json fleet.json]
+//	abrsim -sessions 100000 -cell 16 -shards 4 [-sample-timelines 1000] [-json fleet.json]
+//
+// Large fleets partition into contention cells of -cell sessions (each cell
+// shares one uplink and edge cache) executed across -shards worker engines;
+// the aggregate output is byte-identical for any shard count. Beyond 4096
+// sessions the report switches to streaming sketch aggregation and the
+// per-session table shows a reservoir sample.
 package main
 
 import (
@@ -23,10 +30,12 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"demuxabr/internal/cdnsim"
 	"demuxabr/internal/core"
 	"demuxabr/internal/faults"
 	"demuxabr/internal/fleet"
 	"demuxabr/internal/media"
+	"demuxabr/internal/qoe"
 	"demuxabr/internal/report"
 	"demuxabr/internal/runpool"
 	"demuxabr/internal/timeline"
@@ -53,6 +62,9 @@ func main() {
 	arrivalSpread := flag.Duration("arrival-spread", 30*time.Second, "fleet arrival window: session starts are staggered (seeded) over [0, spread)")
 	mix := flag.String("mix", "", "comma-separated player kinds assigned round-robin across fleet sessions (default: -player for every session)")
 	seed := flag.Int64("seed", 17, "fleet seed: drives arrival draws and per-session fault plan derivation")
+	cell := flag.Int("cell", 0, "fleet contention-cell size: sessions per shared uplink+cache (0 = one cell for the whole fleet)")
+	shards := flag.Int("shards", 0, "fleet worker engines; cells are distributed round-robin, output is identical for any value (0 = GOMAXPROCS)")
+	sampleTimelines := flag.Int("sample-timelines", 0, "with -timeline, record every k-th session only (0 or 1 = all sessions)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -68,7 +80,7 @@ func main() {
 	case *compare:
 		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo)
 	case *sessions > 1:
-		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, fo)
+		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, *cell, *shards, *sampleTimelines, fo)
 	default:
 		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo)
 	}
@@ -316,7 +328,7 @@ func parseMix(mixStr, playerName string) ([]core.PlayerKind, error) {
 // shared edge uplink, every client gets a generous access link behind it,
 // and all sessions hit one shared edge cache. Output is a per-session table
 // plus the fleet aggregates; -json writes the full fleet report.
-func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, fo faultOpts) error {
+func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, cell, shards, sampleTimelines int, fo faultOpts) error {
 	content, err := parseContent(contentName)
 	if err != nil {
 		return err
@@ -334,17 +346,20 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 		return err
 	}
 	res, err := fleet.Run(fleet.Config{
-		Content:       content,
-		Sessions:      n,
-		Mix:           kinds,
-		Manifest:      mo,
-		UplinkProfile: profile,
-		ArrivalSpread: spread,
-		MissPenalty:   60 * time.Millisecond,
-		Seed:          seed,
-		FaultPlan:     fo.plan(),
-		Robustness:    fo.policy(),
-		Timeline:      timelineDir != "",
+		Content:         content,
+		Sessions:        n,
+		Mix:             kinds,
+		Manifest:        mo,
+		UplinkProfile:   profile,
+		ArrivalSpread:   spread,
+		MissPenalty:     60 * time.Millisecond,
+		Seed:            seed,
+		FaultPlan:       fo.plan(),
+		Robustness:      fo.policy(),
+		Timeline:        timelineDir != "",
+		CellSessions:    cell,
+		Shards:          shards,
+		SampleTimelines: sampleTimelines,
 	})
 	if err != nil {
 		return err
@@ -357,16 +372,25 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "ID\tModel\tArrival\tVideo\tAudio\tStalls\tRebuffer\tCache hit\tQoE")
-	for _, s := range res.Sessions {
-		m := s.Metrics
+	row := func(id int, kind core.PlayerKind, arrival time.Duration, ended bool, m qoe.Metrics, cache cdnsim.Stats) {
 		qoeCell := fmt.Sprintf("%.2f", m.Score)
-		if !s.Result.Ended {
+		if !ended {
 			qoeCell += " (aborted)"
 		}
 		fmt.Fprintf(tw, "%d\t%s\t%.1fs\t%.0fK\t%.0fK\t%d\t%.1fs\t%.2f\t%s\n",
-			s.ID, s.Kind, s.Arrival.Seconds(),
+			id, kind, arrival.Seconds(),
 			m.AvgVideoBitrate.Kbps(), m.AvgAudioBitrate.Kbps(),
-			m.StallCount, m.RebufferTime.Seconds(), s.Cache.HitRatio(), qoeCell)
+			m.StallCount, m.RebufferTime.Seconds(), cache.HitRatio(), qoeCell)
+	}
+	if res.Streamed {
+		fmt.Fprintf(tw, "(streaming aggregation: showing a %d-session reservoir sample)\n", len(res.Sampled))
+		for _, s := range res.Sampled {
+			row(s.ID, s.Kind, s.Arrival, s.Ended, s.Metrics, s.Cache)
+		}
+	} else {
+		for _, s := range res.Sessions {
+			row(s.ID, s.Kind, s.Arrival, s.Result.Ended, s.Metrics, s.Cache)
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -122,7 +122,7 @@ func TestRunFleetDeterministicJSON(t *testing.T) {
 	render := func() []byte {
 		out := filepath.Join(t.TempDir(), "fleet.json")
 		if err := runFleet(4, 10*time.Second, "bestpractice,bola-joint", "bestpractice",
-			12000, "", "", "drama", "hsub", "", out, "", 17, faultOpts{}); err != nil {
+			12000, "", "", "drama", "hsub", "", out, "", 17, 0, 0, 0, faultOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -148,11 +148,11 @@ func TestRunFleetDeterministicJSON(t *testing.T) {
 
 func TestRunFleetErrors(t *testing.T) {
 	if err := runFleet(4, 0, "bestpractice,vlc", "bestpractice",
-		12000, "", "", "drama", "hsub", "", "", "", 17, faultOpts{}); err == nil {
+		12000, "", "", "drama", "hsub", "", "", "", 17, 0, 0, 0, faultOpts{}); err == nil {
 		t.Error("bad mix entry: expected error")
 	}
 	if err := runFleet(4, 0, "", "bestpractice",
-		0, "", "", "drama", "hsub", "", "", "", 17, faultOpts{}); err == nil {
+		0, "", "", "drama", "hsub", "", "", "", 17, 0, 0, 0, faultOpts{}); err == nil {
 		t.Error("no bandwidth: expected error")
 	}
 }

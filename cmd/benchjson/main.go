@@ -11,6 +11,12 @@
 // Each workload is measured twice: once serial (-parallel 1) and once with
 // the runpool fan-out (-parallel value, default GOMAXPROCS), so the JSON
 // also records the fleet speedup on the machine that produced it.
+//
+// The fleet-1e3/1e4/1e5 rows measure one sharded co-simulation each at
+// N=1,000/10,000/100,000 sessions (16-session contention cells, streaming
+// sketch aggregation): a single timed run with no warm-up and no
+// serial/parallel pair, because at N=1e5 one run is minutes of wall clock.
+// -scale=false skips them for a quick trajectory check.
 package main
 
 import (
@@ -94,6 +100,37 @@ func fleetWorkloads() []workload {
 	}
 }
 
+// fleetScaleWorkloads are the large sharded-fleet rows (fleet-1e3,
+// fleet-1e4, fleet-1e5 for the default sizes): each runs one
+// experiments.FleetAtScale co-simulation on the streaming sketch path.
+// They are kept out of fleetWorkloads so the serial/parallel pairing and
+// warm-up logic never multiplies their cost.
+func fleetScaleWorkloads(ns []int) []workload {
+	ws := make([]workload, 0, len(ns))
+	for _, n := range ns {
+		n := n
+		ws = append(ws, workload{"fleet-" + scaleLabel(n), func(p int) error {
+			_, err := experiments.FleetAtScale(n, p)
+			return err
+		}})
+	}
+	return ws
+}
+
+// scaleLabel renders powers of ten as "1e3"-style exponents and anything
+// else as the plain decimal.
+func scaleLabel(n int) string {
+	e, m := 0, n
+	for m >= 10 && m%10 == 0 {
+		m /= 10
+		e++
+	}
+	if m == 1 && e > 0 {
+		return fmt.Sprintf("1e%d", e)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
 // measure runs fn reps times and reports per-op wall time and allocation
 // deltas. Not a sim package: wall clock here times real execution.
 func measure(name string, parallel, reps int, fn func(parallel int) error) (result, error) {
@@ -123,8 +160,32 @@ func measure(name string, parallel, reps int, fn func(parallel int) error) (resu
 	}, nil
 }
 
-// run measures every workload serial and parallel and writes the JSON doc.
-func run(out string, date string, reps, parallel int, workloads []workload) error {
+// measureOnce times a single run of fn with no warm-up: the scale rows
+// are too expensive for warm-up plus repetition, and a one-shot wall-clock
+// figure is what the BENCH trajectory compares for them.
+func measureOnce(name string, parallel int, fn func(parallel int) error) (result, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := fn(parallel); err != nil {
+		return result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return result{
+		Name:        name,
+		Parallel:    runpool.Workers(parallel),
+		Reps:        1,
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+	}, nil
+}
+
+// run measures every workload serial and parallel, then each scale
+// workload once at the requested parallelism, and writes the JSON doc.
+func run(out string, date string, reps, parallel int, workloads, scale []workload) error {
 	d := doc{Date: date, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	ps := []int{1}
 	if runpool.Workers(parallel) > 1 {
@@ -138,6 +199,13 @@ func run(out string, date string, reps, parallel int, workloads []workload) erro
 			}
 			d.Results = append(d.Results, r)
 		}
+	}
+	for _, w := range scale {
+		r, err := measureOnce(w.name, parallel, w.fn)
+		if err != nil {
+			return err
+		}
+		d.Results = append(d.Results, r)
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -157,12 +225,17 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	reps := flag.Int("reps", 3, "repetitions per workload")
 	parallel := flag.Int("parallel", 0, "fleet worker count for the parallel runs (0 = GOMAXPROCS)")
+	withScale := flag.Bool("scale", true, "include the fleet-1e3/1e4/1e5 sharded-fleet rows (minutes of wall clock)")
 	flag.Parse()
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", date)
 	}
-	if err := run(path, date, *reps, *parallel, fleetWorkloads()); err != nil {
+	var scale []workload
+	if *withScale {
+		scale = fleetScaleWorkloads(experiments.DefaultFleetScaleNs())
+	}
+	if err := run(path, date, *reps, *parallel, fleetWorkloads(), scale); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -26,7 +26,7 @@ func trivialWorkloads(calls *int) []workload {
 func TestRunWritesParsableDoc(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	calls := 0
-	if err := run(out, "2026-08-05", 2, 1, trivialWorkloads(&calls)); err != nil {
+	if err := run(out, "2026-08-05", 2, 1, trivialWorkloads(&calls), nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -83,12 +83,60 @@ func TestRunPropagatesWorkloadError(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	err := run(out, "2026-08-05", 1, 1, []workload{
 		{"failing", func(parallel int) error { return boom }},
-	})
+	}, nil)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
 	}
 	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
 		t.Error("output file written despite workload failure")
+	}
+}
+
+func TestScaleLabel(t *testing.T) {
+	cases := map[int]string{1000: "1e3", 10000: "1e4", 100000: "1e5", 10: "1e1", 96: "96", 1: "1", 1200: "1200"}
+	for n, want := range cases {
+		if got := scaleLabel(n); got != want {
+			t.Errorf("scaleLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+	for _, n := range []int{1000, 10000, 100000} {
+		name := "fleet-" + scaleLabel(n)
+		if name != map[int]string{1000: "fleet-1e3", 10000: "fleet-1e4", 100000: "fleet-1e5"}[n] {
+			t.Errorf("unexpected scale row name %q", name)
+		}
+	}
+}
+
+// TestScaleRowsMeasureOnce runs the scale plumbing end to end on a tiny
+// fleet: one measureOnce per row, no warm-up, appended after the paired
+// workloads in the output doc.
+func TestScaleRowsMeasureOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) fleet")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	calls := 0
+	scale := fleetScaleWorkloads([]int{96})
+	if len(scale) != 1 || scale[0].name != "fleet-96" {
+		t.Fatalf("scale workloads = %+v", scale)
+	}
+	if err := run(out, "2026-08-05", 2, 1, trivialWorkloads(&calls), scale); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	last := d.Results[len(d.Results)-1]
+	if last.Name != "fleet-96" || last.Reps != 1 {
+		t.Errorf("scale row = %+v, want fleet-96 with reps 1", last)
+	}
+	if last.NsPerOp <= 0 {
+		t.Errorf("scale row ns/op = %d, want > 0", last.NsPerOp)
 	}
 }
 

@@ -8,13 +8,15 @@
 //	paperfigs [-only id] [-csv dir] [-parallel n]
 //
 // where id is one of: table1 table2 table3 fig2a fig2b fig3 fig4a fig4b
-// fig5 compare ablate cdn sweep ... fleet. With -csv, figure timelines are
-// written as CSV
+// fig5 compare ablate cdn sweep ... fleet fleetscale. With -csv, figure
+// timelines are written as CSV
 // files into the directory for external plotting. -parallel sets the
 // worker count for the fleet experiments (sweeps, comparisons, the CDN
 // sweep); the default 0 means GOMAXPROCS, and -parallel 1 runs the exact
 // serial path. Output is byte-identical at any worker count (see
-// docs/PERFORMANCE.md).
+// docs/PERFORMANCE.md). fleetscale runs one large sharded fleet of
+// -fleet-n sessions (16-session contention cells, streaming sketch
+// aggregation); e.g. `paperfigs -only fleetscale -fleet-n 100000`.
 package main
 
 import (
@@ -36,6 +38,9 @@ import (
 // parallelN is the worker count for fleet experiments; 0 = GOMAXPROCS.
 var parallelN int
 
+// fleetN is the session count for the fleetscale experiment.
+var fleetN int
+
 // timelineDir, when set, writes flight-recorder exports (currently the fig3
 // walkthrough) into the directory.
 var timelineDir string
@@ -47,9 +52,10 @@ func main() {
 }
 
 func realMain() int {
-	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn)")
+	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn, fleetscale)")
 	csvDir := flag.String("csv", "", "write figure timelines as CSV into this directory")
 	flag.IntVar(&parallelN, "parallel", 0, "fleet worker count (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&fleetN, "fleet-n", 1000, "fleet size for -only fleetscale (cells of 16 sessions, streaming aggregation)")
 	flag.StringVar(&timelineDir, "timeline", "", "write flight-recorder timelines (JSONL + Chrome trace) into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -99,6 +105,7 @@ func realMain() int {
 		{"verify", verify}, {"language", language},
 		{"seeds", seeds}, {"startup", startup}, {"pareto", pareto},
 		{"resilience", resilience}, {"fleet", fleet},
+		{"fleetscale", fleetscale},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -530,6 +537,18 @@ func fleet(string) error {
 		return err
 	}
 	experiments.PrintFleetMixes(os.Stdout, mixes)
+	return nil
+}
+
+// fleetscale runs one large sharded fleet (-fleet-n sessions in 16-session
+// contention cells, streaming sketch aggregation) across -parallel worker
+// engines; the printed aggregates are identical at any worker count.
+func fleetscale(string) error {
+	res, err := experiments.FleetAtScale(fleetN, parallelN)
+	if err != nil {
+		return err
+	}
+	experiments.PrintFleetAtScale(os.Stdout, res)
 	return nil
 }
 

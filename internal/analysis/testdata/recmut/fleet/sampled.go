@@ -1,0 +1,47 @@
+//fixture:path demuxabr/internal/fleet
+
+// Sampled-recorder patterns from the sharded fleet runner: with
+// -sample-timelines only every k-th session gets a recorder, and shard
+// jobs are tempted to emit into the shared sampled set (or the one
+// uplink recorder) from inside the pool.
+package fleet
+
+import (
+	"demuxabr/internal/runpool"
+	"demuxabr/internal/timeline"
+)
+
+// sampledSharedUplink is the bug: every shard job emits into the single
+// captured uplink recorder, interleaving events in scheduling order.
+func sampledSharedUplink(uplink *timeline.Recorder, shards int) []int {
+	return runpool.Collect(0, shards, func(sh int) int {
+		uplink.Emit("cell-done", float64(sh)) // want "Emit on a recorder captured by a runpool job"
+		return sh
+	})
+}
+
+// sampledSharedSet emits into a pre-built sampled-recorder set from the
+// jobs: even though each index is touched once, the recorder identity is
+// captured and the append races with any other emitter.
+func sampledSharedSet(recs []*timeline.Recorder, n, k int) []int {
+	return runpool.Collect(0, n, func(i int) int {
+		if i%k == 0 {
+			recs[i/k].Emit("session-done", float64(i)) // want "Emit on a recorder captured by a runpool job"
+		}
+		return i
+	})
+}
+
+// sampledPerJob is the sanctioned shape: a sampled session's recorder is
+// created inside the job that owns it, mutated only there, and returned
+// for deterministic post-pool collection (nil for unsampled sessions).
+func sampledPerJob(n, k int) []*timeline.Recorder {
+	return runpool.Collect(0, n, func(i int) *timeline.Recorder {
+		if i%k != 0 {
+			return nil
+		}
+		rec := timeline.New()
+		rec.Emit("session-done", float64(i))
+		return rec
+	})
+}

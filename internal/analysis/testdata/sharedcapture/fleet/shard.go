@@ -1,0 +1,73 @@
+//fixture:path demuxabr/internal/fleet
+
+// Cross-shard merge patterns from the sharded fleet runner: each shard
+// job simulates a stripe of contention cells. The buggy shapes fold into
+// one shared accumulator from inside the jobs; the sanctioned shape
+// returns a per-shard aggregate and merges after the pool drains.
+package fleet
+
+import "demuxabr/internal/runpool"
+
+// shardAgg mirrors the sharded fleet's per-worker aggregation state: a
+// completion tally plus histogram bins (the quantile sketch).
+type shardAgg struct {
+	Completed int
+	Bins      []int64
+}
+
+// merge folds another shard's aggregate into a.
+func (a *shardAgg) merge(o *shardAgg) {
+	a.Completed += o.Completed
+	for i, c := range o.Bins {
+		a.Bins[i] += c
+	}
+}
+
+// sharedShardAccumulator is the bug: every shard job folds its cells into
+// the one captured accumulator, racing on the tally and the bins.
+func sharedShardAccumulator(shards, cells int) *shardAgg {
+	agg := &shardAgg{Bins: make([]int64, 8)}
+	runpool.Collect(shards, shards, func(sh int) int {
+		for ci := sh; ci < cells; ci += shards {
+			agg.Completed++ // want "writes captured field of .agg."
+		}
+		return sh
+	})
+	return agg
+}
+
+// sharedShardBins races on the sketch bins through the captured pointer.
+func sharedShardBins(shards int, agg *shardAgg) []int {
+	return runpool.Collect(0, shards, func(sh int) int {
+		agg.Bins[sh%len(agg.Bins)]++ // want "writes captured slice .agg."
+		return sh
+	})
+}
+
+// sharedCompletedCounter races a bare tally across shard jobs.
+func sharedCompletedCounter(shards, cellsPerShard int) int {
+	completed := 0
+	runpool.Collect(0, shards, func(sh int) int {
+		completed += cellsPerShard // want "writes captured variable .completed."
+		return sh
+	})
+	return completed
+}
+
+// perShardAggregates is the sanctioned cross-shard merge: each job builds
+// and returns its own aggregate; the fold happens serially after Collect.
+func perShardAggregates(shards, cells int) *shardAgg {
+	aggs := runpool.Collect(0, shards, func(sh int) *shardAgg {
+		a := &shardAgg{Bins: make([]int64, 8)}
+		for ci := sh; ci < cells; ci += shards {
+			a.Completed++
+			a.Bins[ci%len(a.Bins)]++
+		}
+		return a
+	})
+	total := &shardAgg{Bins: make([]int64, 8)}
+	for _, a := range aggs {
+		total.merge(a)
+	}
+	return total
+}

@@ -49,6 +49,21 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(s.Requests)
 }
 
+// Plus returns the counter-wise sum of two Stats — the aggregate of two
+// disjoint edges (integer addition, so the fold order never matters).
+func (s Stats) Plus(o Stats) Stats {
+	return Stats{
+		Requests:       s.Requests + o.Requests,
+		Hits:           s.Hits + o.Hits,
+		Misses:         s.Misses + o.Misses,
+		BytesServed:    s.BytesServed + o.BytesServed,
+		BytesOrigin:    s.BytesOrigin + o.BytesOrigin,
+		Evictions:      s.Evictions + o.Evictions,
+		OriginErrors:   s.OriginErrors + o.OriginErrors,
+		FailedRequests: s.FailedRequests + o.FailedRequests,
+	}
+}
+
 // ByteHitRatio returns the fraction of served bytes that came from cache.
 func (s Stats) ByteHitRatio() float64 {
 	if s.BytesServed == 0 {

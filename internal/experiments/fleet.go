@@ -186,3 +186,42 @@ func PrintFleetMixes(w io.Writer, points []FleetMixPoint) {
 	}
 	tw.Flush()
 }
+
+// FleetCellSessions is the contention-cell size used at scale: each cell is
+// one edge neighborhood — 16 clients with 6 Mbps access links squeezing a
+// 24 Mbps uplink, the same 4x oversubscription the classic sweep reaches at
+// N=16 — replicated across the fleet by the seeded cell permutation.
+const FleetCellSessions = 16
+
+// DefaultFleetScaleNs are the large-fleet sizes benchmarked as the
+// fleet-1e3/1e4/1e5 rows in BENCH_*.json.
+func DefaultFleetScaleNs() []int { return []int{1_000, 10_000, 100_000} }
+
+// FleetAtScale runs one large demuxed fleet partitioned into
+// FleetCellSessions-sized cells across the given number of shard workers
+// (0 = one per core), always on the streaming sketch path so memory stays
+// O(shards + sketch) at any N. Output is byte-identical for every shards
+// value.
+func FleetAtScale(n, shards int) (*fleet.Result, error) {
+	cfg := defaultFleetConfig(n, cdnsim.Demuxed)
+	cfg.CellSessions = FleetCellSessions
+	cfg.Shards = shards
+	cfg.MaxRetained = -1 // stream at every N: the scale rows measure one path
+	return fleet.Run(cfg)
+}
+
+// PrintFleetAtScale renders one large-fleet run's aggregates.
+func PrintFleetAtScale(w io.Writer, res *fleet.Result) {
+	f := res.Fleet
+	fmt.Fprintf(w, "Fleet at scale: N=%d in %d cells of %d (demuxed, streaming aggregation):\n",
+		f.Sessions, res.Cells, FleetCellSessions)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "done\tQoE med\tQoE p10\tJain\tvideo med\trebuf med\tstartup med\tbyte hit")
+	fmt.Fprintf(tw, "%d/%d\t%.2f\t%.2f\t%.3f\t%.0fK\t%.1fs\t%.2fs\t%.3f\n",
+		res.Completed, f.Sessions,
+		f.Score.Median, f.Score.P10, f.JainVideoKbps,
+		f.VideoKbps.Median, f.RebufferSeconds.Median, f.StartupSeconds.Median,
+		res.Cache.ByteHitRatio())
+	tw.Flush()
+	fmt.Fprintf(w, "sampled per-session rows retained: %d\n", len(res.Sampled))
+}

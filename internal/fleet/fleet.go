@@ -23,10 +23,10 @@ import (
 	"demuxabr/internal/core"
 	"demuxabr/internal/faults"
 	"demuxabr/internal/media"
-	"demuxabr/internal/netsim"
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
 	"demuxabr/internal/report"
+	"demuxabr/internal/runpool"
 	"demuxabr/internal/stats"
 	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
@@ -82,7 +82,41 @@ type Config struct {
 	// the shared uplink and cache): the Result carries the recorders for
 	// JSONL / Chrome-trace export and the Report gains aggregate counters.
 	Timeline bool
+	// CellSessions partitions the fleet into independent contention cells
+	// of this many sessions: each cell gets its own engine, uplink, and
+	// edge cache (the paper's edge serving one neighborhood), and sessions
+	// are assigned to cells by a seeded permutation — a pure function of
+	// (Seed, Sessions, CellSessions), never of how the cells are executed.
+	// Zero keeps today's behavior: one cell holding the whole fleet.
+	CellSessions int
+	// Shards caps how many worker engines execute cells concurrently.
+	// Sharding is purely an execution knob: cells are dealt round-robin to
+	// shards and every aggregate is either merge-order independent or
+	// folded in cell-index order, so any Shards value (including the
+	// GOMAXPROCS default of 0) produces byte-identical output.
+	Shards int
+	// SampleTimelines thins the flight recorder at scale: with k > 1 only
+	// every k-th session records (session IDs congruent to Seed mod k),
+	// plus the uplink recorder of any cell containing a sampled session.
+	// Report timeline counters then cover only the sampled sessions.
+	// 0 or 1 records everyone, as before.
+	SampleTimelines int
+	// MaxRetained bounds whole-Result retention: fleets larger than this
+	// stream per-session metrics into mergeable sketches (memory O(shards)
+	// instead of O(sessions)) and keep only a seeded reservoir sample of
+	// session rows. Zero means DefaultMaxRetained; negative forces
+	// streaming at any size.
+	MaxRetained int
 }
+
+// DefaultMaxRetained is the fleet size beyond which Run switches from exact
+// per-session retention to streaming sketch aggregation.
+const DefaultMaxRetained = 4096
+
+// sampledRows is how many per-session rows the streaming path retains (a
+// deterministic uniform reservoir sample) for the report's per_session
+// table.
+const sampledRows = 64
 
 // SessionResult is one session's outcome within a fleet.
 type SessionResult struct {
@@ -101,21 +135,45 @@ type SessionResult struct {
 	Cache cdnsim.Stats
 }
 
+// SessionSample is the compact per-session row the streaming path retains
+// for its reservoir sample: the metrics, not the full Result.
+type SessionSample struct {
+	ID      int
+	Kind    core.PlayerKind
+	Arrival time.Duration
+	Ended   bool
+	Metrics qoe.Metrics
+	Cache   cdnsim.Stats
+}
+
 // Result is one finished fleet co-simulation.
 type Result struct {
 	// Mode is the packaging the shared edge served.
 	Mode cdnsim.Mode
-	// Sessions holds per-session outcomes, in session-ID order.
+	// Sessions holds per-session outcomes, in session-ID order. Nil when
+	// Streamed: see Sampled.
 	Sessions []SessionResult
 	// Completed counts sessions that played to the end.
 	Completed int
-	// Cache is the shared edge cache's aggregate accounting.
+	// Cache is the edge caches' aggregate accounting (summed across cells).
 	Cache cdnsim.Stats
 	// Fleet aggregates the per-session metrics (distributions, Jain).
 	Fleet qoe.FleetMetrics
 	// Recorders holds the flight recorders when Config.Timeline was set:
-	// one per session in ID order, then the shared uplink's. Nil otherwise.
+	// sampled sessions in ID order, then the uplink recorder of each cell
+	// that contains a sampled session, in cell order. Nil otherwise.
 	Recorders []*timeline.Recorder
+	// Streamed reports that the run aggregated via sketches instead of
+	// retaining every session (Sessions nil, Sampled/CompletedScore set).
+	Streamed bool
+	// Cells is how many contention cells the fleet was partitioned into.
+	Cells int
+	// Sampled is the streaming path's deterministic reservoir sample of
+	// session rows, in ID order. Nil on the exact path.
+	Sampled []SessionSample
+	// CompletedScore summarizes completed sessions' scores when Streamed
+	// (the exact path recomputes it from Sessions).
+	CompletedScore stats.Summary
 }
 
 func (c *Config) setDefaults() error {
@@ -137,16 +195,84 @@ func (c *Config) setDefaults() error {
 	if c.AccessProfile == nil {
 		c.AccessProfile = trace.Fixed(media.Kbps(100_000))
 	}
-	if c.MaxEvents == 0 {
-		c.MaxEvents = 20_000_000 + 2_000_000*c.Sessions
-	}
 	if c.Mode == cdnsim.Muxed && c.FaultPlan != nil {
 		return errors.New("fleet: fault injection requires demuxed mode")
 	}
 	if c.ArrivalSpread < 0 {
 		return fmt.Errorf("fleet: negative arrival spread %v", c.ArrivalSpread)
 	}
+	if c.CellSessions < 0 {
+		return fmt.Errorf("fleet: negative cell size %d", c.CellSessions)
+	}
+	if c.CellSessions == 0 || c.CellSessions > c.Sessions {
+		c.CellSessions = c.Sessions
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fleet: negative shard count %d", c.Shards)
+	}
+	if c.SampleTimelines < 0 {
+		return fmt.Errorf("fleet: negative timeline sampling interval %d", c.SampleTimelines)
+	}
+	if c.MaxRetained == 0 {
+		c.MaxRetained = DefaultMaxRetained
+	}
 	return nil
+}
+
+// cellBudget is the per-cell event budget: the configured MaxEvents, or the
+// historical default scaled to the cell's population.
+func (c *Config) cellBudget(cellSessions int) int {
+	if c.MaxEvents != 0 {
+		return c.MaxEvents
+	}
+	return 20_000_000 + 2_000_000*cellSessions
+}
+
+// streaming reports whether this fleet aggregates via sketches.
+func (c *Config) streaming() bool { return c.Sessions > c.MaxRetained }
+
+// sampledTimeline reports whether session id records a timeline under the
+// sampling interval (every k-th ID, phase derived from the seed).
+func (c *Config) sampledTimeline(id int) bool {
+	k := c.SampleTimelines
+	if k <= 1 {
+		return true
+	}
+	off := int(((c.Seed % int64(k)) + int64(k)) % int64(k))
+	return id%k == off
+}
+
+// cells assigns session IDs to contention cells: a seeded permutation of
+// the fleet is cut into CellSessions-sized chunks, each sorted ascending.
+// The assignment is a pure function of (Seed, Sessions, CellSessions) —
+// execution order, shard count, and parallelism cannot perturb it. The
+// permutation (rather than contiguous ID blocks) mixes player kinds and
+// arrival ranks across cells, so every cell is a random sub-population.
+func (c *Config) cells() [][]int {
+	n, size := c.Sessions, c.CellSessions
+	if size >= n {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return [][]int{ids}
+	}
+	// A distinct derived seed: the arrival draws consume the raw Seed
+	// stream and must stay byte-identical to the pre-cell implementation.
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed_ce11))
+	perm := rng.Perm(n)
+	ncells := (n + size - 1) / size
+	cells := make([][]int, ncells)
+	for j := range cells {
+		lo, hi := j*size, (j+1)*size
+		if hi > n {
+			hi = n
+		}
+		cell := perm[lo:hi]
+		sort.Ints(cell)
+		cells[j] = cell
+	}
+	return cells
 }
 
 // arrivals draws the fleet's seeded start times: Sessions uniform draws
@@ -176,132 +302,42 @@ func (c *Config) sessionPlan(i int) *faults.Plan {
 	return &plan
 }
 
-// Run executes the co-simulation: N sessions share one engine, a two-tier
-// bottleneck (per-session access leaves behind one uplink) and one edge
-// cache, arriving per the seeded schedule. It returns when every session
-// has finished or aborted.
+// Run executes the co-simulation: sessions are partitioned into contention
+// cells (each cell an engine, a two-tier bottleneck, and an edge cache —
+// one cell covering the whole fleet by default), cells are dealt
+// round-robin to shard workers, and per-shard aggregates are merged in a
+// fixed order. It returns when every session has finished or aborted.
+// Output is byte-identical for any Shards value; with the default single
+// cell it is byte-identical to the original single-engine implementation.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	eng := netsim.NewEngine()
-	up := netsim.NewUplink(eng, cfg.UplinkProfile)
-	edge := cdnsim.NewEdge(cdnsim.NewCache(cfg.CacheBytes), cfg.Mode, cfg.Content, cfg.Sessions)
 	arrive := cfg.arrivals()
+	cells := cfg.cells()
+	stream := cfg.streaming()
 
-	var recs []*timeline.Recorder
-	var upRec *timeline.Recorder
-	if cfg.Timeline {
-		recs = make([]*timeline.Recorder, cfg.Sessions)
-		for i := range recs {
-			recs[i] = timeline.New(i, fmt.Sprintf("s%d %s", i, cfg.Mix[i%len(cfg.Mix)]))
-		}
-		upRec = timeline.New(cfg.Sessions, "uplink")
-		up.SetRecorder(upRec, "uplink")
-		// Cache outcomes land in the requesting session's recorder; the
-		// edge calls the observer from inside the engine loop, so ordering
-		// is deterministic.
-		edge.Observer = func(session int, key string, size int64, hit bool) {
-			kind := timeline.CacheMiss
-			if hit {
-				kind = timeline.CacheHit
-			}
-			recs[session].Emit(timeline.Event{
-				At: eng.Now(), Kind: kind, Index: -1, Detail: key, Bytes: size,
-			})
-		}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runpool.Workers(0)
+	}
+	if shards > len(cells) {
+		shards = len(cells)
 	}
 
-	kinds := make([]core.PlayerKind, cfg.Sessions)
-	sessions := make([]*player.Session, cfg.Sessions)
-	allowed := make([][]media.Combo, cfg.Sessions)
-	errs := make([]error, cfg.Sessions)
-
-	for i := 0; i < cfg.Sessions; i++ {
-		i := i
-		kinds[i] = cfg.Mix[i%len(cfg.Mix)]
-		model, combos, err := core.BuildModel(kinds[i], cfg.Content, cfg.Manifest)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: session %d (%s): %w", i, kinds[i], err)
-		}
-		allowed[i] = combos
-		leaf := up.NewLeaf(cfg.AccessProfile)
-		pcfg := player.Config{
-			Content:    cfg.Content,
-			Model:      model,
-			Muxed:      cfg.Mode == cdnsim.Muxed,
-			MaxBuffer:  cfg.MaxBuffer,
-			Deadline:   cfg.Deadline,
-			MaxEvents:  cfg.MaxEvents,
-			FaultPlan:  cfg.sessionPlan(i),
-			Robustness: cfg.Robustness,
-			Recorder:   recFor(recs, i),
-			OnRequest: func(req player.ChunkRequest) time.Duration {
-				var hit bool
-				if req.MuxedWith != nil {
-					hit = edge.RequestMuxed(i, req.Track, req.MuxedWith, req.Index)
-				} else {
-					hit = edge.RequestTrack(i, req.Track, req.Index)
-				}
-				if hit {
-					return 0
-				}
-				return cfg.MissPenalty
-			},
-		}
-		eng.Schedule(arrive[i], func() {
-			s, err := player.Start(leaf, leaf, pcfg)
-			if err != nil {
-				errs[i] = err
-				return
+	aggs, err := runpool.Map(shards, shards, func(sh int) (*shardAgg, error) {
+		agg := newShardAgg(&cfg, stream)
+		for ci := sh; ci < len(cells); ci += shards {
+			if err := runCell(&cfg, ci, len(cells), cells[ci], arrive, agg); err != nil {
+				return nil, err
 			}
-			sessions[i] = s
-		})
-	}
-
-	if err := eng.Run(cfg.MaxEvents); err != nil {
+		}
+		return agg, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("fleet: session %d (%s): %w", i, kinds[i], err)
-		}
-	}
-
-	res := &Result{Mode: cfg.Mode, Cache: edge.Aggregate()}
-	metrics := make([]qoe.Metrics, cfg.Sessions)
-	for i := 0; i < cfg.Sessions; i++ {
-		s := sessions[i]
-		if s == nil || !s.Done() {
-			return nil, fmt.Errorf("fleet: session %d (%s) never finished (event budget too small?)", i, kinds[i])
-		}
-		r := s.Result()
-		metrics[i] = qoe.Compute(r, cfg.Content, allowed[i], qoe.DefaultWeights())
-		if r.Ended {
-			res.Completed++
-		}
-		res.Sessions = append(res.Sessions, SessionResult{
-			ID:      i,
-			Kind:    kinds[i],
-			Arrival: arrive[i],
-			Result:  r,
-			Metrics: metrics[i],
-			Cache:   edge.SessionStats(i),
-		})
-	}
-	res.Fleet = qoe.ComputeFleet(metrics)
-	if cfg.Timeline {
-		res.Recorders = append(append([]*timeline.Recorder(nil), recs...), upRec)
-	}
-	return res, nil
-}
-
-// recFor returns session i's recorder, or nil when recording is off.
-func recFor(recs []*timeline.Recorder, i int) *timeline.Recorder {
-	if recs == nil {
-		return nil
-	}
-	return recs[i]
+	return mergeShards(&cfg, stream, len(cells), aggs)
 }
 
 // Report flattens the fleet result into the stable JSON export schema.
@@ -321,29 +357,50 @@ func (r *Result) Report(contentName string) *report.Fleet {
 		},
 	}
 	f.ApplyFleetMetrics(r.Fleet)
-	var completed []float64
-	for _, s := range r.Sessions {
-		if s.Result.Ended {
-			completed = append(completed, s.Metrics.Score)
+	if r.Streamed {
+		// Streaming path: distributions come from the sketches already in
+		// r.Fleet; the per-session table is the reservoir sample.
+		f.Aggregation = "sketch"
+		f.SampledSessions = len(r.Sampled)
+		f.ScoreCompleted = report.FromSummary(r.CompletedScore)
+		for _, s := range r.Sampled {
+			f.PerSession = append(f.PerSession, report.FleetSession{
+				ID:            s.ID,
+				Model:         string(s.Kind),
+				ArrivalS:      s.Arrival.Seconds(),
+				Ended:         s.Ended,
+				Metrics:       report.MetricsFrom(s.Metrics),
+				CacheHitRatio: s.Cache.HitRatio(),
+			})
+		}
+	} else {
+		var completed []float64
+		for _, s := range r.Sessions {
+			if s.Result.Ended {
+				completed = append(completed, s.Metrics.Score)
+			}
+		}
+		f.ScoreCompleted = report.FromSummary(stats.Summarize(completed))
+		for _, s := range r.Sessions {
+			f.PerSession = append(f.PerSession, report.FleetSession{
+				ID:            s.ID,
+				Model:         string(s.Kind),
+				ArrivalS:      s.Arrival.Seconds(),
+				Ended:         s.Result.Ended,
+				Metrics:       report.MetricsFrom(s.Metrics),
+				CacheHitRatio: s.Cache.HitRatio(),
+			})
 		}
 	}
-	f.ScoreCompleted = report.FromSummary(stats.Summarize(completed))
+	if r.Cells > 1 {
+		f.Cells = r.Cells
+	}
 	if len(r.Recorders) > 0 {
 		var c timeline.Counters
 		for _, rec := range r.Recorders {
 			c = c.Merge(rec.Counters())
 		}
 		f.TimelineCounters = report.CountersFrom(c)
-	}
-	for _, s := range r.Sessions {
-		f.PerSession = append(f.PerSession, report.FleetSession{
-			ID:            s.ID,
-			Model:         string(s.Kind),
-			ArrivalS:      s.Arrival.Seconds(),
-			Ended:         s.Result.Ended,
-			Metrics:       report.MetricsFrom(s.Metrics),
-			CacheHitRatio: s.Cache.HitRatio(),
-		})
 	}
 	return f
 }

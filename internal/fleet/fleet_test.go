@@ -288,7 +288,8 @@ func TestTimelineFleetDeterministic(t *testing.T) {
 }
 
 // TestTimelineOffLeavesNoRecorders guards the default path: without
-// Timeline, the result carries no recorders and the report no counters.
+// Timeline, the result carries no recorders and the report no counters —
+// and with sampled timelines, unsampled sessions never allocate one either.
 func TestTimelineOffLeavesNoRecorders(t *testing.T) {
 	res, err := Run(baseConfig(2))
 	if err != nil {
@@ -299,6 +300,31 @@ func TestTimelineOffLeavesNoRecorders(t *testing.T) {
 	}
 	if res.Report("drama-show").TimelineCounters != nil {
 		t.Error("report has counters without Timeline")
+	}
+
+	// Sampled case: with k larger than the fleet and a phase that selects
+	// only session (Seed mod k), exactly one session records; the other
+	// sessions must skip recorder allocation entirely, not carry empty
+	// recorders.
+	cfg := baseConfig(4)
+	cfg.Timeline = true
+	cfg.SampleTimelines = 4
+	sampledID := int(cfg.Seed % 4)
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recorders) != 2 { // one sampled session + its cell's uplink
+		t.Fatalf("%d recorders with 1-in-4 sampling over 4 sessions, want 2", len(res.Recorders))
+	}
+	if got := res.Recorders[0].Session(); got != sampledID {
+		t.Errorf("sampled session %d, want %d (seed-derived phase)", got, sampledID)
+	}
+	if res.Recorders[1].Label() != "uplink" {
+		t.Errorf("second recorder %q, want the uplink", res.Recorders[1].Label())
+	}
+	if res.Report("drama-show").TimelineCounters == nil {
+		t.Error("sampled run lost its counters")
 	}
 }
 

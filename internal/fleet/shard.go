@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"demuxabr/internal/cdnsim"
+	"demuxabr/internal/core"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
+	"demuxabr/internal/qoe"
+	"demuxabr/internal/stats"
+	"demuxabr/internal/timeline"
+)
+
+// shardAgg accumulates one shard worker's share of the fleet. Each shard
+// runs its cells sequentially, so nothing here is touched concurrently; the
+// merge across shards happens after runpool.Map returns them in submission
+// order. Everything a shard carries is either merge-order independent
+// (sketches, integer counters, the bottom-k reservoir) or tagged with its
+// cell index so mergeShards can fold it in cell order — the two properties
+// that make the final output independent of the shard count.
+type shardAgg struct {
+	stream bool
+
+	// Exact path: full per-session rows, sorted by ID at merge time.
+	sessions []SessionResult
+
+	// Streaming path: sketches, per-cell Jain partials, reservoir rows.
+	acc       *qoe.FleetAccumulator
+	jain      []cellJain
+	reservoir *stats.Reservoir[SessionSample]
+
+	completed int
+	cache     cdnsim.Stats
+
+	// Flight recorders (sampled sessions + per-cell uplinks), each keyed
+	// by a globally-unique recorder session index.
+	recs   []*timeline.Recorder
+	upRecs []*timeline.Recorder
+
+	// jainCur collects the cell currently running.
+	jainCur  qoe.JainPartial
+	jainCell int
+}
+
+type cellJain struct {
+	cell    int
+	partial qoe.JainPartial
+}
+
+func newShardAgg(cfg *Config, stream bool) *shardAgg {
+	a := &shardAgg{stream: stream}
+	if stream {
+		a.acc = qoe.NewFleetAccumulator()
+		a.reservoir = stats.NewReservoir[SessionSample](sampledRows, cfg.Seed)
+	}
+	return a
+}
+
+func (a *shardAgg) beginCell(cell int) {
+	a.jainCur = qoe.JainPartial{}
+	a.jainCell = cell
+}
+
+func (a *shardAgg) endCell(cell int, edgeStats cdnsim.Stats) {
+	a.cache = a.cache.Plus(edgeStats)
+	if a.stream {
+		a.jain = append(a.jain, cellJain{cell: a.jainCell, partial: a.jainCur})
+	}
+}
+
+// addSession records one finished session. On the exact path the full row
+// is retained; on the streaming path only the sketches, the cell's Jain
+// partial, and (if the seeded reservoir selects it) a compact sample row.
+func (a *shardAgg) addSession(s SessionResult) {
+	if s.Result.Ended {
+		a.completed++
+	}
+	if !a.stream {
+		a.sessions = append(a.sessions, s)
+		return
+	}
+	a.acc.Add(s.Metrics, s.Result.Ended)
+	a.jainCur.Observe(s.Metrics.AvgVideoBitrate.Kbps())
+	a.reservoir.Add(s.ID, SessionSample{
+		ID:      s.ID,
+		Kind:    s.Kind,
+		Arrival: s.Arrival,
+		Ended:   s.Result.Ended,
+		Metrics: s.Metrics,
+		Cache:   s.Cache,
+	})
+}
+
+// runCell simulates one contention cell: its own engine, shared uplink, and
+// edge cache, populated by the cell's sessions starting at their global
+// arrival times. For the default single cell this is, step for step, the
+// original whole-fleet loop — the equivalence the shard tests pin.
+func runCell(cfg *Config, cellIdx, numCells int, ids []int, arrive []time.Duration, agg *shardAgg) error {
+	eng := netsim.NewEngine()
+	up := netsim.NewUplink(eng, cfg.UplinkProfile)
+	edge := cdnsim.NewEdge(cdnsim.NewCache(cfg.CacheBytes), cfg.Mode, cfg.Content, len(ids))
+	budget := cfg.cellBudget(len(ids))
+	agg.beginCell(cellIdx)
+
+	var recs []*timeline.Recorder
+	var upRec *timeline.Recorder
+	if cfg.Timeline {
+		anySampled := false
+		recs = make([]*timeline.Recorder, len(ids))
+		for li, id := range ids {
+			if !cfg.sampledTimeline(id) {
+				continue // unsampled sessions never allocate a recorder
+			}
+			recs[li] = timeline.New(id, fmt.Sprintf("s%d %s", id, cfg.Mix[id%len(cfg.Mix)]))
+			anySampled = true
+		}
+		if anySampled {
+			label := "uplink"
+			if numCells > 1 {
+				label = fmt.Sprintf("uplink-c%d", cellIdx)
+			}
+			// Uplink recorders index after every session ID, in cell order.
+			upRec = timeline.New(cfg.Sessions+cellIdx, label)
+			up.SetRecorder(upRec, label)
+		}
+		// Cache outcomes land in the requesting session's recorder; the
+		// edge calls the observer from inside the engine loop, so ordering
+		// is deterministic.
+		edge.Observer = func(session int, key string, size int64, hit bool) {
+			rec := recs[session]
+			if rec == nil {
+				return
+			}
+			kind := timeline.CacheMiss
+			if hit {
+				kind = timeline.CacheHit
+			}
+			rec.Emit(timeline.Event{
+				At: eng.Now(), Kind: kind, Index: -1, Detail: key, Bytes: size,
+			})
+		}
+	}
+
+	finished := make([]bool, len(ids))
+	errs := make([]error, len(ids))
+
+	for li, id := range ids {
+		li, id := li, id
+		kind := cfg.Mix[id%len(cfg.Mix)]
+		model, combos, err := core.BuildModel(kind, cfg.Content, cfg.Manifest)
+		if err != nil {
+			return fmt.Errorf("fleet: session %d (%s): %w", id, kind, err)
+		}
+		leaf := up.NewLeaf(cfg.AccessProfile)
+		pcfg := player.Config{
+			Content:    cfg.Content,
+			Model:      model,
+			Muxed:      cfg.Mode == cdnsim.Muxed,
+			MaxBuffer:  cfg.MaxBuffer,
+			Deadline:   cfg.Deadline,
+			MaxEvents:  budget,
+			FaultPlan:  cfg.sessionPlan(id),
+			Robustness: cfg.Robustness,
+			Recorder:   recFor(recs, li),
+			OnRequest: func(req player.ChunkRequest) time.Duration {
+				var hit bool
+				if req.MuxedWith != nil {
+					hit = edge.RequestMuxed(li, req.Track, req.MuxedWith, req.Index)
+				} else {
+					hit = edge.RequestTrack(li, req.Track, req.Index)
+				}
+				if hit {
+					return 0
+				}
+				return cfg.MissPenalty
+			},
+			// OnDone fires once per session, inside the engine loop, after
+			// the Result is final: the streaming path aggregates here and
+			// retains nothing, so cell memory tracks the in-flight
+			// population rather than the cell total.
+			OnDone: func(s *player.Session) {
+				finished[li] = true
+				r := s.Result()
+				agg.addSession(SessionResult{
+					ID:      id,
+					Kind:    kind,
+					Arrival: arrive[id],
+					Result:  r,
+					Metrics: qoe.Compute(r, cfg.Content, combos, qoe.DefaultWeights()),
+					Cache:   edge.SessionStats(li),
+				})
+			},
+		}
+		eng.Schedule(arrive[id], func() {
+			if _, err := player.Start(leaf, leaf, pcfg); err != nil {
+				errs[li] = err
+			}
+		})
+	}
+
+	if err := eng.Run(budget); err != nil {
+		return err
+	}
+	for li, err := range errs {
+		if err != nil {
+			return fmt.Errorf("fleet: session %d (%s): %w", ids[li], cfg.Mix[ids[li]%len(cfg.Mix)], err)
+		}
+	}
+	for li := range ids {
+		if !finished[li] {
+			return fmt.Errorf("fleet: session %d (%s) never finished (event budget too small?)",
+				ids[li], cfg.Mix[ids[li]%len(cfg.Mix)])
+		}
+	}
+
+	agg.endCell(cellIdx, edge.Aggregate())
+	if cfg.Timeline {
+		for _, rec := range recs {
+			if rec != nil {
+				agg.recs = append(agg.recs, rec)
+			}
+		}
+		if upRec != nil {
+			agg.upRecs = append(agg.upRecs, upRec)
+		}
+	}
+	return nil
+}
+
+// recFor returns session li's recorder, or nil when recording is off.
+func recFor(recs []*timeline.Recorder, li int) *timeline.Recorder {
+	if recs == nil {
+		return nil
+	}
+	return recs[li]
+}
+
+// mergeShards folds per-shard aggregates into the final Result. Shards are
+// visited in submission order; within that, anything order-sensitive is
+// re-sorted by session ID or cell index, so the outcome is a pure function
+// of the cell results.
+func mergeShards(cfg *Config, stream bool, numCells int, aggs []*shardAgg) (*Result, error) {
+	res := &Result{Mode: cfg.Mode, Streamed: stream, Cells: numCells}
+	for _, a := range aggs {
+		res.Completed += a.completed
+		res.Cache = res.Cache.Plus(a.cache)
+	}
+
+	if stream {
+		acc := qoe.NewFleetAccumulator()
+		reservoir := stats.NewReservoir[SessionSample](sampledRows, cfg.Seed)
+		var jains []cellJain
+		for _, a := range aggs {
+			acc.Merge(a.acc)
+			reservoir.Merge(a.reservoir)
+			jains = append(jains, a.jain...)
+		}
+		// Jain partials are float sums: fold them in cell-index order so
+		// the total is identical no matter which shard ran which cell.
+		sort.Slice(jains, func(i, j int) bool { return jains[i].cell < jains[j].cell })
+		var jain qoe.JainPartial
+		for _, cj := range jains {
+			jain = jain.Plus(cj.partial)
+		}
+		res.Fleet = acc.FleetMetrics(jain.Index())
+		res.CompletedScore = acc.ScoreCompleted.Summary()
+		res.Sampled = reservoir.Items()
+	} else {
+		var all []SessionResult
+		for _, a := range aggs {
+			all = append(all, a.sessions...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		res.Sessions = all
+		metrics := make([]qoe.Metrics, len(all))
+		for i, s := range all {
+			metrics[i] = s.Metrics
+		}
+		res.Fleet = qoe.ComputeFleet(metrics)
+	}
+
+	if cfg.Timeline {
+		var recs, upRecs []*timeline.Recorder
+		for _, a := range aggs {
+			recs = append(recs, a.recs...)
+			upRecs = append(upRecs, a.upRecs...)
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Session() < recs[j].Session() })
+		sort.Slice(upRecs, func(i, j int) bool { return upRecs[i].Session() < upRecs[j].Session() })
+		res.Recorders = append(recs, upRecs...)
+	}
+	return res, nil
+}

@@ -11,7 +11,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -20,7 +19,7 @@ import (
 // usable; create one with NewEngine.
 type Engine struct {
 	now     time.Duration
-	events  eventHeap
+	q       eventQueue
 	seq     uint64
 	stopped bool
 	// free recycles fired events: a long session schedules hundreds of
@@ -29,18 +28,23 @@ type Engine struct {
 	free []*Event
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an engine with the clock at zero. Events are held in a
+// calendar queue (see queue.go); newEngineWithQueue is the test seam that
+// swaps in the reference heap to prove the orderings identical.
+func NewEngine() *Engine { return newEngineWithQueue(newCalendarQueue()) }
+
+func newEngineWithQueue(q eventQueue) *Engine { return &Engine{q: q} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
 // Event is a scheduled callback; it can be cancelled before it fires.
 type Event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-	idx int // heap index; -1 once fired or cancelled
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	idx    int // index within the heap or bucket; -1 once fired or cancelled
+	bucket int // owning calendar bucket (unused by the heap queue)
 }
 
 // At returns the time the event is scheduled for.
@@ -69,7 +73,7 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	} else {
 		ev = &Event{at: at, seq: e.seq, fn: fn}
 	}
-	heap.Push(&e.events, ev)
+	e.q.push(ev)
 	return ev
 }
 
@@ -84,18 +88,16 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.idx < 0 {
 		return
 	}
-	heap.Remove(&e.events, ev.idx)
-	ev.idx = -1
+	e.q.remove(ev)
 }
 
 // Step fires the next event. It reports false when no events remain or the
 // engine is stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.events) == 0 {
+	if e.stopped || e.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	ev.idx = -1
+	ev := e.q.pop()
 	e.now = ev.at
 	fn := ev.fn
 	ev.fn = nil // release the closure for GC while the Event sits pooled
@@ -121,7 +123,7 @@ func (e *Engine) Run(maxEvents int) error {
 
 // RunUntil fires events with time ≤ t, then sets the clock to t.
 func (e *Engine) RunUntil(t time.Duration) {
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+	for !e.stopped && e.q.len() > 0 && e.q.peek().at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -136,33 +138,21 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // eventHeap orders events by time, then by scheduling order for stability.
+// See queue.go for the sift operations (pushEvent/popMin/removeAt).
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
+
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
 	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

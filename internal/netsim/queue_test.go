@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// queueOp is one step of a randomized workload: schedule, cancel, or step.
+type queueOp struct {
+	kind  int // 0 schedule, 1 cancel, 2 step
+	delay time.Duration
+	pick  int // which live event to cancel
+}
+
+// randomOps builds a workload with heavy same-timestamp collisions (delay 0
+// and small quantized delays) so the seq tie-break is exercised constantly.
+func randomOps(rng *rand.Rand, n int) []queueOp {
+	ops := make([]queueOp, n)
+	for i := range ops {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			d := time.Duration(rng.Intn(50)) * time.Millisecond
+			if rng.Intn(4) == 0 {
+				d = 0
+			}
+			ops[i] = queueOp{kind: 0, delay: d}
+		case r < 7:
+			ops[i] = queueOp{kind: 1, pick: rng.Int()}
+		default:
+			ops[i] = queueOp{kind: 2}
+		}
+	}
+	return ops
+}
+
+// replay runs ops against an engine and returns the (time, tag) firing
+// sequence. Tags are assigned in schedule order, so identical sequences mean
+// identical event ordering, including tie-breaks.
+func replay(e *Engine, ops []queueOp) []string {
+	var fired []string
+	live := map[int]*Event{}
+	tag := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			id := tag
+			tag++
+			var ev *Event
+			ev = e.After(op.delay, func() {
+				delete(live, id)
+				fired = append(fired, fmt.Sprintf("%d@%v", id, e.Now()))
+			})
+			live[id] = ev
+		case 1:
+			if len(live) == 0 {
+				continue
+			}
+			// Deterministic pick: lowest live id >= pick mod (tag+1).
+			want := op.pick % (tag + 1)
+			best := -1
+			for id := range live {
+				if id >= want && (best == -1 || id < best) {
+					best = id
+				}
+			}
+			if best == -1 {
+				for id := range live {
+					if best == -1 || id < best {
+						best = id
+					}
+				}
+			}
+			e.Cancel(live[best])
+			delete(live, best)
+		case 2:
+			e.Step()
+		}
+	}
+	for e.Step() {
+	}
+	return fired
+}
+
+// TestCalendarMatchesHeapOrder is the equivalence proof for the calendar
+// queue: on randomized schedule/cancel/step workloads with dense timestamp
+// collisions, the calendar-backed engine fires exactly the same events at
+// exactly the same times in exactly the same order as the reference heap.
+func TestCalendarMatchesHeapOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		ops := randomOps(rand.New(rand.NewSource(seed)), 2000)
+		gotHeap := replay(newEngineWithQueue(&heapQueue{}), ops)
+		gotCal := replay(newEngineWithQueue(newCalendarQueue()), ops)
+		if len(gotHeap) != len(gotCal) {
+			t.Fatalf("seed %d: heap fired %d events, calendar %d", seed, len(gotHeap), len(gotCal))
+		}
+		for i := range gotHeap {
+			if gotHeap[i] != gotCal[i] {
+				t.Fatalf("seed %d: firing %d differs: heap %s calendar %s", seed, i, gotHeap[i], gotCal[i])
+			}
+		}
+	}
+}
+
+// TestCalendarSparseAndBurst covers the two calendar pathologies: a long
+// empty gap (the direct-search fallback) and a burst of equal timestamps
+// (everything in one bucket, ordered purely by seq).
+func TestCalendarSparseAndBurst(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	// Burst: 100 events at the same instant.
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { fired = append(fired, i) })
+	}
+	// Sparse: one event a simulated hour away.
+	e.Schedule(time.Hour, func() { fired = append(fired, 100) })
+	for e.Step() {
+	}
+	if len(fired) != 101 {
+		t.Fatalf("fired %d of 101", len(fired))
+	}
+	for i, got := range fired {
+		if got != i {
+			t.Fatalf("firing %d: got event %d, want %d (seq tie-break broken)", i, got, i)
+		}
+	}
+	if e.Now() != time.Hour {
+		t.Fatalf("clock at %v, want 1h", e.Now())
+	}
+}
+
+// TestCalendarResizeKeepsOrder grows the queue past several resize
+// thresholds, then drains and checks global (at, seq) order.
+func TestCalendarResizeKeepsOrder(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	type key struct {
+		at  time.Duration
+		ord int
+	}
+	var fired []key
+	for i := 0; i < 5000; i++ {
+		i := i
+		at := time.Duration(rng.Intn(10_000)) * time.Microsecond
+		e.Schedule(at, func() { fired = append(fired, key{e.Now(), i}) })
+	}
+	for e.Step() {
+	}
+	if len(fired) != 5000 {
+		t.Fatalf("fired %d of 5000", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if b.at < a.at || (b.at == a.at && b.ord < a.ord) {
+			t.Fatalf("order violated at %d: %v then %v", i, a, b)
+		}
+	}
+}
+
+// TestCalendarRunUntilPeek pins RunUntil's peek path on the calendar queue:
+// events at exactly t fire, events after t stay pending.
+func TestCalendarRunUntilPeek(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(10*time.Millisecond, func() { fired = append(fired, 0) })
+	e.Schedule(20*time.Millisecond, func() { fired = append(fired, 1) })
+	e.Schedule(30*time.Millisecond, func() { fired = append(fired, 2) })
+	e.RunUntil(20 * time.Millisecond)
+	if len(fired) != 2 || e.Pending() != 1 {
+		t.Fatalf("RunUntil(20ms): fired %v, pending %d; want [0 1], 1", fired, e.Pending())
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("clock at %v, want 20ms", e.Now())
+	}
+}
+
+func benchQueue(b *testing.B, mk func() eventQueue, pending int) {
+	e := newEngineWithQueue(mk())
+	for i := 0; i < pending; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Hold the pending count steady: every step reschedules one event.
+		e.After(time.Duration(pending)*time.Millisecond, func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkQueueHeap(b *testing.B) {
+	for _, p := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("pending-%d", p), func(b *testing.B) {
+			benchQueue(b, func() eventQueue { return &heapQueue{} }, p)
+		})
+	}
+}
+
+func BenchmarkQueueCalendar(b *testing.B) {
+	for _, p := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("pending-%d", p), func(b *testing.B) {
+			benchQueue(b, func() eventQueue { return newCalendarQueue() }, p)
+		})
+	}
+}

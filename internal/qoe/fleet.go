@@ -49,6 +49,126 @@ type FleetMetrics struct {
 	StartupSeconds  stats.Summary
 }
 
+// Sketch ranges for streaming fleet aggregation. Each range covers the
+// metric's physical domain (values outside are clamped into edge bins, see
+// stats.Sketch); bin counts are chosen so the documented quantile error is
+// far below what any fleet comparison in the experiments cares about.
+const (
+	scoreSketchHi   = 10    // QoE scores live in single digits
+	scoreSketchBins = 4000  // 2.5e-3 score resolution
+	kbpsSketchHi    = 20000 // above any ladder rung in the corpus
+	kbpsSketchBins  = 8000  // 2.5 kbps resolution
+	rebufSketchHi   = 3600  // an hour of stalling, far past any deadline
+	rebufSketchBins = 7200  // 0.5 s resolution
+	startSketchHi   = 300   // startup delays are seconds, not minutes
+	startSketchBins = 6000  // 50 ms resolution
+)
+
+// FleetAccumulator streams per-session metrics into mergeable sketches so a
+// sharded fleet can aggregate in O(bins) memory instead of retaining every
+// Result. Merge order does not affect any output (see stats.Sketch); Jain's
+// index needs float partial sums and is therefore handled separately by
+// JainPartial, folded in a deterministic order by the caller.
+type FleetAccumulator struct {
+	Score          *stats.Sketch
+	ScoreCompleted *stats.Sketch
+	Video          *stats.Sketch
+	Audio          *stats.Sketch
+	Rebuffer       *stats.Sketch
+	Startup        *stats.Sketch
+}
+
+// NewFleetAccumulator returns an empty accumulator with the standard fleet
+// sketch configuration (accumulators must share it to merge).
+func NewFleetAccumulator() *FleetAccumulator {
+	return &FleetAccumulator{
+		Score:          stats.NewSketch(0, scoreSketchHi, scoreSketchBins),
+		ScoreCompleted: stats.NewSketch(0, scoreSketchHi, scoreSketchBins),
+		Video:          stats.NewSketch(0, kbpsSketchHi, kbpsSketchBins),
+		Audio:          stats.NewSketch(0, kbpsSketchHi, kbpsSketchBins),
+		Rebuffer:       stats.NewSketch(0, rebufSketchHi, rebufSketchBins),
+		Startup:        stats.NewSketch(0, startSketchHi, startSketchBins),
+	}
+}
+
+// Add records one finished session. completed distinguishes sessions that
+// played to the end from aborted ones (the qoe_score_completed split the
+// fleet report carries).
+func (a *FleetAccumulator) Add(m Metrics, completed bool) {
+	a.Score.Add(m.Score)
+	if completed {
+		a.ScoreCompleted.Add(m.Score)
+	}
+	a.Video.Add(m.AvgVideoBitrate.Kbps())
+	a.Audio.Add(m.AvgAudioBitrate.Kbps())
+	a.Rebuffer.Add(m.RebufferTime.Seconds())
+	a.Startup.Add(m.StartupDelay.Seconds())
+}
+
+// Merge folds another shard's accumulator into a.
+func (a *FleetAccumulator) Merge(o *FleetAccumulator) {
+	a.Score.Merge(o.Score)
+	a.ScoreCompleted.Merge(o.ScoreCompleted)
+	a.Video.Merge(o.Video)
+	a.Audio.Merge(o.Audio)
+	a.Rebuffer.Merge(o.Rebuffer)
+	a.Startup.Merge(o.Startup)
+}
+
+// Sessions returns the number of sessions recorded.
+func (a *FleetAccumulator) Sessions() int { return int(a.Score.N()) }
+
+// FleetMetrics renders the accumulated distributions. The Jain index over
+// video bitrates cannot be recovered from a histogram, so the caller
+// supplies it from deterministically-folded JainPartials.
+func (a *FleetAccumulator) FleetMetrics(jainVideo float64) FleetMetrics {
+	return FleetMetrics{
+		Sessions:        a.Sessions(),
+		JainVideoKbps:   jainVideo,
+		Score:           a.Score.Summary(),
+		VideoKbps:       a.Video.Summary(),
+		AudioKbps:       a.Audio.Summary(),
+		RebufferSeconds: a.Rebuffer.Summary(),
+		StartupSeconds:  a.Startup.Summary(),
+	}
+}
+
+// JainPartial accumulates the sufficient statistics for Jain's fairness
+// index. Float addition is not associative, so partials must be folded in a
+// fixed order for deterministic output: the fleet keeps one partial per
+// contention cell and folds them in cell-index order regardless of how many
+// shards executed the cells.
+type JainPartial struct {
+	Sum   float64
+	SumSq float64
+	N     int
+}
+
+// Observe records one allocation (negative values clamp to zero, matching
+// Jain).
+func (p *JainPartial) Observe(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	p.Sum += x
+	p.SumSq += x * x
+	p.N++
+}
+
+// Plus returns the fold of two partials.
+func (p JainPartial) Plus(o JainPartial) JainPartial {
+	return JainPartial{Sum: p.Sum + o.Sum, SumSq: p.SumSq + o.SumSq, N: p.N + o.N}
+}
+
+// Index evaluates Jain's index with the same degenerate-case conventions as
+// Jain: fleets of ≤ 1 session or with no allocated mass are perfectly fair.
+func (p JainPartial) Index() float64 {
+	if p.N <= 1 || p.SumSq <= 0 {
+		return 1
+	}
+	return p.Sum * p.Sum / (float64(p.N) * p.SumSq)
+}
+
 // ComputeFleet aggregates one fleet's per-session metrics.
 func ComputeFleet(ms []Metrics) FleetMetrics {
 	f := FleetMetrics{Sessions: len(ms)}

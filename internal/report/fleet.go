@@ -20,6 +20,19 @@ type Fleet struct {
 	// Completed counts sessions that played the content to the end.
 	Completed int `json:"completed"`
 
+	// Aggregation is "sketch" when the distributions below were streamed
+	// through fixed-resolution histograms (large fleets) instead of
+	// computed exactly from retained sessions. Omitted on the exact path,
+	// keeping small-fleet documents byte-identical to earlier versions.
+	Aggregation string `json:"aggregation,omitempty"`
+	// Cells is the number of independent contention cells the fleet was
+	// partitioned into; omitted for the classic single-cell fleet.
+	Cells int `json:"cells,omitempty"`
+	// SampledSessions is the size of the per_session reservoir sample on
+	// the sketch path (per_session then holds a uniform sample, not the
+	// whole fleet). Omitted on the exact path.
+	SampledSessions int `json:"sampled_sessions,omitempty"`
+
 	JainVideoKbps float64 `json:"jain_video_kbps"`
 
 	Score Distribution `json:"qoe_score"`

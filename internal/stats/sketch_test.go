@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSamples draws n values in roughly [0, hi) with occasional
+// out-of-range excursions when wild is set.
+func randomSamples(rng *rand.Rand, n int, hi float64, wild bool) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * hi
+		if wild && rng.Intn(20) == 0 {
+			xs[i] = -xs[i] // below range: must clamp into bin 0
+		}
+		if wild && rng.Intn(20) == 0 {
+			xs[i] = hi * (1 + rng.Float64()) // above range: clamps into last bin
+		}
+	}
+	return xs
+}
+
+// TestSketchMergeOrderIndependent is the merge-law property test: splitting
+// a stream into random shards and merging the shard sketches in random
+// orders must produce bit-identical state and bit-identical query answers.
+func TestSketchMergeOrderIndependent(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		xs := randomSamples(rng, 500+rng.Intn(500), 100, true)
+
+		// Reference: one sketch over the whole stream in order.
+		ref := NewSketch(0, 100, 256)
+		for _, x := range xs {
+			ref.Add(x)
+		}
+
+		// Shard the stream: sample i goes to shard pick[i].
+		nShards := 2 + rng.Intn(6)
+		shards := make([]*Sketch, nShards)
+		for i := range shards {
+			shards[i] = NewSketch(0, 100, 256)
+		}
+		for _, x := range xs {
+			shards[rng.Intn(nShards)].Add(x)
+		}
+
+		// Merge in a random order.
+		order := rng.Perm(nShards)
+		merged := NewSketch(0, 100, 256)
+		for _, i := range order {
+			merged.Merge(shards[i])
+		}
+
+		if !reflect.DeepEqual(ref.bins, merged.bins) || ref.n != merged.n ||
+			ref.min != merged.min || ref.max != merged.max {
+			t.Fatalf("seed %d: merged sketch state differs from single-stream state", seed)
+		}
+		if ref.Summary() != merged.Summary() {
+			t.Fatalf("seed %d: merged summary %v != reference %v", seed, merged.Summary(), ref.Summary())
+		}
+	}
+}
+
+// TestSketchQuantileErrorBound checks the documented accuracy contract:
+// for in-range samples, every sketch quantile is within ErrorBound() of the
+// exact Percentile, and the mean within half a bin width.
+func TestSketchQuantileErrorBound(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		xs := randomSamples(rng, 200+rng.Intn(2000), 100, false)
+		s := NewSketch(0, 100, 512)
+		for _, x := range xs {
+			s.Add(x)
+		}
+		bound := s.ErrorBound()
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99} {
+			exact := Percentile(xs, p)
+			got := s.Quantile(p)
+			if d := math.Abs(got - exact); d > bound+1e-9 {
+				t.Errorf("seed %d p%.0f: sketch %.4f exact %.4f: error %.4f > bound %.4f",
+					seed, p, got, exact, d, bound)
+			}
+		}
+		if d := math.Abs(s.Mean() - Mean(xs)); d > bound/2+1e-9 {
+			t.Errorf("seed %d: sketch mean %.4f exact %.4f: error %.4f > %.4f",
+				seed, s.Mean(), Mean(xs), d, bound/2)
+		}
+	}
+}
+
+// TestSketchExactExtremes pins that Min/Max/N stay exact even for clamped
+// out-of-range samples, and that the empty sketch mirrors the exact path's
+// NaN convention.
+func TestSketchExactExtremes(t *testing.T) {
+	s := NewSketch(0, 10, 16)
+	if !math.IsNaN(s.Quantile(50)) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Mean()) {
+		t.Fatal("empty sketch must report NaN like the exact path")
+	}
+	for _, x := range []float64{-5, 3, 25, 7, math.NaN()} {
+		s.Add(x)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N=%d after 4 real samples (NaN must be ignored)", s.N())
+	}
+	if s.Min() != -5 || s.Max() != 25 {
+		t.Fatalf("extremes (%v, %v), want exact (-5, 25)", s.Min(), s.Max())
+	}
+	if s.Quantile(0) != -5 || s.Quantile(100) != 25 {
+		t.Fatalf("p0/p100 must return exact extremes, got (%v, %v)", s.Quantile(0), s.Quantile(100))
+	}
+}
+
+func TestSketchIncompatibleMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging incompatible sketches must panic")
+		}
+	}()
+	NewSketch(0, 10, 16).Merge(NewSketch(0, 20, 16))
+}
+
+// TestReservoirMergeMatchesSingleStream is the reservoir merge law: a
+// partitioned, arbitrarily-ordered stream yields exactly the sample of the
+// single full stream.
+func TestReservoirMergeMatchesSingleStream(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(500)
+		k := 1 + rng.Intn(20)
+
+		full := NewReservoir[int](k, seed)
+		for id := 0; id < n; id++ {
+			full.Add(id, id*10)
+		}
+
+		nShards := 2 + rng.Intn(5)
+		shards := make([]*Reservoir[int], nShards)
+		for i := range shards {
+			shards[i] = NewReservoir[int](k, seed)
+		}
+		for _, id := range rng.Perm(n) {
+			shards[rng.Intn(nShards)].Add(id, id*10)
+		}
+		merged := NewReservoir[int](k, seed)
+		for _, i := range rng.Perm(nShards) {
+			merged.Merge(shards[i])
+		}
+
+		if !reflect.DeepEqual(full.IDs(), merged.IDs()) {
+			t.Fatalf("seed %d: merged sample %v != single-stream sample %v", seed, merged.IDs(), full.IDs())
+		}
+		if !reflect.DeepEqual(full.Items(), merged.Items()) {
+			t.Fatalf("seed %d: merged items differ", seed)
+		}
+	}
+}
+
+// TestReservoirUniformish sanity-checks that the seeded hash does not
+// systematically favor low or high IDs.
+func TestReservoirUniformish(t *testing.T) {
+	const n, k = 10_000, 500
+	r := NewReservoir[struct{}](k, 42)
+	for id := 0; id < n; id++ {
+		r.Add(id, struct{}{})
+	}
+	low := 0
+	for _, id := range r.IDs() {
+		if id < n/2 {
+			low++
+		}
+	}
+	// Binomial(500, 0.5): 5σ ≈ 56. A split worse than 194/306 means the
+	// hash is biased, not unlucky.
+	if low < k/2-56 || low > k/2+56 {
+		t.Fatalf("sample heavily skewed: %d of %d from the low half", low, k)
+	}
+}
+
+// TestSummarizeAllocs is the satellite guard: Summarize must sort one copy
+// once — exactly one allocation — not once per percentile.
+func TestSummarizeAllocs(t *testing.T) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = float64((i * 7919) % 1024)
+	}
+	var sink Summary
+	allocs := testing.AllocsPerRun(20, func() {
+		sink = Summarize(xs)
+	})
+	if allocs > 1 {
+		t.Fatalf("Summarize allocated %.0f times per run, want ≤ 1 (single sorted copy)", allocs)
+	}
+	if sink.N != len(xs) {
+		t.Fatal("summary discarded")
+	}
+}
+
+// TestSummarizeMatchesPercentile pins that the single-sort rewrite did not
+// change any statistic relative to the per-call-sort implementation.
+func TestSummarizeMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 3, 17, 100} {
+		xs := randomSamples(rng, n, 50, true)
+		s := Summarize(xs)
+		want := Summary{
+			Min:    Min(xs),
+			P10:    Percentile(xs, 10),
+			Median: Percentile(xs, 50),
+			P90:    Percentile(xs, 90),
+			Max:    Max(xs),
+			Mean:   Mean(xs),
+			N:      len(xs),
+		}
+		if n == 0 {
+			// NaN != NaN; compare field presence via marshaling instead.
+			if s.N != 0 || !math.IsNaN(s.Median) {
+				t.Fatalf("empty summary changed: %+v", s)
+			}
+			continue
+		}
+		if s != want {
+			t.Fatalf("n=%d: Summarize %+v != component-wise %+v", n, s, want)
+		}
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Summarize(xs)
+	}
+}
+
+func BenchmarkSketchAdd(b *testing.B) {
+	s := NewSketch(0, 1000, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 1000))
+	}
+}

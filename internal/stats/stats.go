@@ -25,6 +25,12 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return sortedPercentile(sorted, p)
+}
+
+// sortedPercentile is Percentile's interpolation over an already-sorted
+// slice, shared by Summarize so one sort serves every quantile.
+func sortedPercentile(sorted []float64, p float64) float64 {
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
@@ -82,16 +88,33 @@ type Summary struct {
 	N                          int
 }
 
-// Summarize computes a Summary over the samples.
+// Summarize computes a Summary over the samples. It copies and sorts the
+// samples exactly once (one allocation), then reads every order statistic
+// off the sorted copy — TestSummarizeAllocs pins the allocation count so
+// the per-Percentile re-sorts this replaced cannot creep back.
 func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{Min: nan, P10: nan, Median: nan, P90: nan, Max: nan, Mean: nan}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	// Sum in the caller's order, not sorted order: float addition is not
+	// associative, and the mean must stay bit-identical to what Mean(xs)
+	// returned before the single-sort rewrite (golden JSON pins it).
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
 	return Summary{
-		Min:    Min(xs),
-		P10:    Percentile(xs, 10),
-		Median: Percentile(xs, 50),
-		P90:    Percentile(xs, 90),
-		Max:    Max(xs),
-		Mean:   Mean(xs),
-		N:      len(xs),
+		Min:    sorted[0],
+		P10:    sortedPercentile(sorted, 10),
+		Median: sortedPercentile(sorted, 50),
+		P90:    sortedPercentile(sorted, 90),
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		N:      len(sorted),
 	}
 }
 
