@@ -54,11 +54,13 @@ func (q *heapQueue) len() int { return len(q.h) }
 // calendarQueue is a calendar (bucket) priority queue (Brown 1988): events
 // hash into nbuckets time buckets of fixed width by (at / width) % nbuckets,
 // and the queue scans forward from the bucket holding the current window,
-// taking the (at, seq) minimum among events inside that window. Because the
-// engine never schedules into the past, no event can land in a window the
-// cursor has already passed, and because equal-at events always share a
-// bucket, the within-bucket (at, seq) scan reproduces the heap's global
-// tie-break exactly.
+// taking the (at, seq) minimum among events inside that window. The queue
+// maintains the invariant that no pending event precedes the cursor's
+// window: peek only advances the cursor to the window of the global minimum,
+// and push rewinds it when a new event lands earlier (possible after a
+// peek-without-pop, e.g. RunUntil probing a far-future event). Because
+// equal-at events always share a bucket, the within-bucket (at, seq) scan
+// reproduces the heap's global tie-break exactly.
 //
 // Push, pop, and remove are O(1) amortized when the bucket width tracks the
 // mean event spacing; resize() re-derives the width from the live event span
@@ -104,6 +106,16 @@ func (q *calendarQueue) bucketFor(at time.Duration) int {
 
 func (q *calendarQueue) push(ev *Event) {
 	q.peeked = nil
+	// peek advances the cursor to the window of the minimum it found, even
+	// when nothing is popped (RunUntil probes the queue this way). The engine
+	// may then legally schedule an event earlier than that window — RunUntil
+	// moves the clock forward without moving floor — so a push that precedes
+	// the current window must rewind the cursor, or the event sits behind it
+	// and fires a full calendar cycle late, after later-timestamped events.
+	if ev.at < q.curTop-q.width {
+		q.cur = q.bucketFor(ev.at)
+		q.curTop = (ev.at/q.width + 1) * q.width
+	}
 	b := q.bucketFor(ev.at)
 	ev.bucket = b
 	ev.idx = len(q.buckets[b])

@@ -7,15 +7,19 @@ import (
 	"time"
 )
 
-// queueOp is one step of a randomized workload: schedule, cancel, or step.
+// queueOp is one step of a randomized workload: schedule, cancel, step, or
+// run-until.
 type queueOp struct {
-	kind  int // 0 schedule, 1 cancel, 2 step
+	kind  int // 0 schedule, 1 cancel, 2 step, 3 run-until
 	delay time.Duration
 	pick  int // which live event to cancel
 }
 
 // randomOps builds a workload with heavy same-timestamp collisions (delay 0
 // and small quantized delays) so the seq tie-break is exercised constantly.
+// RunUntil ops (often targeting a time before the next pending event, so the
+// probe peeks without popping) interleave with later schedules to cover the
+// persisted-peek cursor states.
 func randomOps(rng *rand.Rand, n int) []queueOp {
 	ops := make([]queueOp, n)
 	for i := range ops {
@@ -28,6 +32,10 @@ func randomOps(rng *rand.Rand, n int) []queueOp {
 			ops[i] = queueOp{kind: 0, delay: d}
 		case r < 7:
 			ops[i] = queueOp{kind: 1, pick: rng.Int()}
+		case r < 8:
+			// Small advances rarely reach the next event (delays above are up
+			// to 50ms), so most of these peek a far event and leave it pending.
+			ops[i] = queueOp{kind: 3, delay: time.Duration(rng.Intn(8)) * time.Millisecond}
 		default:
 			ops[i] = queueOp{kind: 2}
 		}
@@ -76,6 +84,8 @@ func replay(e *Engine, ops []queueOp) []string {
 			delete(live, best)
 		case 2:
 			e.Step()
+		case 3:
+			e.RunUntil(e.Now() + op.delay)
 		}
 	}
 	for e.Step() {
@@ -173,6 +183,30 @@ func TestCalendarRunUntilPeek(t *testing.T) {
 	}
 	if e.Now() != 20*time.Millisecond {
 		t.Fatalf("clock at %v, want 20ms", e.Now())
+	}
+}
+
+// TestCalendarScheduleAfterRunUntilPeek is the regression test for the
+// stranded-cursor bug: RunUntil's final peek advances the cursor to the
+// window of a far-future event without popping it, and a subsequent Schedule
+// at an earlier time must rewind the cursor or it fires out of order.
+func TestCalendarScheduleAfterRunUntilPeek(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	record := func() { fired = append(fired, e.Now()) }
+	e.Schedule(50*time.Millisecond, record)
+	e.RunUntil(10 * time.Millisecond) // peeks the 50ms event, advancing the cursor
+	e.Schedule(15*time.Millisecond, record)
+	for e.Step() {
+	}
+	want := []time.Duration{15 * time.Millisecond, 50 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v (event behind the peeked cursor fired late)", fired, want)
+		}
 	}
 }
 

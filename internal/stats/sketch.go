@@ -63,12 +63,22 @@ func (s *Sketch) Add(x float64) {
 	if x > s.max {
 		s.max = x
 	}
-	i := int((x - s.lo) / s.width)
-	if i < 0 {
+	// Branch on the range before converting: float-to-int conversion of an
+	// out-of-range value (±Inf in particular) is implementation-defined in
+	// Go, and on amd64 +Inf converts to minInt — which would clamp +Inf mass
+	// into the LOWEST bin. The explicit comparisons route +Inf (and any
+	// x ≥ hi) to the top edge bin and -Inf (and any x < lo) to the bottom.
+	var i int
+	switch {
+	case x < s.lo:
 		i = 0
-	}
-	if i >= len(s.bins) {
+	case x >= s.hi:
 		i = len(s.bins) - 1
+	default:
+		i = int((x - s.lo) / s.width)
+		if i >= len(s.bins) { // width rounding can land x==hi-ε on the edge
+			i = len(s.bins) - 1
+		}
 	}
 	s.bins[i]++
 	s.n++

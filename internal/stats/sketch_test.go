@@ -113,6 +113,29 @@ func TestSketchExactExtremes(t *testing.T) {
 	}
 }
 
+// TestSketchInfinities pins that infinite samples clamp into the correct
+// edge bins: +Inf into the top, -Inf into the bottom. (A naive float-to-int
+// bin conversion is implementation-defined for ±Inf — on amd64 +Inf converts
+// to minInt and would clamp into the LOWEST bin, skewing quantiles.)
+func TestSketchInfinities(t *testing.T) {
+	s := NewSketch(0, 100, 10)
+	s.Add(math.Inf(1))
+	if q := s.Quantile(50); q < 90 || q >= 100 {
+		t.Fatalf("+Inf median %v, want mass in the top bin [90, 100)", q)
+	}
+	if !math.IsInf(s.Max(), 1) {
+		t.Fatalf("Max %v, want exact +Inf", s.Max())
+	}
+	s = NewSketch(0, 100, 10)
+	s.Add(math.Inf(-1))
+	if q := s.Quantile(50); q < 0 || q >= 10 {
+		t.Fatalf("-Inf median %v, want mass in the bottom bin [0, 10)", q)
+	}
+	if !math.IsInf(s.Min(), -1) {
+		t.Fatalf("Min %v, want exact -Inf", s.Min())
+	}
+}
+
 func TestSketchIncompatibleMergePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
