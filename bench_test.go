@@ -17,6 +17,7 @@ import (
 	"demuxabr/internal/experiments"
 	"demuxabr/internal/fleet"
 	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
 	"demuxabr/internal/trace"
 )
 
@@ -616,6 +617,26 @@ func BenchmarkFleetStream(b *testing.B) {
 	b.ReportMetric(res.Fleet.Score.Median, "qoe-median")
 	b.ReportMetric(res.Fleet.JainVideoKbps, "jain")
 	b.ReportMetric(float64(len(res.Sampled)), "sampled-rows")
+}
+
+// BenchmarkFleetTransport prices the transport layer's connection
+// bookkeeping on the same streaming fleet as BenchmarkFleetStream: every
+// session runs its requests through H1 connections (the most stateful
+// protocol — two conns per session, keep-alive clocks, resume pricing).
+// Compare against BenchmarkFleetStream for the overhead; the
+// transport-h1/h2/h3 N=1e3 wall-clock rows live in BENCH_*.json.
+func BenchmarkFleetTransport(b *testing.B) {
+	const n = 96
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.FleetAtScaleTransport(n, 0, netsim.H1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Cells), "cells")
+	b.ReportMetric(res.Fleet.Score.Median, "qoe-median")
 }
 
 func boolMetric(v bool) float64 {

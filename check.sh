@@ -19,7 +19,12 @@
 #                    N=32, exact and streaming paths, under -race)
 #   8. timeline      flight-recorder exports must be byte-identical
 #                    across repeat runs and worker counts
-#   9. benchmem      fleet benchmarks compile and run once, so the
+#   9. transport     the transport layer's two contracts: zero-cost
+#                    transport is byte-identical to no transport at every
+#                    level (session, timeline golden, fleet JSON), and the
+#                    transport comparison is byte-identical across worker
+#                    counts and repeats with the documented delta ordering
+#  10. benchmem      fleet benchmarks compile and run once, so the
 #                    allocs/op trajectory is always measurable
 #
 # Exits non-zero on the first failing step.
@@ -60,6 +65,11 @@ go test -race -count=1 -run 'TestFleetShardEquivalence' ./internal/fleet
 echo "== timeline determinism (flight-recorder exports byte-identical across runs and worker counts)"
 go test -race -count=1 -run 'TestTimeline' \
 	./internal/timeline ./internal/fleet ./cmd/abrsim
+
+echo "== transport gates (zero-cost off-equivalence + deterministic delta ordering)"
+go test -race -count=1 \
+	-run 'TestZeroCostTransport|TestConnZeroCostTransport|TestTimelineZeroCostTransport|TestFleetZeroCostTransport|TestFleetShardEquivalenceWithTransport|TestTransportComparisonDeterminism|TestTransportDeltaOrdering' \
+	./internal/netsim ./internal/player ./internal/timeline ./internal/fleet ./internal/experiments
 
 echo "== benchmem smoke (1 iteration per fleet benchmark)"
 go test -run=NONE -bench 'BenchmarkBandwidthSweep|BenchmarkSeedSweep|BenchmarkCDNCacheSweep|BenchmarkFleet' \

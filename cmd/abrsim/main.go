@@ -35,6 +35,7 @@ import (
 	"demuxabr/internal/faults"
 	"demuxabr/internal/fleet"
 	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
 	"demuxabr/internal/qoe"
 	"demuxabr/internal/report"
 	"demuxabr/internal/runpool"
@@ -58,6 +59,8 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-segment-request fault injection probability in [0,1]")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan (same seed = same failure sequence)")
 	noRetry := flag.Bool("no-retry", false, "disable the download robustness policy (fail fast on the first fault)")
+	transport := flag.String("transport", "", "transport connection model: h1, h2, or h3 (default: off — requests ride the bare link)")
+	rtt := flag.Duration("rtt", 80*time.Millisecond, "access round-trip time that prices -transport handshakes (ignored without -transport)")
 	sessions := flag.Int("sessions", 1, "fleet size; >1 co-simulates N sessions sharing the bandwidth as an edge uplink behind one shared cache")
 	arrivalSpread := flag.Duration("arrival-spread", 30*time.Second, "fleet arrival window: session starts are staggered (seeded) over [0, spread)")
 	mix := flag.String("mix", "", "comma-separated player kinds assigned round-robin across fleet sessions (default: -player for every session)")
@@ -76,13 +79,14 @@ func main() {
 	}
 
 	fo := faultOpts{rate: *faultRate, seed: *faultSeed, noRetry: *noRetry}
+	to := transportOpts{proto: *transport, rtt: *rtt, seed: *faultSeed}
 	switch {
 	case *compare:
-		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo)
+		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo, to)
 	case *sessions > 1:
-		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, *cell, *shards, *sampleTimelines, fo)
+		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, *cell, *shards, *sampleTimelines, fo, to)
 	default:
-		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo)
+		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo, to)
 	}
 	if perr := stopProfiles(); err == nil {
 		err = perr
@@ -161,7 +165,43 @@ func (fo faultOpts) policy() *faults.Policy {
 // fan out across parallel workers (each on its own simulation engine);
 // collection is in PlayerKinds order, so the table is identical at any
 // worker count.
-func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, timelineDir string, fo faultOpts) error {
+// transportOpts carries the -transport/-rtt flags. An empty protocol
+// means the transport layer is off: requests ride the bare link and rtt
+// is ignored, keeping default runs byte-identical to transport-less
+// builds.
+type transportOpts struct {
+	proto string
+	rtt   time.Duration
+	seed  int64
+}
+
+// config resolves the flags into a transport config (nil when off). The
+// keep-alive window matches the transport experiment family (700 ms, a
+// mobile radio/NAT idle teardown); the loss axis stays on the -fault-rate
+// machinery rather than transport loss draws.
+func (to transportOpts) config() (*netsim.TransportConfig, error) {
+	if to.proto == "" {
+		return nil, nil
+	}
+	p, err := netsim.ParseProtocol(to.proto)
+	if err != nil {
+		return nil, err
+	}
+	tc := netsim.DefaultTransport(p)
+	tc.IdleTimeout = 700 * time.Millisecond
+	tc.Seed = to.seed
+	return &tc, nil
+}
+
+// linkRTT is the access RTT to apply — only meaningful with a transport.
+func (to transportOpts) linkRTT() time.Duration {
+	if to.proto == "" {
+		return 0
+	}
+	return to.rtt
+}
+
+func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, timelineDir string, fo faultOpts, to transportOpts) error {
 	kinds := core.PlayerKinds()
 	// Recorders are pre-created in kind order: each worker appends only to
 	// its own, so the exported timeline is byte-identical at any -parallel.
@@ -173,7 +213,7 @@ func runCompare(kbps float64, traceFile, profileName, contentName, manifest, aud
 		}
 	}
 	sessions, err := runpool.Map(parallel, len(kinds), func(i int) (*core.Session, error) {
-		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, recFor(recs, i), fo)
+		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, recFor(recs, i), fo, to)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", kinds[i], err)
 		}
@@ -278,7 +318,7 @@ func recFor(recs []*timeline.Recorder, i int) *timeline.Recorder {
 
 // playOnce builds content, profile and manifest options from the CLI flags
 // and runs one session, attaching rec (may be nil) as its flight recorder.
-func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, rec *timeline.Recorder, fo faultOpts) (*core.Session, error) {
+func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, rec *timeline.Recorder, fo faultOpts, to transportOpts) (*core.Session, error) {
 	kind, err := core.ParsePlayerKind(playerName)
 	if err != nil {
 		return nil, err
@@ -295,6 +335,10 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 	if err != nil {
 		return nil, err
 	}
+	tc, err := to.config()
+	if err != nil {
+		return nil, err
+	}
 	return core.Play(core.Spec{
 		Content:    content,
 		Profile:    profile,
@@ -303,6 +347,8 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 		Faults:     fo.plan(),
 		Robustness: fo.policy(),
 		Recorder:   rec,
+		RTT:        to.linkRTT(),
+		Transport:  tc,
 	})
 }
 
@@ -328,7 +374,7 @@ func parseMix(mixStr, playerName string) ([]core.PlayerKind, error) {
 // shared edge uplink, every client gets a generous access link behind it,
 // and all sessions hit one shared edge cache. Output is a per-session table
 // plus the fleet aggregates; -json writes the full fleet report.
-func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, cell, shards, sampleTimelines int, fo faultOpts) error {
+func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, cell, shards, sampleTimelines int, fo faultOpts, to transportOpts) error {
 	content, err := parseContent(contentName)
 	if err != nil {
 		return err
@@ -342,6 +388,10 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 		return err
 	}
 	kinds, err := parseMix(mixStr, playerName)
+	if err != nil {
+		return err
+	}
+	tc, err := to.config()
 	if err != nil {
 		return err
 	}
@@ -360,6 +410,8 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 		CellSessions:    cell,
 		Shards:          shards,
 		SampleTimelines: sampleTimelines,
+		Transport:       tc,
+		AccessRTT:       to.linkRTT(),
 	})
 	if err != nil {
 		return err
@@ -414,12 +466,12 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 	return nil
 }
 
-func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineCSV, timelineDir, jsonOut string, fo faultOpts) error {
+func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineCSV, timelineDir, jsonOut string, fo faultOpts, to transportOpts) error {
 	var rec *timeline.Recorder
 	if timelineDir != "" {
 		rec = timeline.New(0, playerName)
 	}
-	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, rec, fo)
+	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, rec, fo, to)
 	if err != nil {
 		return err
 	}
@@ -436,6 +488,11 @@ func run(playerName string, kbps float64, traceFile, profileName, contentName, m
 		fmt.Printf("faults:          %d (%d retries, %d failovers, %.1f KB wasted)\n",
 			len(sess.Result.Faults), sess.Result.Retries, len(sess.Result.Failovers),
 			float64(sess.Result.WastedFaultBytes())/1000)
+	}
+	if t := sess.Result.Transport; t != nil {
+		fmt.Printf("transport:       %s — %d handshakes, %d resumes, %d hol stalls (%.1f s handshake wait, %.1f s hol wait)\n",
+			t.Protocol, t.Handshakes, t.Resumes, t.HoLStalls,
+			t.HandshakeWait.Seconds(), t.HoLWait.Seconds())
 	}
 	if sess.Result.Aborted {
 		fmt.Printf("ABORTED:         %s\n", sess.Result.AbortReason)

@@ -31,6 +31,7 @@ import (
 	"demuxabr/internal/core"
 	"demuxabr/internal/experiments"
 	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
 	"demuxabr/internal/runpool"
 	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
@@ -111,6 +112,22 @@ func fleetScaleWorkloads(ns []int) []workload {
 		n := n
 		ws = append(ws, workload{"fleet-" + scaleLabel(n), func(p int) error {
 			_, err := experiments.FleetAtScale(n, p)
+			return err
+		}})
+	}
+	return ws
+}
+
+// transportWorkloads are the transport-pricing rows: one sharded fleet at
+// N=1,000 per protocol, so BENCH_*.json prices the per-session connection
+// bookkeeping (handshake events, keep-alive clocks, loss draws) against
+// the transport-less fleet-1e3 row.
+func transportWorkloads() []workload {
+	ws := make([]workload, 0, 3)
+	for _, proto := range []netsim.Protocol{netsim.H1, netsim.H2, netsim.H3} {
+		proto := proto
+		ws = append(ws, workload{"transport-" + proto.String(), func(p int) error {
+			_, err := experiments.FleetAtScaleTransport(1000, p, proto)
 			return err
 		}})
 	}
@@ -233,7 +250,7 @@ func main() {
 	}
 	var scale []workload
 	if *withScale {
-		scale = fleetScaleWorkloads(experiments.DefaultFleetScaleNs())
+		scale = append(fleetScaleWorkloads(experiments.DefaultFleetScaleNs()), transportWorkloads()...)
 	}
 	if err := run(path, date, *reps, *parallel, fleetWorkloads(), scale); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

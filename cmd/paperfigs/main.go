@@ -52,7 +52,7 @@ func main() {
 }
 
 func realMain() int {
-	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn, fleetscale)")
+	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn, transport, fleetscale)")
 	csvDir := flag.String("csv", "", "write figure timelines as CSV into this directory")
 	flag.IntVar(&parallelN, "parallel", 0, "fleet worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.IntVar(&fleetN, "fleet-n", 1000, "fleet size for -only fleetscale (cells of 16 sessions, streaming aggregation)")
@@ -104,8 +104,8 @@ func realMain() int {
 		{"chunkdur", chunkdur}, {"crosstraffic", crosstraffic}, {"muxed", muxed},
 		{"verify", verify}, {"language", language},
 		{"seeds", seeds}, {"startup", startup}, {"pareto", pareto},
-		{"resilience", resilience}, {"fleet", fleet},
-		{"fleetscale", fleetscale},
+		{"resilience", resilience}, {"transport", transport},
+		{"fleet", fleet}, {"fleetscale", fleetscale},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -549,6 +549,21 @@ func fleetscale(string) error {
 		return err
 	}
 	experiments.PrintFleetAtScale(os.Stdout, res)
+	return nil
+}
+
+func transport(string) error {
+	cells, err := experiments.TransportComparisonParallel(parallelN)
+	if err != nil {
+		return err
+	}
+	experiments.PrintTransport(os.Stdout, cells)
+	fmt.Println()
+	points, err := experiments.TransportResilienceParallel(parallelN)
+	if err != nil {
+		return err
+	}
+	experiments.PrintTransportResilience(os.Stdout, points)
 	return nil
 }
 

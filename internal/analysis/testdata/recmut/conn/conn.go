@@ -1,0 +1,80 @@
+//fixture:path demuxabr/internal/netsim
+
+// Package netsim seeds the recorder-mutation bugs the transport layer
+// could introduce: a connection that emits its handshake/HoL events
+// from a worker goroutine or a runpool job interleaves them in
+// scheduling order, and the flight-recorder export stops being
+// byte-identical across -parallel counts. Transport events must be
+// appended from the engine goroutine's call tree, like every other
+// timeline event.
+package netsim
+
+import (
+	"demuxabr/internal/runpool"
+	"demuxabr/internal/timeline"
+)
+
+// Conn mirrors a connection that carries its session's recorder so the
+// transport layer can stamp handshakes and HoL stalls on the timeline.
+type Conn struct {
+	rec *timeline.Recorder
+	c   timeline.Counters
+}
+
+// handshakeFromGoroutine: stamping the handshake off the engine
+// goroutine — the event lands at a schedule-dependent position.
+func handshakeFromGoroutine(conn *Conn, done chan struct{}) {
+	go func() {
+		conn.rec.Emit("handshake", 0) // want "Emit on a recorder captured by a goroutine"
+		close(done)
+	}()
+}
+
+// handshakeFromJob: per-session jobs stamping onto one shared recorder.
+func handshakeFromJob(rec *timeline.Recorder, sessions int) []int {
+	return runpool.Collect(0, sessions, func(i int) int {
+		rec.Emit("handshake", float64(i)) // want "Emit on a recorder captured by a runpool job"
+		return i
+	})
+}
+
+// tallyFromGoroutine: the conn's counter block is recorder state too.
+func tallyFromGoroutine(conn *Conn) {
+	go func() {
+		conn.c.Events++ // want "write to Events of a recorder captured by a goroutine"
+	}()
+}
+
+// holStallFromJob: counting HoL stalls into a shared tally block from
+// inside the pool.
+func holStallFromJob(c *timeline.Counters, streams int) []int {
+	return runpool.Collect(0, streams, func(i int) int {
+		c.Events++ // want "write to Events of a recorder captured by a runpool job"
+		return i
+	})
+}
+
+// engineHandshake is the sanctioned shape: the conn emits from the
+// engine goroutine's call tree — no closure, no finding.
+func engineHandshake(conn *Conn) {
+	conn.rec.Emit("handshake", 1)
+	conn.c.Events++
+}
+
+// perSessionRecorder: each job owns its session's conn and recorder,
+// so mutation stays inside the job.
+func perSessionRecorder(sessions int) []int {
+	return runpool.Collect(0, sessions, func(i int) int {
+		conn := &Conn{rec: timeline.New()}
+		conn.rec.Emit("handshake", 0)
+		return conn.rec.Count().Events
+	})
+}
+
+// readEnabled: any goroutine may ask a quiescent recorder whether it is
+// recording.
+func readEnabled(conn *Conn, done chan bool) {
+	go func() {
+		done <- conn.rec.Enabled()
+	}()
+}

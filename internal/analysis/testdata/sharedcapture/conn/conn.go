@@ -1,0 +1,108 @@
+//fixture:path demuxabr/internal/netsim
+
+// Package netsim seeds the shared-capture hazards of the transport
+// layer's per-connection state. A Conn's accounting block is mutated by
+// every request that rides it, and with demuxed tracks the audio and
+// video fetch paths share the same connection — so a Conn reached from
+// a runpool job closure is written in claim order, exactly the
+// schedule-dependent bug class the serial-vs-parallel gate catches at
+// runtime. Caught here instead, before the code runs.
+package netsim
+
+import "demuxabr/internal/runpool"
+
+// ConnStats mirrors the transport accounting block a connection carries.
+type ConnStats struct {
+	Handshakes int
+	Resumes    int
+	ByStream   map[int]int
+}
+
+// Conn mirrors the per-connection state the audio and video request
+// paths share: one stats block, one in-flight gauge.
+type Conn struct {
+	Stats    ConnStats
+	inFlight int
+}
+
+// sharedConnTally: one conn captured by both the audio job (i=0) and
+// the video job (i=1) — the resume tally becomes claim-order dependent.
+func sharedConnTally(c *Conn) []int {
+	return runpool.Collect(0, 2, func(i int) int {
+		c.Stats.Resumes++ // want "writes captured field of .c."
+		return i
+	})
+}
+
+// sharedInFlight: the in-flight gauge is engine state; ticking it from
+// jobs races the open/close bookkeeping.
+func sharedInFlight(c *Conn, requests int) ([]int, error) {
+	return runpool.Map(0, requests, func(i int) (int, error) {
+		c.inFlight++ // want "writes captured field of .c."
+		return i, nil
+	})
+}
+
+// sharedStreamMap: per-stream byte counts keyed into a captured map —
+// concurrent map writes on top of the ordering hazard.
+func sharedStreamMap(c *Conn, streams int) []int {
+	return runpool.Collect(0, streams, func(i int) int {
+		c.Stats.ByStream[i] = i // want "writes captured map .c."
+		return i
+	})
+}
+
+// sharedFleetTotal: folding every session's handshake count into one
+// captured aggregate from inside the jobs.
+func sharedFleetTotal(sessions int, total *ConnStats) ([]int, error) {
+	return runpool.Map(0, sessions, func(i int) (int, error) {
+		total.Handshakes += 1 // want "writes captured field of .total."
+		return i, nil
+	})
+}
+
+// sharedConnSlot: all sessions report through slot zero of a captured
+// per-session conn table instead of their own.
+func sharedConnSlot(sessions int) []*Conn {
+	conns := make([]*Conn, sessions)
+	runpool.Collect(0, sessions, func(i int) int {
+		conns[0] = &Conn{} // want "writes captured slice .conns."
+		return i
+	})
+	return conns
+}
+
+// perSessionConn is the sanctioned shape: each job owns its connection
+// (its own session, its own engine) and publishes through its own slot.
+func perSessionConn(sessions int) []ConnStats {
+	out := make([]ConnStats, sessions)
+	runpool.Collect(0, sessions, func(i int) int {
+		c := &Conn{}
+		c.Stats.Handshakes++
+		out[i] = c.Stats
+		return i
+	})
+	return out
+}
+
+// mergeAfterDrain is the sanctioned aggregate: jobs return their stats
+// and the caller folds them once the pool has drained.
+func mergeAfterDrain(sessions int) ConnStats {
+	per := runpool.Collect(0, sessions, func(i int) ConnStats {
+		c := Conn{}
+		c.Stats.Resumes = i % 2
+		return c.Stats
+	})
+	var total ConnStats
+	for _, s := range per {
+		total.Resumes += s.Resumes
+	}
+	return total
+}
+
+// readSharedConfig is fine: jobs may read quiescent transport settings.
+func readSharedConfig(c *Conn, sessions int) []int {
+	return runpool.Collect(0, sessions, func(i int) int {
+		return i + c.Stats.Handshakes
+	})
+}

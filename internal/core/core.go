@@ -235,6 +235,13 @@ type Spec struct {
 	// events (ABR decisions, request lifecycle, stalls, link-rate changes;
 	// see internal/timeline). Nil disables recording.
 	Recorder *timeline.Recorder
+	// RTT is the link's request round trip; zero keeps the paper's
+	// negligible-RTT testbed. Transport handshake costs scale with it.
+	RTT time.Duration
+	// Transport, when non-nil, routes requests through transport
+	// connections (handshakes, stream caps, HoL coupling; see
+	// netsim.Conn). Nil keeps requests directly on the link.
+	Transport *netsim.TransportConfig
 }
 
 // Session is a finished run: the raw result plus derived metrics.
@@ -272,6 +279,7 @@ func Play(spec Spec) (*Session, error) {
 	}
 	eng := netsim.NewEngine()
 	link := netsim.NewLink(eng, spec.Profile)
+	link.RTT = spec.RTT
 	if spec.Recorder != nil {
 		link.SetRecorder(spec.Recorder, "link")
 	}
@@ -286,6 +294,7 @@ func Play(spec Spec) (*Session, error) {
 		Robustness:    spec.Robustness,
 		Deadline:      spec.Deadline,
 		Recorder:      spec.Recorder,
+		Transport:     spec.Transport,
 	})
 	if err != nil {
 		return nil, err

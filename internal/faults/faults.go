@@ -42,6 +42,16 @@ const (
 	// Truncate is a body cut short of its declared length: the client
 	// receives a fraction of the bytes, then the connection closes.
 	Truncate
+	// HandshakeFail is a connection attempt that dies in setup (DNS, TCP
+	// or TLS/QUIC handshake): the request burns the handshake round
+	// trips, receives nothing, and the connection starts the next
+	// attempt cold. Fails fast, retryable.
+	HandshakeFail
+	// Migration is a network path change under the client (WiFi to
+	// cellular). It is not a failure: QUIC validates the new path in one
+	// round trip and keeps the connection, TCP must reconnect — the cost
+	// only exists when a transport is configured.
+	Migration
 )
 
 // String names the kind for logs and reports.
@@ -59,14 +69,28 @@ func (k Kind) String() string {
 		return "timeout"
 	case Truncate:
 		return "truncate"
+	case HandshakeFail:
+		return "handshake-fail"
+	case Migration:
+		return "migration"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
-// AllKinds is the default injection mix.
+// AllKinds is the default injection mix. The transport kinds are not in
+// it: adding them would re-deal every existing seeded plan's kind draws,
+// and they only model costs when a transport is configured. Opt in with
+// TransportKinds.
 func AllKinds() []Kind {
 	return []Kind{HTTP404, HTTP503, Reset, Timeout, Truncate}
+}
+
+// TransportKinds are the connection-level fault kinds introduced with
+// the transport layer; append them to a plan's Kinds to exercise
+// handshake failures and path migrations.
+func TransportKinds() []Kind {
+	return []Kind{HandshakeFail, Migration}
 }
 
 // Fault is one injected failure.

@@ -23,6 +23,7 @@ import (
 	"demuxabr/internal/core"
 	"demuxabr/internal/faults"
 	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
 	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
 	"demuxabr/internal/report"
@@ -71,6 +72,15 @@ type Config struct {
 	FaultPlan *faults.Plan
 	// Robustness is the per-session retry/failover policy.
 	Robustness *faults.Policy
+	// Transport, when non-nil, routes every session's requests through
+	// transport connections (handshakes, stream caps, HoL coupling; see
+	// netsim.Conn). Session i runs a copy reseeded with its ID so loss
+	// draws are independent but reproducible. Nil keeps requests directly
+	// on the access links.
+	Transport *netsim.TransportConfig
+	// AccessRTT sets each access link's request round trip; zero keeps
+	// the paper's negligible-RTT testbed. Transport costs scale with it.
+	AccessRTT time.Duration
 	// MaxBuffer overrides the player buffer cap when non-zero.
 	MaxBuffer time.Duration
 	// Deadline overrides the per-session abort deadline when non-zero.
@@ -300,6 +310,18 @@ func (c *Config) sessionPlan(i int) *faults.Plan {
 	plan := *c.FaultPlan
 	plan.Seed = c.FaultPlan.Seed + int64(i+1)*1_000_003
 	return &plan
+}
+
+// sessionTransport derives session i's transport config: same knobs, a
+// seed offset by the session ID so connection loss draws are independent
+// across clients but a pure function of (fleet seed, session ID).
+func (c *Config) sessionTransport(i int) *netsim.TransportConfig {
+	if c.Transport == nil {
+		return nil
+	}
+	tc := *c.Transport
+	tc.Seed = c.Transport.Seed + c.Seed + int64(i+1)*1_000_003
+	return &tc
 }
 
 // Run executes the co-simulation: sessions are partitioned into contention

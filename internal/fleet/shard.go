@@ -155,6 +155,7 @@ func runCell(cfg *Config, cellIdx, numCells int, ids []int, arrive []time.Durati
 			return fmt.Errorf("fleet: session %d (%s): %w", id, kind, err)
 		}
 		leaf := up.NewLeaf(cfg.AccessProfile)
+		leaf.RTT = cfg.AccessRTT
 		pcfg := player.Config{
 			Content:    cfg.Content,
 			Model:      model,
@@ -164,6 +165,7 @@ func runCell(cfg *Config, cellIdx, numCells int, ids []int, arrive []time.Durati
 			MaxEvents:  budget,
 			FaultPlan:  cfg.sessionPlan(id),
 			Robustness: cfg.Robustness,
+			Transport:  cfg.sessionTransport(id),
 			Recorder:   recFor(recs, li),
 			OnRequest: func(req player.ChunkRequest) time.Duration {
 				var hit bool

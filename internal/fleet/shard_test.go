@@ -5,8 +5,10 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
 	"demuxabr/internal/trace"
 )
 
@@ -350,5 +352,58 @@ func TestFleetDefaultShardsMatchExplicit(t *testing.T) {
 	}
 	if !bytes.Equal(fleetJSON(t, res), fleetJSON(t, res2)) {
 		t.Fatal("default and explicit shard counts diverge")
+	}
+}
+
+// TestFleetShardEquivalenceWithTransport re-pins the shard-count contract
+// with the transport layer on: per-session connections (reseeded loss
+// draws, access RTT, keep-alive bookkeeping) must stay a pure function of
+// the session ID, so the aggregate JSON cannot depend on which shard ran
+// which cell.
+func TestFleetShardEquivalenceWithTransport(t *testing.T) {
+	var ref []byte
+	for _, shards := range []int{1, 2, 4} {
+		cfg := cellConfig(32)
+		cfg.Shards = shards
+		tc := netsim.DefaultTransport(netsim.H1)
+		tc.IdleTimeout = 700 * time.Millisecond
+		tc.LossRate = 0.02
+		tc.Seed = 4099
+		cfg.Transport = &tc
+		cfg.AccessRTT = 40 * time.Millisecond
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := fleetJSON(t, res)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("shards=%d transport fleet JSON differs from shards=1 (%d vs %d bytes)",
+				shards, len(got), len(ref))
+		}
+	}
+}
+
+// TestFleetZeroCostTransportEquivalence is the fleet half of the
+// transport-off contract: a fleet run through all-zero-cost H1 transport
+// (free setup, no keep-alive expiry, no loss) must produce JSON
+// byte-identical to the same fleet with no transport at all.
+func TestFleetZeroCostTransportEquivalence(t *testing.T) {
+	run := func(tc *netsim.TransportConfig) []byte {
+		cfg := cellConfig(16)
+		cfg.Transport = tc
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fleetJSON(t, res)
+	}
+	bare := run(nil)
+	zeroed := run(&netsim.TransportConfig{Protocol: netsim.H1, MaxStreams: 1})
+	if !bytes.Equal(bare, zeroed) {
+		t.Fatal("zero-cost transport fleet diverged from the bare fleet")
 	}
 }

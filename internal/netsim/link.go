@@ -105,6 +105,10 @@ func (l *Link) nextChange(t time.Duration) (time.Duration, bool) {
 // Transfer is one in-flight download over the link.
 type Transfer struct {
 	link *Link
+	// conn, when non-nil, is the transport connection that dispatched this
+	// transfer; the link notifies it when the transfer leaves the wire
+	// (completion or cancellation) so it can free the stream slot.
+	conn *Conn
 	// Label tags the transfer (e.g. "video"/"audio") for observers.
 	Label string
 	// UserData carries caller context (e.g. chunk identity).
@@ -118,7 +122,19 @@ type Transfer struct {
 	finished   time.Duration
 	completed  bool
 	cancelled  bool
+	suspended  bool // removed from the active set by a transport stall
 	onComplete func(*Transfer)
+
+	// preDelay is the pre-byte latency (RTT + ExtraDelay) computed when the
+	// transfer was prepared; activation is scheduled this far after dispatch.
+	preDelay time.Duration
+	// activateEv is the pending activation wake. Cancelling a transfer that
+	// is still waiting out its pre-byte delay must cancel this event too:
+	// activate() already refuses cancelled transfers, but the dead event
+	// would otherwise linger in the queue until its due time — at fleet
+	// scale (teardown cancels two transfers per session) that is tens of
+	// thousands of ghost events kept alive for up to RTT+ExtraDelay each.
+	activateEv *Event
 
 	sampleEvery  time.Duration
 	onSample     func(tr *Transfer, bytes float64, interval time.Duration)
@@ -141,6 +157,14 @@ func (tr *Transfer) Finished() time.Duration { return tr.finished }
 
 // Completed reports whether the transfer finished.
 func (tr *Transfer) Completed() bool { return tr.completed }
+
+// Cancelled reports whether the transfer was aborted via Cancel. A
+// cancelled transfer never completes and its OnComplete never fires.
+func (tr *Transfer) Cancelled() bool { return tr.cancelled }
+
+// Suspended reports whether the transfer is currently paused by a
+// transport-level stall (see Link.Suspend).
+func (tr *Transfer) Suspended() bool { return tr.suspended }
 
 // Duration returns the transfer time (first byte to completion).
 func (tr *Transfer) Duration() time.Duration {
@@ -190,6 +214,16 @@ type StartOptions struct {
 // Start begins a transfer of size bytes. The first byte moves after the
 // link RTT. A zero-size transfer completes immediately upon activation.
 func (l *Link) Start(size int64, opts StartOptions) *Transfer {
+	tr := l.prepare(size, opts)
+	l.scheduleActivation(tr)
+	return tr
+}
+
+// prepare builds a transfer without scheduling its activation; transport
+// connections use it to hold a request while a handshake or stream slot
+// is pending. The pre-byte delay (RTT + ExtraDelay) is captured now and
+// applied relative to whenever the transfer is actually dispatched.
+func (l *Link) prepare(size int64, opts StartOptions) *Transfer {
 	if size < 0 {
 		panic("netsim: negative transfer size")
 	}
@@ -197,7 +231,11 @@ func (l *Link) Start(size int64, opts StartOptions) *Transfer {
 	if weight <= 0 {
 		weight = 1
 	}
-	tr := &Transfer{
+	delay := l.RTT + opts.ExtraDelay
+	if delay < 0 {
+		delay = 0
+	}
+	return &Transfer{
 		link:        l,
 		Label:       opts.Label,
 		UserData:    opts.UserData,
@@ -206,13 +244,17 @@ func (l *Link) Start(size int64, opts StartOptions) *Transfer {
 		onComplete:  opts.OnComplete,
 		sampleEvery: opts.SampleEvery,
 		onSample:    opts.OnSample,
+		preDelay:    delay,
 	}
-	delay := l.RTT + opts.ExtraDelay
-	if delay < 0 {
-		delay = 0
-	}
-	l.eng.After(delay, func() { l.activate(tr) })
-	return tr
+}
+
+// scheduleActivation arms the transfer's first-byte wake, preDelay from
+// now. The event handle is retained so Cancel can reclaim it.
+func (l *Link) scheduleActivation(tr *Transfer) {
+	tr.activateEv = l.eng.After(tr.preDelay, func() {
+		tr.activateEv = nil
+		l.activate(tr)
+	})
 }
 
 // SetRecorder attaches a flight recorder: the link emits a LinkRate event
@@ -258,6 +300,11 @@ func (l *Link) Cancel(tr *Transfer) {
 		return
 	}
 	tr.cancelled = true
+	tr.suspended = false
+	if tr.activateEv != nil {
+		l.eng.Cancel(tr.activateEv)
+		tr.activateEv = nil
+	}
 	for i, a := range l.active {
 		if a == tr {
 			l.active = append(l.active[:i], l.active[i+1:]...)
@@ -268,6 +315,51 @@ func (l *Link) Cancel(tr *Transfer) {
 		l.eng.Cancel(tr.sampleEv)
 		tr.sampleEv = nil
 	}
+	l.reschedule()
+	if tr.conn != nil {
+		tr.conn.onDone(tr)
+	}
+}
+
+// Suspend pauses an in-flight transfer: it is removed from the active set
+// (so it consumes no bandwidth share) but keeps sampling — observers see a
+// stalled socket delivering zero bytes, exactly what a throughput
+// estimator sees during a loss-recovery stall. Only transfers that have
+// activated and are still moving can be suspended; the return value
+// reports whether the transfer was actually paused.
+func (l *Link) Suspend(tr *Transfer) bool {
+	if tr.completed || tr.cancelled || tr.suspended {
+		return false
+	}
+	l.advance() // may complete the transfer at this very instant
+	if tr.completed {
+		return false
+	}
+	found := false
+	for i, a := range l.active {
+		if a == tr {
+			l.active = append(l.active[:i], l.active[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false // still waiting out its pre-byte delay
+	}
+	tr.suspended = true
+	l.reschedule()
+	return true
+}
+
+// Resume returns a suspended transfer to the active set. Transfers that
+// completed impossibly or were cancelled while suspended are left alone.
+func (l *Link) Resume(tr *Transfer) {
+	if tr.completed || tr.cancelled || !tr.suspended {
+		return
+	}
+	l.advance()
+	tr.suspended = false
+	l.active = append(l.active, tr)
 	l.reschedule()
 }
 
@@ -282,6 +374,9 @@ func (l *Link) activate(tr *Transfer) {
 		tr.finished = l.eng.Now()
 		if tr.onComplete != nil {
 			tr.onComplete(tr)
+		}
+		if tr.conn != nil {
+			tr.conn.onDone(tr)
 		}
 		return
 	}
@@ -377,6 +472,9 @@ func (l *Link) finishCompleted() {
 		}
 		if tr.onComplete != nil {
 			tr.onComplete(tr)
+		}
+		if tr.conn != nil {
+			tr.conn.onDone(tr)
 		}
 	}
 }

@@ -1,0 +1,415 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"demuxabr/internal/media"
+	"demuxabr/internal/timeline"
+	"demuxabr/internal/trace"
+)
+
+// near asserts a time within 1ms of the expected value (the fluid solver
+// computes completion times in float math).
+func near(t *testing.T, what string, got, want time.Duration) {
+	t.Helper()
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if d > time.Millisecond {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+// Regression test for the cancel-during-RTT activation leak. Cancelling a
+// transfer that is still waiting out its pre-byte delay could never make
+// it a ghost (activate() refuses cancelled transfers — the second half of
+// this test documents that), but the pending activation event itself was
+// left in the queue until its due time. The fix reclaims it: immediately
+// after Cancel the engine queue must be empty. This test fails without
+// the fix (pending == 1, and the run clock advances to the dead event's
+// due time).
+func TestCancelDuringRTTReclaimsActivationEvent(t *testing.T) {
+	eng := NewEngine()
+	link := NewLink(eng, trace.Fixed(media.Kbps(1000)))
+	link.RTT = time.Second
+
+	completed := false
+	samples := 0
+	tr := link.Start(1000, StartOptions{
+		OnComplete:  func(*Transfer) { completed = true },
+		SampleEvery: 100 * time.Millisecond,
+		OnSample:    func(*Transfer, float64, time.Duration) { samples++ },
+	})
+
+	pendingAfterCancel := -1
+	eng.Schedule(500*time.Millisecond, func() {
+		link.Cancel(tr)
+		pendingAfterCancel = eng.Pending()
+	})
+	if err := eng.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if pendingAfterCancel != 0 {
+		t.Errorf("pending events after cancel = %d, want 0 (activation event leaked)", pendingAfterCancel)
+	}
+	if eng.Now() != 500*time.Millisecond {
+		t.Errorf("run clock = %v, want 500ms (dead activation event kept the engine alive)", eng.Now())
+	}
+	// The impossibility half: even pre-fix, the cancelled transfer never
+	// activates, samples, or completes.
+	if completed || samples != 0 || link.ActiveTransfers() != 0 {
+		t.Errorf("cancelled transfer showed life: completed=%v samples=%d active=%d",
+			completed, samples, link.ActiveTransfers())
+	}
+}
+
+// 8 Mbps = 1e6 bytes/s: a 1e6-byte transfer takes exactly 1s of wire time.
+func transportTestLink(eng *Engine) *Link {
+	l := NewLink(eng, trace.Fixed(media.Kbps(8000)))
+	l.RTT = 100 * time.Millisecond
+	return l
+}
+
+func TestConnHandshakeChargesSetupRTTs(t *testing.T) {
+	eng := NewEngine()
+	link := transportTestLink(eng)
+	rec := timeline.New(0, "test")
+	c := NewConn(link, TransportConfig{Protocol: H1, HandshakeRTTs: 3, ResumeRTTs: 2, MaxStreams: 1}, "conn")
+	c.SetRecorder(rec)
+
+	var done1, done2 time.Duration
+	c.Start(1_000_000, StartOptions{OnComplete: func(*Transfer) {
+		done1 = eng.Now()
+		// Second request on the warm connection: no setup, just RTT + wire.
+		c.Start(1_000_000, StartOptions{OnComplete: func(*Transfer) { done2 = eng.Now() }})
+	}})
+	if err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// 3 RTT handshake + 1 RTT first byte + 1s wire.
+	near(t, "first completion", done1, 1400*time.Millisecond)
+	near(t, "second completion", done2, 2500*time.Millisecond)
+
+	st := c.Stats()
+	if st.Handshakes != 1 || st.Resumes != 0 {
+		t.Errorf("handshakes = %d, resumes = %d, want 1, 0", st.Handshakes, st.Resumes)
+	}
+	if st.HandshakeWait != 300*time.Millisecond {
+		t.Errorf("handshake wait = %v, want 300ms", st.HandshakeWait)
+	}
+	evs := rec.Events()
+	if len(evs) != 1 || evs[0].Kind != timeline.Handshake || evs[0].Detail != "h1" || evs[0].Dur != 300*time.Millisecond {
+		t.Errorf("handshake events = %+v, want one h1 handshake of 300ms", evs)
+	}
+}
+
+func TestConnIdleTimeoutPaysResume(t *testing.T) {
+	eng := NewEngine()
+	link := transportTestLink(eng)
+	rec := timeline.New(0, "test")
+	c := NewConn(link, TransportConfig{
+		Protocol: H1, HandshakeRTTs: 3, ResumeRTTs: 2, MaxStreams: 1,
+		IdleTimeout: time.Second,
+	}, "conn")
+	c.SetRecorder(rec)
+
+	var done2 time.Duration
+	c.Start(1_000_000, StartOptions{}) // completes at 1.4s
+	eng.Schedule(3*time.Second, func() {
+		// Idle 1.6s >= 1s: the keep-alive lapsed; this request reconnects
+		// at the resume price.
+		c.Start(1_000_000, StartOptions{OnComplete: func(*Transfer) { done2 = eng.Now() }})
+	})
+	if err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	near(t, "post-idle completion", done2, 4300*time.Millisecond) // 3s + 2 RTT resume + RTT + 1s
+	st := c.Stats()
+	if st.Handshakes != 1 || st.Resumes != 1 {
+		t.Errorf("handshakes = %d, resumes = %d, want 1, 1", st.Handshakes, st.Resumes)
+	}
+	if st.HandshakeWait != 500*time.Millisecond {
+		t.Errorf("handshake wait = %v, want 500ms", st.HandshakeWait)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 || evs[1].Detail != "h1-resume" {
+		t.Fatalf("events = %+v, want handshake then h1-resume", evs)
+	}
+}
+
+func TestConnZeroRTTResumeIsFreeButRecorded(t *testing.T) {
+	eng := NewEngine()
+	link := transportTestLink(eng)
+	rec := timeline.New(0, "test")
+	c := NewConn(link, TransportConfig{
+		Protocol: H3, HandshakeRTTs: 1, ResumeRTTs: 0, IdleTimeout: time.Second,
+	}, "conn")
+	c.SetRecorder(rec)
+
+	var done2 time.Duration
+	c.Start(1_000_000, StartOptions{}) // 1 RTT handshake + RTT + 1s = 1.2s
+	eng.Schedule(3*time.Second, func() {
+		c.Start(1_000_000, StartOptions{OnComplete: func(*Transfer) { done2 = eng.Now() }})
+	})
+	if err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// 0-RTT: no setup delay at all, but the resumption is on the record.
+	near(t, "0-rtt completion", done2, 4100*time.Millisecond)
+	st := c.Stats()
+	if st.Handshakes != 1 || st.Resumes != 1 || st.HandshakeWait != 100*time.Millisecond {
+		t.Errorf("stats = %+v, want 1 handshake, 1 resume, 100ms wait", st)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 || evs[1].Detail != "h3-0rtt" || evs[1].Dur != 0 {
+		t.Fatalf("events = %+v, want handshake then free h3-0rtt", evs)
+	}
+}
+
+// TestConnH1SerializesStreams runs two concurrent requests through a
+// MaxStreams=1 connection and asserts strict serialization.
+func TestConnH1SerializesStreams(t *testing.T) {
+	eng := NewEngine()
+	link := transportTestLink(eng)
+	c := NewConn(link, TransportConfig{Protocol: H1, MaxStreams: 1}, "conn")
+
+	var done1, done2 time.Duration
+	maxActive := 0
+	sample := func(*Transfer, float64, time.Duration) {
+		if n := link.ActiveTransfers(); n > maxActive {
+			maxActive = n
+		}
+	}
+	c.Start(1_000_000, StartOptions{
+		OnComplete:  func(*Transfer) { done1 = eng.Now() },
+		SampleEvery: 50 * time.Millisecond, OnSample: sample,
+	})
+	c.Start(1_000_000, StartOptions{
+		OnComplete:  func(*Transfer) { done2 = eng.Now() },
+		SampleEvery: 50 * time.Millisecond, OnSample: sample,
+	})
+	if err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-cost setup: request 1 runs alone (RTT + 1s), request 2 only
+	// dispatches when the slot frees, then pays its own RTT.
+	near(t, "first completion", done1, 1100*time.Millisecond)
+	near(t, "second completion", done2, 2200*time.Millisecond)
+	if maxActive > 1 {
+		t.Errorf("max concurrent transfers = %d, want 1 (H1 serializes)", maxActive)
+	}
+}
+
+// TestConnHoLBlastRadius pins the H2-vs-H3 difference that motivates the
+// transport layer: the same loss draw freezes every multiplexed stream on
+// an H2 connection (TCP head-of-line blocking) but only the stream it hit
+// on H3. The seed is searched so that exactly the first of two requests
+// draws a loss; H2/H3 share the label and seed, hence the draws.
+func TestConnHoLBlastRadius(t *testing.T) {
+	const rate = 0.5
+	draw := func(seed int64, k uint64) bool {
+		h := transportMix(uint64(seed) ^ transportLabelHash("conn") ^ k*0x9e3779b97f4a7c15)
+		return transportUnit(h) < rate
+	}
+	seed := int64(-1)
+	for s := int64(0); s < 1<<16; s++ {
+		if draw(s, 1) && !draw(s, 2) {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed found where request 1 draws a loss and request 2 does not")
+	}
+
+	run := func(p Protocol) (done1, done2 time.Duration, st ConnStats) {
+		eng := NewEngine()
+		link := transportTestLink(eng)
+		c := NewConn(link, TransportConfig{
+			Protocol: p, LossRate: rate, RecoveryRTTs: 2, Seed: seed,
+		}, "conn")
+		// Stagger the first bytes (extra 50ms on request 1) so the strike —
+		// which fires when request 1's first byte lands — finds request 2
+		// already on the wire.
+		c.Start(1_000_000, StartOptions{
+			ExtraDelay: 50 * time.Millisecond,
+			OnComplete: func(*Transfer) { done1 = eng.Now() },
+		})
+		c.Start(1_000_000, StartOptions{
+			OnComplete: func(*Transfer) { done2 = eng.Now() },
+		})
+		if err := eng.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return done1, done2, c.Stats()
+	}
+
+	// H2: the strike at 150ms freezes BOTH streams for 2 RTT — the link
+	// sits dead for 200ms even though request 2 was unaffected.
+	d1, d2, st := run(H2)
+	near(t, "h2 struck stream", d1, 2300*time.Millisecond)
+	near(t, "h2 innocent stream", d2, 2250*time.Millisecond)
+	if st.HoLStalls != 2 || st.HoLWait != 400*time.Millisecond {
+		t.Errorf("h2 stats = %+v, want 2 stalls, 400ms HoL wait", st)
+	}
+
+	// H3: only the struck stream freezes; the other absorbs the freed
+	// capacity (work-conserving link), so both finish earlier than H2.
+	d1, d2, st = run(H3)
+	near(t, "h3 struck stream", d1, 2100*time.Millisecond)
+	near(t, "h3 innocent stream", d2, 1850*time.Millisecond)
+	if st.HoLStalls != 1 || st.HoLWait != 200*time.Millisecond {
+		t.Errorf("h3 stats = %+v, want 1 stall, 200ms HoL wait", st)
+	}
+}
+
+// TestConnZeroCostTransportMatchesBareLink pins the transport-off
+// equivalence contract: an all-zero config's connection setup is free and
+// unobservable, so a transfer through it is indistinguishable from a bare
+// Link.Start — same completion time, same samples, no events, no stats.
+func TestConnZeroCostTransportMatchesBareLink(t *testing.T) {
+	type runOut struct {
+		finished time.Duration
+		samples  []float64
+	}
+	run := func(useConn bool) runOut {
+		eng := NewEngine()
+		link := transportTestLink(eng)
+		rec := timeline.New(0, "test")
+		var out runOut
+		opts := StartOptions{
+			SampleEvery: 100 * time.Millisecond,
+			OnSample:    func(_ *Transfer, b float64, _ time.Duration) { out.samples = append(out.samples, b) },
+			OnComplete:  func(*Transfer) { out.finished = eng.Now() },
+		}
+		if useConn {
+			c := NewConn(link, TransportConfig{Protocol: H1, MaxStreams: 1}, "conn")
+			c.SetRecorder(rec)
+			c.Start(1_000_000, opts)
+		} else {
+			link.Start(1_000_000, opts)
+		}
+		if err := eng.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Counters().Events; got != 0 {
+			t.Errorf("zero-cost run emitted %d events, want 0", got)
+		}
+		return out
+	}
+	bare, conn := run(false), run(true)
+	if bare.finished != conn.finished {
+		t.Errorf("completion: bare %v, conn %v — zero-cost transport must be invisible", bare.finished, conn.finished)
+	}
+	if len(bare.samples) != len(conn.samples) {
+		t.Fatalf("sample counts differ: bare %d, conn %d", len(bare.samples), len(conn.samples))
+	}
+	for i := range bare.samples {
+		if bare.samples[i] != conn.samples[i] {
+			t.Errorf("sample %d: bare %v, conn %v", i, bare.samples[i], conn.samples[i])
+		}
+	}
+}
+
+func TestConnResetPaysReconnect(t *testing.T) {
+	eng := NewEngine()
+	link := transportTestLink(eng)
+	c := NewConn(link, TransportConfig{Protocol: H1, HandshakeRTTs: 3, ResumeRTTs: 2, MaxStreams: 1}, "conn")
+
+	var done2 time.Duration
+	c.Start(1_000_000, StartOptions{OnComplete: func(*Transfer) {
+		c.Reset() // server closed the connection under us
+		c.Start(1_000_000, StartOptions{OnComplete: func(*Transfer) { done2 = eng.Now() }})
+	}})
+	if err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// 1.4s + 2 RTT resume + RTT + 1s wire.
+	near(t, "post-reset completion", done2, 2700*time.Millisecond)
+	st := c.Stats()
+	if st.Handshakes != 1 || st.Resumes != 1 {
+		t.Errorf("handshakes = %d, resumes = %d, want 1, 1", st.Handshakes, st.Resumes)
+	}
+	if c.Established() != true {
+		t.Error("connection should be re-established after the retry")
+	}
+}
+
+func TestConnFailHandshakeAndMigrate(t *testing.T) {
+	eng := NewEngine()
+	link := transportTestLink(eng)
+	c := NewConn(link, TransportConfig{Protocol: H1, HandshakeRTTs: 3, ResumeRTTs: 2, MaxStreams: 1}, "conn")
+
+	if d := c.FailHandshake(); d != 300*time.Millisecond {
+		t.Errorf("failed handshake wasted %v, want 300ms (still the full price: never connected)", d)
+	}
+	if c.Stats().FailedHandshakes != 1 || c.Established() {
+		t.Errorf("stats = %+v established=%v, want 1 failed handshake, cold", c.Stats(), c.Established())
+	}
+	// A TCP-family migration kills the connection.
+	c.Start(1_000_000, StartOptions{})
+	if err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Established() {
+		t.Fatal("connection should be established after a successful request")
+	}
+	if d := c.Migrate(); d != 0 || c.Established() {
+		t.Errorf("h1 migration: delay %v established %v, want 0 and torn down", d, c.Established())
+	}
+
+	// A QUIC migration revalidates the path in one RTT and survives.
+	eng3 := NewEngine()
+	link3 := transportTestLink(eng3)
+	c3 := NewConn(link3, TransportConfig{Protocol: H3, HandshakeRTTs: 1}, "conn")
+	c3.Start(1_000_000, StartOptions{})
+	if err := eng3.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if d := c3.Migrate(); d != link3.RTT || !c3.Established() {
+		t.Errorf("h3 migration: delay %v established %v, want 1 RTT and alive", d, c3.Established())
+	}
+	if c3.Stats().Migrations != 1 {
+		t.Errorf("migrations = %d, want 1", c3.Stats().Migrations)
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for _, want := range []struct {
+		s string
+		p Protocol
+	}{{"h1", H1}, {"http/1.1", H1}, {"h2", H2}, {"http/2", H2}, {"h3", H3}, {"http/3", H3}, {"quic", H3}} {
+		got, err := ParseProtocol(want.s)
+		if err != nil || got != want.p {
+			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", want.s, got, err, want.p)
+		}
+	}
+	if _, err := ParseProtocol("spdy"); err == nil {
+		t.Error("ParseProtocol(spdy) should fail")
+	}
+	for _, p := range []Protocol{H1, H2, H3} {
+		rt, err := ParseProtocol(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round trip %v failed: %v, %v", p, rt, err)
+		}
+	}
+}
+
+func TestDefaultTransportPresets(t *testing.T) {
+	h1 := DefaultTransport(H1)
+	if h1.MaxStreams != 1 {
+		t.Errorf("h1 MaxStreams = %d, want 1 (serialized)", h1.MaxStreams)
+	}
+	h3 := DefaultTransport(H3)
+	if h3.HandshakeRTTs >= DefaultTransport(H2).HandshakeRTTs {
+		t.Error("h3 setup should be cheaper than h2")
+	}
+	if h3.ResumeRTTs != 0 {
+		t.Errorf("h3 ResumeRTTs = %v, want 0 (0-RTT)", h3.ResumeRTTs)
+	}
+	if h3.RecoveryRTTs >= DefaultTransport(H2).RecoveryRTTs {
+		t.Error("h3 loss recovery should be cheaper than h2")
+	}
+}

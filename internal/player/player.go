@@ -105,6 +105,15 @@ type Config struct {
 	// faults (see internal/timeline). Events carry absolute engine time.
 	// Nil disables recording at zero cost.
 	Recorder *timeline.Recorder
+	// Transport, when non-nil, routes every request through transport
+	// connections (netsim.Conn): handshake round trips before the first
+	// request and after idle timeouts or resets, per-connection stream
+	// caps, and loss-driven HoL stalls. Demuxed H2/H3 sessions on a
+	// shared bottleneck multiplex audio and video on one connection;
+	// HTTP/1.1 (or split hosts) opens one connection per stream — the
+	// demux request-doubling pathology at the transport layer. Nil keeps
+	// requests directly on the links.
+	Transport *netsim.TransportConfig
 }
 
 // ChunkRequest identifies one wire request to the delivery path.
@@ -198,6 +207,7 @@ type Session struct {
 	comboFor     map[int]media.Combo // windowed mode: joint decision per position
 	inflight     [2]bool             // windowed mode: per-type transfer in flight
 	transfers    [2]*netsim.Transfer // most recent in-flight transfer per type
+	conns        [2]*netsim.Conn     // transport connections; both entries equal when multiplexed
 
 	// Robustness state.
 	pol       *faults.Policy // normalized policy; nil = fail fast
@@ -321,6 +331,33 @@ func Start(videoLink, audioLink *netsim.Link, cfg Config) (*Session, error) {
 	}
 	if len(cfg.AudioResets) > 0 && !cfg.supportsAudioReset(s.joint != nil) {
 		return nil, errors.New("player: AudioResets require a per-type model, SyncWindow > 0, or Muxed mode")
+	}
+	if cfg.Transport != nil {
+		tc := *cfg.Transport
+		mk := func(l *netsim.Link, label string) *netsim.Conn {
+			c := netsim.NewConn(l, tc, label)
+			c.SetRecorder(s.rec)
+			return c
+		}
+		switch {
+		case cfg.Muxed:
+			// One combined object per chunk: a single connection carries
+			// the whole session regardless of protocol.
+			c := mk(videoLink, "conn")
+			s.conns[media.Video], s.conns[media.Audio] = c, c
+		case tc.Protocol != netsim.H1 && videoLink == audioLink:
+			// H2/H3 multiplex both streams on one connection — the shared
+			// congestion window the HoL coupling models.
+			c := mk(videoLink, "conn")
+			s.conns[media.Video], s.conns[media.Audio] = c, c
+		default:
+			// HTTP/1.1 serializes requests per connection (and split hosts
+			// cannot share one): each stream owns a connection that pays
+			// its own handshakes and idles out on its own — the demux
+			// request-doubling pathology at the transport layer.
+			s.conns[media.Video] = mk(videoLink, "conn-v")
+			s.conns[media.Audio] = mk(audioLink, "conn-a")
+		}
 	}
 	s.numChunks = s.content.NumChunks()
 	s.chunkStarts = make([]time.Duration, s.numChunks+1)
@@ -512,6 +549,42 @@ func (s *Session) teardown() {
 	if s.underrun != nil {
 		s.eng.Cancel(s.underrun)
 		s.underrun = nil
+	}
+	s.collectTransport()
+}
+
+// collectTransport folds the connections' accounting into the result. An
+// all-zero accounting — a transport that never charged anything, e.g.
+// handshakes zeroed for the transport-off equivalence gate — reports
+// nothing, keeping transport-inert runs byte-identical to transport-free
+// ones.
+func (s *Session) collectTransport() {
+	cv, ca := s.conns[media.Video], s.conns[media.Audio]
+	if cv == nil && ca == nil {
+		return
+	}
+	var st netsim.ConnStats
+	var proto netsim.Protocol
+	if cv != nil {
+		st.Add(cv.Stats())
+		proto = cv.Protocol()
+	}
+	if ca != nil && ca != cv {
+		st.Add(ca.Stats())
+		proto = ca.Protocol()
+	}
+	if st == (netsim.ConnStats{}) {
+		return
+	}
+	s.res.Transport = &TransportStats{
+		Protocol:         proto.String(),
+		Handshakes:       st.Handshakes,
+		Resumes:          st.Resumes,
+		FailedHandshakes: st.FailedHandshakes,
+		Migrations:       st.Migrations,
+		HoLStalls:        st.HoLStalls,
+		HandshakeWait:    st.HandshakeWait,
+		HoLWait:          st.HoLWait,
 	}
 }
 
@@ -720,7 +793,7 @@ func (s *Session) startMuxedChunk(idx int, combo media.Combo, then func()) {
 			Bytes: size,
 		})
 	}
-	s.transfers[media.Video] = link.Start(size, opts)
+	s.transfers[media.Video] = s.startWire(media.Video, size, opts)
 }
 
 func (s *Session) jointChunkDone() {
@@ -894,6 +967,15 @@ func (s *Session) fetchIndependent(t media.Type) {
 
 // --- Transfer plumbing ---------------------------------------------------
 
+// startWire puts one request on the wire, through the stream's transport
+// connection when one is configured.
+func (s *Session) startWire(t media.Type, size int64, opts netsim.StartOptions) *netsim.Transfer {
+	if c := s.conns[t]; c != nil {
+		return c.Start(size, opts)
+	}
+	return s.links[t].Start(size, opts)
+}
+
 func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt int, then func()) {
 	if s.ended {
 		return
@@ -927,6 +1009,9 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 	if s.plan != nil {
 		fault, faulted = s.plan.SegmentFault(track.ID, idx, attempt)
 	}
+	// transportDelay is extra pre-byte latency charged by the transport
+	// (currently only QUIC path validation after a migration fault).
+	var transportDelay time.Duration
 	if faulted {
 		switch fault.Kind {
 		case faults.HTTP404, faults.HTTP503:
@@ -948,6 +1033,29 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 				s.failChunk(t, idx, track, attempt, fault.Kind, 0, then)
 			})
 			return
+		case faults.HandshakeFail:
+			// The connection attempt dies in setup: its round trips are
+			// wasted, no bytes move, and the next attempt starts on a
+			// cold connection. Without a transport the cost degenerates
+			// to the bare request round trip.
+			d := s.links[t].RTT
+			if c := s.conns[t]; c != nil {
+				d = c.FailHandshake()
+			}
+			s.afterGuarded(t, d, func() {
+				s.failChunk(t, idx, track, attempt, fault.Kind, 0, then)
+			})
+			return
+		case faults.Migration:
+			// Not a failure: the network path changed under the client.
+			// QUIC keeps the connection and pays one path-validation
+			// round trip on this request; TCP tears down and reconnects
+			// (the handshake is charged when the request dispatches).
+			// The body arrives intact.
+			if c := s.conns[t]; c != nil {
+				transportDelay = c.Migrate()
+			}
+			faulted = false
 		}
 		// Reset / Truncate: a fraction of the body arrives, then the
 		// connection dies — a partial transfer whose completion is the
@@ -987,6 +1095,14 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 					At:         s.rel(done),
 					Concurrent: link.ActiveTransfers() + 1,
 				})
+				// The connection died with the body (RST or early close):
+				// tear it down so the retry pays a fresh setup — full
+				// handshake on H1/H2, 0-RTT resumption on H3.
+				if fault.Kind == faults.Reset || fault.Kind == faults.Truncate {
+					if c := s.conns[t]; c != nil {
+						c.Reset()
+					}
+				}
 				s.failChunk(t, idx, track, attempt, fault.Kind, int64(tr.Done()), then)
 				return
 			}
@@ -1043,7 +1159,8 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 			Index: idx, Type: t, Track: track, Attempt: attempt,
 		})
 	}
-	transfer = link.Start(wireSize, opts)
+	opts.ExtraDelay += transportDelay
+	transfer = s.startWire(t, wireSize, opts)
 	s.transfers[t] = transfer
 	// Per-request timeout: a transfer stuck behind an outage (or just too
 	// slow) is cancelled and handed to the failure path.
@@ -1053,8 +1170,17 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 			timeoutEv = nil
 			// Drop if the session ended, an audio reset discarded the
 			// stream, the transfer was abandoned-and-replaced (it is no
-			// longer the type's current transfer), or it completed.
-			if s.ended || s.gen[t] != gen || s.transfers[t] != transfer || transfer.Completed() {
+			// longer the type's current transfer), it completed, or it
+			// was cancelled. The Cancelled check is load-bearing: an
+			// abandoned transfer's replacement request can fail fast
+			// (404/503/hung response) without starting a transfer, which
+			// leaves s.transfers[t] still pointing at the abandoned one —
+			// without the check this stale timer would time out the
+			// abandoned attempt and fork a second retry chain for the
+			// same chunk, double-counting the retry and eventually
+			// calling the chunk's completion continuation twice.
+			if s.ended || s.gen[t] != gen || s.transfers[t] != transfer ||
+				transfer.Completed() || transfer.Cancelled() {
 				return
 			}
 			link.Cancel(transfer)

@@ -132,10 +132,37 @@ type Result struct {
 	Failovers []Failover
 	// Retries counts re-issued downloads (same track or failover).
 	Retries int
+	// Transport summarizes connection-level accounting when the session
+	// ran with a transport configured and the transport charged anything
+	// observable; nil otherwise (including for inert, zero-cost
+	// transports — the transport-off equivalence contract).
+	Transport *TransportStats
 	// Aborted reports that the session was cut short: a failure with no
 	// retry policy, or the Deadline. AbortReason says why.
 	Aborted     bool
 	AbortReason string
+}
+
+// TransportStats is the session-level rollup of its connections'
+// accounting (two connections under demuxed HTTP/1.1 or split hosts, one
+// otherwise).
+type TransportStats struct {
+	// Protocol is the configured transport ("h1", "h2", "h3").
+	Protocol string
+	// Handshakes counts full connection setups; Resumes counts
+	// reconnections priced at the resume cost (0-RTT for H3).
+	Handshakes int
+	Resumes    int
+	// FailedHandshakes counts fault-injected setup failures.
+	FailedHandshakes int
+	// Migrations counts network path changes observed.
+	Migrations int
+	// HoLStalls counts stream stalls charged by transport loss; HoLWait
+	// is the stream-seconds they froze.
+	HoLStalls int
+	// HandshakeWait is total time requests spent waiting on setups.
+	HandshakeWait time.Duration
+	HoLWait       time.Duration
 }
 
 // WastedFaultBytes sums the bytes downloaded by requests that then failed

@@ -1,0 +1,194 @@
+package player
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"demuxabr/internal/abr"
+	"demuxabr/internal/faults"
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/timeline"
+	"demuxabr/internal/trace"
+)
+
+// abandonOnce is a fixed joint selector that abandons the first video
+// download it sees progress on, switching to the given replacement track.
+type abandonOnce struct {
+	abr.NopObserver
+	combo media.Combo
+	to    *media.Track
+	fired bool
+}
+
+func (a *abandonOnce) Name() string                      { return "abandon-once" }
+func (a *abandonOnce) SelectCombo(abr.State) media.Combo { return a.combo }
+func (a *abandonOnce) Abandon(p abr.DownloadProgress) *media.Track {
+	if a.fired || p.Type != media.Video {
+		return nil
+	}
+	a.fired = true
+	return a.to
+}
+
+// Regression test for the stale-RequestTimeout double-fail. The window:
+// an in-flight download is abandoned (cancelled and replaced), and the
+// replacement request hits a fail-fast fault (404 here) — which returns
+// without putting a transfer on the wire, so s.transfers[t] still points
+// at the abandoned transfer when the abandoned attempt's timeout timer
+// fires. Without the Cancelled() guard the stale timer would "time out"
+// the abandoned attempt: a bogus Timeout fault on a plan that only
+// injects 404s, plus a second retry chain for the same chunk. The fault
+// plan and policy are seeded/shaped to pin that exact event sequence:
+// abandon at the first progress sample (~125ms), replacement 404s
+// immediately, and the first retry backoff (>= 3.75s) strands the 2s
+// timeout timer inside a transfer-less window.
+func TestStaleTimeoutAfterAbandonToFaultedTrack(t *testing.T) {
+	c := media.DramaShow()
+	from, to := c.VideoTracks[0], c.VideoTracks[1]
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, trace.Fixed(media.Kbps(4000)))
+	pol := faults.Policy{
+		MaxAttempts:    4,
+		RequestTimeout: 2 * time.Second,
+		BaseBackoff:    5 * time.Second,
+		MaxBackoff:     5 * time.Second,
+		BackoffFactor:  1,
+	}
+	res, err := Run(link, Config{
+		Content: c,
+		Model:   &abandonOnce{combo: media.Combo{Video: from, Audio: c.AudioTracks[0]}, to: to},
+		FaultPlan: &faults.Plan{
+			Seed:           11,
+			Rate:           1,
+			Kinds:          []faults.Kind{faults.HTTP404},
+			Targets:        []string{to.ID},
+			MaxPersistence: -1, // the replacement track is simply gone
+		},
+		Robustness: &pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Abandonments) != 1 {
+		t.Fatalf("abandonments = %d, want exactly 1", len(res.Abandonments))
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("the 404-target plan injected no faults; the repro did not arm")
+	}
+	for _, f := range res.Faults {
+		if f.Kind == faults.Timeout {
+			t.Fatalf("stale timeout fired for the abandoned attempt: %+v (plan injects only 404s)", f)
+		}
+	}
+	// The double-fail's other symptom: the forked retry chain completes
+	// the chunk twice.
+	seen := map[int]int{}
+	for _, ch := range res.ChunksOf(media.Video) {
+		seen[ch.Index]++
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("video chunk %d completed %d times, want once", idx, n)
+		}
+	}
+	if !res.Ended || res.Aborted {
+		t.Fatalf("session did not finish: Ended=%v Aborted=%v (%s)", res.Ended, res.Aborted, res.AbortReason)
+	}
+}
+
+// Regression test for retries paying no reconnect cost. A Reset fault
+// kills the connection mid-body; the retry must find the connection torn
+// down and pay a fresh setup — the resume price on a warm H1 connection.
+// Without the conn.Reset() call on the faulted-completion path the retry
+// reuses the supposedly-dead connection for free: no resumes, no
+// handshake events beyond the two initial ones.
+func TestResetFaultForcesReconnectOnRetry(t *testing.T) {
+	c := media.DramaShow()
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, trace.Fixed(media.Kbps(10000)))
+	link.RTT = 50 * time.Millisecond
+	rec := timeline.New(0, "test")
+	pol := faults.DefaultPolicy()
+	tc := netsim.DefaultTransport(netsim.H1)
+	res, err := Run(link, Config{
+		Content: c,
+		Model:   &fixedJoint{combo: lowestCombo(c)},
+		FaultPlan: &faults.Plan{
+			Seed:           21,
+			Rate:           1,
+			Kinds:          []faults.Kind{faults.Reset},
+			Targets:        []string{c.VideoTracks[0].ID},
+			MaxPersistence: 1, // every first attempt resets, every retry succeeds
+		},
+		Robustness: &pol,
+		Transport:  &tc,
+		Recorder:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended || res.Aborted {
+		t.Fatalf("session did not finish: Ended=%v Aborted=%v (%s)", res.Ended, res.Aborted, res.AbortReason)
+	}
+	resets := 0
+	for _, f := range res.Faults {
+		if f.Kind == faults.Reset {
+			resets++
+		}
+	}
+	if resets == 0 {
+		t.Fatal("the rate-1 reset plan injected no faults; the repro did not arm")
+	}
+	if res.Transport == nil {
+		t.Fatal("transport stats missing on a session that paid handshakes")
+	}
+	if res.Transport.Resumes < resets {
+		t.Errorf("resumes = %d for %d resets — retries are reusing the dead connection", res.Transport.Resumes, resets)
+	}
+	resumeEvents := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == timeline.Handshake && strings.HasSuffix(ev.Detail, "-resume") {
+			resumeEvents++
+		}
+	}
+	if resumeEvents == 0 {
+		t.Error("retry timeline contains no resume handshake event")
+	}
+}
+
+// TestZeroCostTransportSessionEquivalence is the session-level half of
+// the transport-off equivalence contract: a session run through an
+// all-zero-cost H1 transport must produce a Result deep-equal to the
+// same session run with no transport at all — including a nil Transport
+// rollup, since an inert transport reports nothing.
+func TestZeroCostTransportSessionEquivalence(t *testing.T) {
+	c := media.DramaShow()
+	pol := faults.DefaultPolicy()
+	run := func(tc *netsim.TransportConfig) *Result {
+		eng := netsim.NewEngine()
+		link := netsim.NewLink(eng, trace.Fig3VaryingAvg600())
+		link.RTT = 30 * time.Millisecond
+		res, err := Run(link, Config{
+			Content:    c,
+			Model:      &fixedJoint{combo: lowestCombo(c)},
+			FaultPlan:  &faults.Plan{Seed: 7, Rate: 0.1},
+			Robustness: &pol,
+			Transport:  tc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := run(nil)
+	zeroed := run(&netsim.TransportConfig{Protocol: netsim.H1, MaxStreams: 1})
+	if zeroed.Transport != nil {
+		t.Fatalf("inert transport reported stats: %+v", zeroed.Transport)
+	}
+	if !reflect.DeepEqual(bare, zeroed) {
+		t.Error("zero-cost transport session diverged from the bare-link session")
+	}
+}

@@ -33,6 +33,24 @@ type Session struct {
 	// TimelineCounters carries the flight-recorder counters registry when
 	// the session ran with a recorder attached; nil otherwise.
 	TimelineCounters *TimelineCounters `json:"timeline_counters,omitempty"`
+
+	// Transport carries the connection-level accounting when the session
+	// ran with a transport configured and the transport charged anything
+	// observable; nil otherwise — so transport-free (and zero-cost
+	// transport) documents keep their exact pre-transport shape.
+	Transport *TransportReport `json:"transport,omitempty"`
+}
+
+// TransportReport is the export shape of player.TransportStats.
+type TransportReport struct {
+	Protocol         string  `json:"protocol"`
+	Handshakes       int     `json:"handshakes"`
+	Resumes          int     `json:"resumes"`
+	FailedHandshakes int     `json:"failed_handshakes"`
+	Migrations       int     `json:"migrations"`
+	HoLStalls        int     `json:"hol_stalls"`
+	HandshakeWaitS   float64 `json:"handshake_wait_s"`
+	HoLWaitS         float64 `json:"hol_wait_s"`
 }
 
 // TimelineCounters is the export shape of the flight recorder's counters
@@ -50,6 +68,11 @@ type TimelineCounters struct {
 	CacheHits       int64 `json:"cache_hits"`
 	CacheMisses     int64 `json:"cache_misses"`
 	BytesDownloaded int64 `json:"bytes_downloaded"`
+	// Handshakes and HoLStalls mirror the transport counters; omitempty
+	// keeps transport-free documents byte-identical to their
+	// pre-transport shape.
+	Handshakes int64 `json:"handshakes,omitempty"`
+	HoLStalls  int64 `json:"hol_stalls,omitempty"`
 }
 
 // CountersFrom converts a timeline counters registry to the export shape.
@@ -67,6 +90,8 @@ func CountersFrom(c timeline.Counters) *TimelineCounters {
 		CacheHits:       c.CacheHits,
 		CacheMisses:     c.CacheMisses,
 		BytesDownloaded: c.BytesDownloaded,
+		Handshakes:      c.Handshakes,
+		HoLStalls:       c.HoLStalls,
 	}
 }
 
@@ -158,6 +183,18 @@ func FromResult(contentName string, res *player.Result, m qoe.Metrics) *Session 
 		StartupDelay:    res.StartupDelay.Seconds(),
 		Ended:           res.Ended,
 		Metrics:         MetricsFrom(m),
+	}
+	if t := res.Transport; t != nil {
+		s.Transport = &TransportReport{
+			Protocol:         t.Protocol,
+			Handshakes:       t.Handshakes,
+			Resumes:          t.Resumes,
+			FailedHandshakes: t.FailedHandshakes,
+			Migrations:       t.Migrations,
+			HoLStalls:        t.HoLStalls,
+			HandshakeWaitS:   t.HandshakeWait.Seconds(),
+			HoLWaitS:         t.HoLWait.Seconds(),
+		}
 	}
 	for _, p := range res.Timeline {
 		point := Point{

@@ -12,6 +12,7 @@ import (
 	"demuxabr/internal/core"
 	"demuxabr/internal/faults"
 	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
 	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
@@ -155,5 +156,38 @@ func TestTimelineWriteFiles(t *testing.T) {
 	}
 	if !json.Valid(traceJSON) {
 		t.Error("session.trace.json is not valid JSON")
+	}
+}
+
+// TestTimelineZeroCostTransportMatchesGolden is the timeline half of the
+// transport-off contract: replaying the golden session through an
+// all-zero-cost H1 transport (free setup, no keep-alive expiry, no loss)
+// must export byte-identically to testdata/golden_session.jsonl — the
+// inert transport may not emit events, perturb timing, or reorder
+// anything.
+func TestTimelineZeroCostTransportMatchesGolden(t *testing.T) {
+	pol := faults.DefaultPolicy()
+	rec := timeline.New(0, "golden bestpractice")
+	sess, err := core.Play(core.Spec{
+		Content:    goldenContent(),
+		Profile:    trace.Fig3VaryingAvg600(),
+		Player:     core.BestPractice,
+		Faults:     &faults.Plan{Seed: 7, Rate: 0.06},
+		Robustness: &pol,
+		Recorder:   rec,
+		Transport:  &netsim.TransportConfig{Protocol: netsim.H1, MaxStreams: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Result.Aborted {
+		t.Fatalf("golden session aborted: %s", sess.Result.AbortReason)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_session.jsonl"))
+	if err != nil {
+		t.Fatalf("%v (run TestTimelineGoldenExport with -update first)", err)
+	}
+	if !bytes.Equal(exportJSONL(t, rec), want) {
+		t.Error("zero-cost transport session diverged from the golden export")
 	}
 }

@@ -70,6 +70,14 @@ const (
 	// LinkRate is an observed change of a link's (or uplink's) effective
 	// capacity; Rate is the new capacity in Kbps.
 	LinkRate
+	// Handshake marks a transport connection setup completing; Dur is the
+	// time it cost, Detail the protocol (suffixed -resume/-0rtt when the
+	// connection reconnected on a session ticket).
+	Handshake
+	// HoLStall marks one stream frozen by transport loss recovery; Dur is
+	// the stall length, Type the stream's label, Detail the protocol. An
+	// H2 loss emits one HoLStall per stream it head-of-line blocked.
+	HoLStall
 
 	numKinds
 )
@@ -115,6 +123,10 @@ func (k Kind) String() string {
 		return "cache-miss"
 	case LinkRate:
 		return "link-rate"
+	case Handshake:
+		return "handshake"
+	case HoLStall:
+		return "hol-stall"
 	default:
 		return "unknown"
 	}
@@ -182,6 +194,12 @@ type Counters struct {
 	CacheMisses int64 `json:"cache_misses"`
 	// BytesDownloaded sums completed downloads' payloads.
 	BytesDownloaded int64 `json:"bytes_downloaded"`
+	// Handshakes and HoLStalls count transport connection setups and
+	// loss-recovery stream stalls. Both are omitempty so documents from
+	// transport-free runs keep their exact pre-transport shape.
+	Handshakes int64 `json:"handshakes,omitempty"`
+	// HoLStalls is documented with Handshakes.
+	HoLStalls int64 `json:"hol_stalls,omitempty"`
 }
 
 // add folds one event into the counters.
@@ -210,6 +228,10 @@ func (c *Counters) add(ev Event) {
 		c.CacheHits++
 	case CacheMiss:
 		c.CacheMisses++
+	case Handshake:
+		c.Handshakes++
+	case HoLStall:
+		c.HoLStalls++
 	}
 }
 
@@ -228,6 +250,8 @@ func (c Counters) Merge(o Counters) Counters {
 		CacheHits:       c.CacheHits + o.CacheHits,
 		CacheMisses:     c.CacheMisses + o.CacheMisses,
 		BytesDownloaded: c.BytesDownloaded + o.BytesDownloaded,
+		Handshakes:      c.Handshakes + o.Handshakes,
+		HoLStalls:       c.HoLStalls + o.HoLStalls,
 	}
 }
 
