@@ -639,6 +639,29 @@ func BenchmarkFleetTransport(b *testing.B) {
 	b.ReportMetric(res.Fleet.Score.Median, "qoe-median")
 }
 
+// BenchmarkLiveSession prices the live machinery on one latency-target
+// session: availability gating, the 500 ms controller cadence, and the
+// LoL+ low-latency rule, on the varying-600 link. Compare against the
+// session-recorder-off row in BENCH_*.json for the live overhead; the
+// live-1e3 fleet wall-clock row lives there too via benchjson.
+func BenchmarkLiveSession(b *testing.B) {
+	var sess *core.Session
+	for i := 0; i < b.N; i++ {
+		var err error
+		sess, err = core.Play(core.Spec{
+			Profile: trace.Fig3VaryingAvg600(),
+			Player:  core.LLLoLP,
+			Live:    experiments.LiveConfig(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sess.Result.Live.MeanLatency.Seconds(), "mean-latency-s")
+	b.ReportMetric(float64(sess.Result.Live.RateChanges), "rate-changes")
+	b.ReportMetric(float64(sess.Metrics.StallCount), "stalls")
+}
+
 func boolMetric(v bool) float64 {
 	if v {
 		return 1

@@ -24,7 +24,12 @@
 #                    level (session, timeline golden, fleet JSON), and the
 #                    transport comparison is byte-identical across worker
 #                    counts and repeats with the documented delta ordering
-#  10. benchmem      fleet benchmarks compile and run once, so the
+#  10. live          the live subsystem's two contracts: zero-cost live
+#                    (nil config) is byte-identical to pre-live output at
+#                    every level (session stats, timeline golden, fleet
+#                    JSON, shard equivalence), and the LL-ABR comparison
+#                    is deterministic with the documented orderings
+#  11. benchmem      fleet benchmarks compile and run once, so the
 #                    allocs/op trajectory is always measurable
 #
 # Exits non-zero on the first failing step.
@@ -71,8 +76,13 @@ go test -race -count=1 \
 	-run 'TestZeroCostTransport|TestConnZeroCostTransport|TestTimelineZeroCostTransport|TestFleetZeroCostTransport|TestFleetShardEquivalenceWithTransport|TestTransportComparisonDeterminism|TestTransportDeltaOrdering' \
 	./internal/netsim ./internal/player ./internal/timeline ./internal/fleet ./internal/experiments
 
+echo "== live gates (zero-cost off-equivalence + deterministic LL orderings)"
+go test -race -count=1 \
+	-run 'TestLiveOffLeavesNoStats|TestFleetZeroCostLive|TestFleetShardEquivalenceLive|TestFleetLiveAggregates|TestLiveComparisonDeterminism|TestLiveModelOrdering|TestLiveDeltaOrdering|TestTimelineGoldenLive' \
+	./internal/player ./internal/fleet ./internal/experiments ./internal/timeline
+
 echo "== benchmem smoke (1 iteration per fleet benchmark)"
-go test -run=NONE -bench 'BenchmarkBandwidthSweep|BenchmarkSeedSweep|BenchmarkCDNCacheSweep|BenchmarkFleet' \
+go test -run=NONE -bench 'BenchmarkBandwidthSweep|BenchmarkSeedSweep|BenchmarkCDNCacheSweep|BenchmarkFleet|BenchmarkLiveSession' \
 	-benchtime=1x -benchmem .
 
 echo "check.sh: all gates passed"

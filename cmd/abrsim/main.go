@@ -11,6 +11,7 @@
 //	abrsim -compare -kbps 700 [-parallel n]
 //	abrsim -sessions 8 -kbps 24000 [-arrival-spread 30s] [-mix bestpractice,bola-joint] [-json fleet.json]
 //	abrsim -sessions 100000 -cell 16 -shards 4 [-sample-timelines 1000] [-json fleet.json]
+//	abrsim -player ll-lolp -kbps 2000 -live [-latency-target 4s] [-part-target 1s]
 //
 // Large fleets partition into contention cells of -cell sessions (each cell
 // shares one uplink and edge cache) executed across -shards worker engines;
@@ -36,6 +37,7 @@ import (
 	"demuxabr/internal/fleet"
 	"demuxabr/internal/media"
 	"demuxabr/internal/netsim"
+	"demuxabr/internal/player"
 	"demuxabr/internal/qoe"
 	"demuxabr/internal/report"
 	"demuxabr/internal/runpool"
@@ -44,7 +46,7 @@ import (
 )
 
 func main() {
-	playerName := flag.String("player", "bestpractice", "player model: exoplayer-dash, exoplayer-hls, shaka, dashjs, bestpractice, bestpractice-independent")
+	playerName := flag.String("player", "bestpractice", "player model: exoplayer-dash, exoplayer-hls, shaka, dashjs, bestpractice, bestpractice-independent, ll-default, ll-l2a, ll-lolp")
 	kbps := flag.Float64("kbps", 0, "fixed link bandwidth in Kbps")
 	traceFile := flag.String("trace", "", "bandwidth trace CSV (seconds,kbps rows; overrides -kbps)")
 	profileName := flag.String("profile", "", "named bandwidth profile (fig2, fig3, fig4a, fig4b, fig5, exohls-5m, lte); overrides -kbps")
@@ -61,6 +63,9 @@ func main() {
 	noRetry := flag.Bool("no-retry", false, "disable the download robustness policy (fail fast on the first fault)")
 	transport := flag.String("transport", "", "transport connection model: h1, h2, or h3 (default: off — requests ride the bare link)")
 	rtt := flag.Duration("rtt", 80*time.Millisecond, "access round-trip time that prices -transport handshakes (ignored without -transport)")
+	live := flag.Bool("live", false, "live mode: availability-gated chunks, join-at-edge, latency-target playback-rate control")
+	latencyTarget := flag.Duration("latency-target", 4*time.Second, "live-edge latency the catch-up controller holds (ignored without -live)")
+	partTarget := flag.Duration("part-target", time.Second, "CMAF part duration advertised by the live origin; 0 = whole-segment availability (ignored without -live)")
 	sessions := flag.Int("sessions", 1, "fleet size; >1 co-simulates N sessions sharing the bandwidth as an edge uplink behind one shared cache")
 	arrivalSpread := flag.Duration("arrival-spread", 30*time.Second, "fleet arrival window: session starts are staggered (seeded) over [0, spread)")
 	mix := flag.String("mix", "", "comma-separated player kinds assigned round-robin across fleet sessions (default: -player for every session)")
@@ -80,13 +85,14 @@ func main() {
 
 	fo := faultOpts{rate: *faultRate, seed: *faultSeed, noRetry: *noRetry}
 	to := transportOpts{proto: *transport, rtt: *rtt, seed: *faultSeed}
+	lo := liveOpts{enabled: *live, latencyTarget: *latencyTarget, partTarget: *partTarget}
 	switch {
 	case *compare:
-		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo, to)
+		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo, to, lo)
 	case *sessions > 1:
-		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, *cell, *shards, *sampleTimelines, fo, to)
+		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, *cell, *shards, *sampleTimelines, fo, to, lo)
 	default:
-		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo, to)
+		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo, to, lo)
 	}
 	if perr := stopProfiles(); err == nil {
 		err = perr
@@ -201,7 +207,26 @@ func (to transportOpts) linkRTT() time.Duration {
 	return to.rtt
 }
 
-func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, timelineDir string, fo faultOpts, to transportOpts) error {
+// liveOpts carries the -live/-latency-target/-part-target flags. Disabled
+// live mode resolves to a nil config, keeping VOD runs byte-identical to
+// pre-live builds.
+type liveOpts struct {
+	enabled       bool
+	latencyTarget time.Duration
+	partTarget    time.Duration
+}
+
+func (lo liveOpts) config() *player.LiveConfig {
+	if !lo.enabled {
+		return nil
+	}
+	return &player.LiveConfig{
+		LatencyTarget: lo.latencyTarget,
+		PartTarget:    lo.partTarget,
+	}
+}
+
+func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, timelineDir string, fo faultOpts, to transportOpts, lo liveOpts) error {
 	kinds := core.PlayerKinds()
 	// Recorders are pre-created in kind order: each worker appends only to
 	// its own, so the exported timeline is byte-identical at any -parallel.
@@ -213,7 +238,7 @@ func runCompare(kbps float64, traceFile, profileName, contentName, manifest, aud
 		}
 	}
 	sessions, err := runpool.Map(parallel, len(kinds), func(i int) (*core.Session, error) {
-		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, recFor(recs, i), fo, to)
+		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, recFor(recs, i), fo, to, lo)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", kinds[i], err)
 		}
@@ -318,7 +343,7 @@ func recFor(recs []*timeline.Recorder, i int) *timeline.Recorder {
 
 // playOnce builds content, profile and manifest options from the CLI flags
 // and runs one session, attaching rec (may be nil) as its flight recorder.
-func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, rec *timeline.Recorder, fo faultOpts, to transportOpts) (*core.Session, error) {
+func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, rec *timeline.Recorder, fo faultOpts, to transportOpts, lo liveOpts) (*core.Session, error) {
 	kind, err := core.ParsePlayerKind(playerName)
 	if err != nil {
 		return nil, err
@@ -349,6 +374,7 @@ func playOnce(playerName string, kbps float64, traceFile, profileName, contentNa
 		Recorder:   rec,
 		RTT:        to.linkRTT(),
 		Transport:  tc,
+		Live:       lo.config(),
 	})
 }
 
@@ -374,7 +400,7 @@ func parseMix(mixStr, playerName string) ([]core.PlayerKind, error) {
 // shared edge uplink, every client gets a generous access link behind it,
 // and all sessions hit one shared edge cache. Output is a per-session table
 // plus the fleet aggregates; -json writes the full fleet report.
-func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, cell, shards, sampleTimelines int, fo faultOpts, to transportOpts) error {
+func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, cell, shards, sampleTimelines int, fo faultOpts, to transportOpts, lo liveOpts) error {
 	content, err := parseContent(contentName)
 	if err != nil {
 		return err
@@ -412,6 +438,7 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 		SampleTimelines: sampleTimelines,
 		Transport:       tc,
 		AccessRTT:       to.linkRTT(),
+		Live:            lo.config(),
 	})
 	if err != nil {
 		return err
@@ -466,12 +493,12 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 	return nil
 }
 
-func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineCSV, timelineDir, jsonOut string, fo faultOpts, to transportOpts) error {
+func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineCSV, timelineDir, jsonOut string, fo faultOpts, to transportOpts, lo liveOpts) error {
 	var rec *timeline.Recorder
 	if timelineDir != "" {
 		rec = timeline.New(0, playerName)
 	}
-	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, rec, fo, to)
+	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, rec, fo, to, lo)
 	if err != nil {
 		return err
 	}
@@ -493,6 +520,14 @@ func run(playerName string, kbps float64, traceFile, profileName, contentName, m
 		fmt.Printf("transport:       %s — %d handshakes, %d resumes, %d hol stalls (%.1f s handshake wait, %.1f s hol wait)\n",
 			t.Protocol, t.Handshakes, t.Resumes, t.HoLStalls,
 			t.HandshakeWait.Seconds(), t.HoLWait.Seconds())
+	}
+	if l := sess.Result.Live; l != nil {
+		fmt.Printf("live:            latency target %.1f s — join %.1f s, mean %.2f s, max %.2f s, final %.2f s\n",
+			l.LatencyTarget.Seconds(), l.JoinLatency.Seconds(),
+			l.MeanLatency.Seconds(), l.MaxLatency.Seconds(), l.FinalLatency.Seconds())
+		fmt.Printf("catch-up:        mean rate %.3fx (%d changes, %.1f s sped up, %.1f s slowed), %d resyncs skipping %.1f s\n",
+			l.MeanRate, l.RateChanges, l.CatchupTime.Seconds(), l.SlowdownTime.Seconds(),
+			l.Resyncs, l.SkippedTime.Seconds())
 	}
 	if sess.Result.Aborted {
 		fmt.Printf("ABORTED:         %s\n", sess.Result.AbortReason)

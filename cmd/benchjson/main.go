@@ -134,6 +134,17 @@ func transportWorkloads() []workload {
 	return ws
 }
 
+// liveWorkloads are the live-fleet rows: one sharded fleet of latency-
+// target sessions (LL-ABR trio mix, availability gating, catch-up
+// controller) at N=1,000, so BENCH_*.json prices the live machinery
+// against the VOD fleet-1e3 row.
+func liveWorkloads() []workload {
+	return []workload{{"live-1e3", func(p int) error {
+		_, err := experiments.FleetAtScaleLive(1000, p)
+		return err
+	}}}
+}
+
 // scaleLabel renders powers of ten as "1e3"-style exponents and anything
 // else as the plain decimal.
 func scaleLabel(n int) string {
@@ -251,6 +262,7 @@ func main() {
 	var scale []workload
 	if *withScale {
 		scale = append(fleetScaleWorkloads(experiments.DefaultFleetScaleNs()), transportWorkloads()...)
+		scale = append(scale, liveWorkloads()...)
 	}
 	if err := run(path, date, *reps, *parallel, fleetWorkloads(), scale); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

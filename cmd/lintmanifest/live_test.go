@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+)
+
+// writeRefresh writes one refresh of a live media playlist under
+// dir/refresh-<i>/<name>, the layout the CLI treats as an ordered refresh
+// sequence of a single playlist.
+func writeRefresh(t *testing.T, dir string, i int, name string, p *hls.MediaPlaylist) string {
+	t.Helper()
+	sub := filepath.Join(dir, "refresh-"+string(rune('0'+i)))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return writeFile(t, sub, name, func(f *os.File) error { return p.Encode(f) })
+}
+
+// TestLintLiveRefreshRegression pins the CLI end of the live rules: media
+// playlists sharing a base name are linted as one refresh sequence, and a
+// media-sequence regression fires hls-media-sequence-regression.
+func TestLintLiveRefreshRegression(t *testing.T) {
+	dir := t.TempDir()
+	c := media.DramaShow()
+	lw := &hls.LiveWindow{Content: c, Track: c.VideoTracks[0], WindowSize: 4, PartsPerSegment: 5}
+	first := writeRefresh(t, dir, 0, "v1.m3u8", lw.At(8))
+	second := writeRefresh(t, dir, 1, "v1.m3u8", lw.At(5)) // regresses the window
+
+	var out bytes.Buffer
+	warnings, errs := run([]string{first, second}, false, &out, io.Discard)
+	if errs != 0 {
+		t.Fatalf("errs = %d\n%s", errs, out.String())
+	}
+	if warnings == 0 {
+		t.Fatalf("regressing refresh sequence linted clean:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "hls-media-sequence-regression") {
+		t.Errorf("output does not name hls-media-sequence-regression:\n%s", out.String())
+	}
+}
+
+// TestLintLiveRefreshClean: a well-formed sliding window lints clean
+// across refreshes, parts and all.
+func TestLintLiveRefreshClean(t *testing.T) {
+	dir := t.TempDir()
+	c := media.DramaShow()
+	lw := &hls.LiveWindow{Content: c, Track: c.AudioTracks[0], WindowSize: 4, PartsPerSegment: 5, WithBitrateTag: true}
+	var paths []string
+	for i, complete := range []int{3, 5, 8, 9} {
+		paths = append(paths, writeRefresh(t, dir, i, "a1.m3u8", lw.At(complete)))
+	}
+	var out bytes.Buffer
+	warnings, errs := run(paths, false, &out, io.Discard)
+	if errs != 0 {
+		t.Fatalf("errs = %d\n%s", errs, out.String())
+	}
+	if warnings != 0 {
+		t.Errorf("clean live refreshes produced warnings:\n%s", out.String())
+	}
+}
+
+// TestLintLivePartExceedsPartInf pins the per-file LL-HLS part rule
+// through the CLI: an EXT-X-PART longer than the declared PART-TARGET
+// fires hls-part-exceeds-part-inf.
+func TestLintLivePartExceedsPartInf(t *testing.T) {
+	dir := t.TempDir()
+	p := &hls.MediaPlaylist{
+		Version:        6,
+		TargetDuration: 4 * time.Second,
+		PartTarget:     time.Second,
+		Segments: []hls.Segment{{
+			Duration: 4 * time.Second,
+			URI:      "video/V1/seg-0.m4s",
+			Parts: []hls.Part{
+				{Duration: time.Second, URI: "video/V1/seg-0.part-0.m4s", Independent: true},
+				{Duration: 3 * time.Second, URI: "video/V1/seg-0.part-1.m4s"},
+			},
+		}},
+	}
+	bad := writeFile(t, dir, "v1.m3u8", func(f *os.File) error { return p.Encode(f) })
+	var out bytes.Buffer
+	warnings, errs := run([]string{bad}, false, &out, io.Discard)
+	if errs != 0 {
+		t.Fatalf("errs = %d\n%s", errs, out.String())
+	}
+	if warnings == 0 || !strings.Contains(out.String(), "hls-part-exceeds-part-inf") {
+		t.Errorf("oversized part not flagged through the CLI:\n%s", out.String())
+	}
+}

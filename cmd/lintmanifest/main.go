@@ -10,9 +10,13 @@
 // expanded to every .mpd/.m3u8 under it, so `lintmanifest manifests/`
 // lints a whole mkmanifest output tree. When media playlists are passed
 // alongside a master, their recovered peak bitrates cross-check the
-// master's declared BANDWIDTH values (matching URIs by base name). Every
-// file is linted even when earlier files fail to parse. Exit status 1 when
-// any warning fires, 2 on usage or parse errors.
+// master's declared BANDWIDTH values (matching URIs by base name). Media
+// playlists sharing a base name (refresh-0/a.m3u8 refresh-1/a.m3u8 ...)
+// are treated as ordered refreshes of one live playlist and cross-checked
+// for sliding-window invariants (media-sequence monotonicity, no
+// resurrected segments). Every file is linted even when earlier files
+// fail to parse. Exit status 1 when any warning fires, 2 on usage or
+// parse errors.
 package main
 
 import (
@@ -82,6 +86,8 @@ func run(paths []string, jsonOut bool, out, errOut io.Writer) (warnings, errs in
 	var inputs []parsed
 	peaks := lint.TrackPeaks{}
 	medias := map[string]*hls.MediaPlaylist{}
+	refreshes := map[string][]*hls.MediaPlaylist{}
+	var refreshOrder []string
 	for _, p := range expandDirs(paths) {
 		inputs = append(inputs, parseFile(p))
 		i := len(inputs) - 1
@@ -89,10 +95,19 @@ func run(paths []string, jsonOut bool, out, errOut io.Writer) (warnings, errs in
 		// A/V segment-alignment check, keyed by base name to match however
 		// the master spells the URI.
 		if mp := inputs[i].media; mp != nil {
-			medias[filepath.Base(p)] = mp
+			base := filepath.Base(p)
+			medias[base] = mp
 			if peak, _, err := hls.TrackBitrate(mp); err == nil {
-				peaks[filepath.Base(p)] = peak
+				peaks[base] = peak
 			}
+			// Repeated base names are ordered refreshes of one live
+			// playlist (lintmanifest refresh-0/a.m3u8 refresh-1/a.m3u8 ...),
+			// cross-checked for sliding-window invariants after the
+			// per-file pass.
+			if len(refreshes[base]) == 0 {
+				refreshOrder = append(refreshOrder, base)
+			}
+			refreshes[base] = append(refreshes[base], mp)
 		}
 	}
 	doc := struct {
@@ -129,6 +144,27 @@ func run(paths []string, jsonOut bool, out, errOut io.Writer) (warnings, errs in
 			fmt.Fprintf(out, "%s: ok\n", in.path)
 		}
 	}
+	for _, base := range refreshOrder {
+		seq := refreshes[base]
+		if len(seq) < 2 {
+			continue
+		}
+		for _, f := range lint.RefreshSequence(base, seq) {
+			if f.Severity == lint.Warning {
+				warnings++
+			}
+			if jsonOut {
+				doc.Findings = append(doc.Findings, jsonFinding{
+					File:     base,
+					Severity: f.Severity.String(),
+					Rule:     f.Rule,
+					Message:  f.Message,
+				})
+			} else {
+				fmt.Fprintf(out, "%s: %s\n", base, f)
+			}
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -151,7 +187,8 @@ func lintParsed(in parsed, peaks lint.TrackPeaks, medias map[string]*hls.MediaPl
 		return append(findings, masterAlignment(in.master, medias)...)
 	case in.media != nil:
 		name := filepath.Base(in.path)
-		return append(lint.MediaPlaylist(name, in.media), lint.MediaTimeline(name, in.media)...)
+		findings := append(lint.MediaPlaylist(name, in.media), lint.MediaTimeline(name, in.media)...)
+		return append(findings, lint.LiveMedia(name, in.media)...)
 	}
 	return nil
 }

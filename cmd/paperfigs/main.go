@@ -8,7 +8,7 @@
 //	paperfigs [-only id] [-csv dir] [-parallel n]
 //
 // where id is one of: table1 table2 table3 fig2a fig2b fig3 fig4a fig4b
-// fig5 compare ablate cdn sweep ... fleet fleetscale. With -csv, figure
+// fig5 compare ablate cdn sweep live ... fleet fleetscale. With -csv, figure
 // timelines are written as CSV
 // files into the directory for external plotting. -parallel sets the
 // worker count for the fleet experiments (sweeps, comparisons, the CDN
@@ -52,7 +52,7 @@ func main() {
 }
 
 func realMain() int {
-	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn, transport, fleetscale)")
+	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn, transport, live, fleetscale)")
 	csvDir := flag.String("csv", "", "write figure timelines as CSV into this directory")
 	flag.IntVar(&parallelN, "parallel", 0, "fleet worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.IntVar(&fleetN, "fleet-n", 1000, "fleet size for -only fleetscale (cells of 16 sessions, streaming aggregation)")
@@ -105,6 +105,7 @@ func realMain() int {
 		{"verify", verify}, {"language", language},
 		{"seeds", seeds}, {"startup", startup}, {"pareto", pareto},
 		{"resilience", resilience}, {"transport", transport},
+		{"live", live},
 		{"fleet", fleet}, {"fleetscale", fleetscale},
 	}
 	ran := 0
@@ -564,6 +565,22 @@ func transport(string) error {
 		return err
 	}
 	experiments.PrintTransportResilience(os.Stdout, points)
+	return nil
+}
+
+// live runs the low-latency family: the LL-ABR trio (dash.js Default,
+// L2A, LoLP) holding a latency target over seeded random walks, then the
+// demuxed-vs-muxed live penalty across the h1/h2/h3 transport axis.
+func live(string) error {
+	cells, err := experiments.LiveComparisonParallel(parallelN)
+	if err != nil {
+		return err
+	}
+	tcells, err := experiments.LiveTransportParallel(parallelN)
+	if err != nil {
+		return err
+	}
+	experiments.PrintLive(os.Stdout, cells, tcells)
 	return nil
 }
 

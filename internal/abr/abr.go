@@ -30,6 +30,14 @@ type State struct {
 	// the first decision).
 	LastVideo *media.Track
 	LastAudio *media.Track
+	// Live-session fields; all zero for VOD sessions. Latency is the
+	// live-edge latency (how far the playhead trails the stream edge),
+	// LatencyTarget the configured target, and PlaybackRate the current
+	// catch-up controller rate (0 means "not a live session", never
+	// "paused").
+	Latency       time.Duration
+	LatencyTarget time.Duration
+	PlaybackRate  float64
 }
 
 // Buffer returns the buffered duration for one type.

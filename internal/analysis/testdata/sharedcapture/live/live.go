@@ -1,0 +1,83 @@
+//fixture:path demuxabr/internal/player
+
+// Package player seeds the shared-capture hazards of the live
+// latency-target controller. The playback-rate state (centirate, skew
+// accounting, resync tally) belongs to exactly one session on one
+// engine; reaching it from runpool job closures makes the catch-up
+// arithmetic claim-order dependent — the same schedule-dependent bug
+// class the live fleet's shard-equivalence gate catches at runtime,
+// caught here before the code runs.
+package player
+
+import "demuxabr/internal/runpool"
+
+// liveRateState mirrors the per-session playback-rate controller block.
+type liveRateState struct {
+	rate        int // centirate: 100 = 1.0x
+	rateChanges int
+	resyncs     int
+	bySeed      map[int]float64
+}
+
+// sharedRateTicks: every seed's controller tick nudges one captured
+// rate state — the settled rate depends on job claim order.
+func sharedRateTicks(ls *liveRateState, seeds int) []int {
+	return runpool.Collect(0, seeds, func(i int) int {
+		ls.rate += i % 3 // want "writes captured field of .ls."
+		return ls.rate
+	})
+}
+
+// sharedChangeTally: folding per-seed rate-change counts into a captured
+// aggregate from inside the jobs instead of after the pool drains.
+func sharedChangeTally(ls *liveRateState, seeds int) ([]int, error) {
+	return runpool.Map(0, seeds, func(i int) (int, error) {
+		ls.rateChanges++ // want "writes captured field of .ls."
+		return i, nil
+	})
+}
+
+// sharedResyncMap: per-seed mean rates keyed into a captured map —
+// concurrent map writes on top of the ordering hazard.
+func sharedResyncMap(ls *liveRateState, seeds int) []int {
+	return runpool.Collect(0, seeds, func(i int) int {
+		ls.bySeed[i] = 1.0 // want "writes captured map .ls."
+		ls.resyncs++       // want "writes captured field of .ls."
+		return i
+	})
+}
+
+// sharedControllerSlot: every seed publishes its controller through slot
+// zero of a captured table instead of its own.
+func sharedControllerSlot(seeds int) []*liveRateState {
+	states := make([]*liveRateState, seeds)
+	runpool.Collect(0, seeds, func(i int) int {
+		states[0] = &liveRateState{rate: 100} // want "writes captured slice .states."
+		return i
+	})
+	return states
+}
+
+// perSeedController is the sanctioned shape: each job owns its
+// controller (its own session, its own engine) and publishes through its
+// own slot; the caller folds after the pool drains.
+func perSeedController(seeds int) (int, []int) {
+	rates := runpool.Collect(0, seeds, func(i int) int {
+		ls := &liveRateState{rate: 100}
+		ls.rate += i % 3
+		ls.rateChanges++
+		return ls.rate
+	})
+	changes := 0
+	for range rates {
+		changes++
+	}
+	return changes, rates
+}
+
+// readRateBounds is fine: jobs may read quiescent controller config.
+func readRateBounds(ls *liveRateState, seeds int) []int {
+	return runpool.Collect(0, seeds, func(i int) int {
+		return i + ls.rate
+	})
+}

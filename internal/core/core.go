@@ -17,6 +17,7 @@ import (
 	"demuxabr/internal/abr/dashjs"
 	"demuxabr/internal/abr/exoplayer"
 	"demuxabr/internal/abr/jointabr"
+	"demuxabr/internal/abr/lowlat"
 	"demuxabr/internal/abr/shaka"
 	"demuxabr/internal/faults"
 	"demuxabr/internal/manifest/dash"
@@ -63,11 +64,20 @@ const (
 	// DynamicJoint is dash.js's DYNAMIC strategy applied jointly — the
 	// controlled counterpart of DashJS that isolates §3.4's independence.
 	DynamicJoint PlayerKind = "dynamic-joint"
+	// LLDefault is dash.js's plain throughput rule in a low-latency
+	// session: no latency feedback anywhere in the decision.
+	LLDefault PlayerKind = "ll-default"
+	// LLL2A is the Learn2Adapt-LowLatency rule (virtual latency-violation
+	// queue shrinking the bitrate budget).
+	LLL2A PlayerKind = "ll-l2a"
+	// LLLoLP is the LoL+ rule (low-percentile estimate, latency-gated
+	// up-switch hysteresis).
+	LLLoLP PlayerKind = "ll-lolp"
 )
 
 // PlayerKinds lists every selectable model.
 func PlayerKinds() []PlayerKind {
-	return []PlayerKind{ExoPlayerDASH, ExoPlayerHLS, Shaka, DashJS, BestPractice, BestPracticeIndependent, BestPracticeAbandon, BolaJoint, MPCJoint, VBRJoint, DynamicJoint}
+	return []PlayerKind{ExoPlayerDASH, ExoPlayerHLS, Shaka, DashJS, BestPractice, BestPracticeIndependent, BestPracticeAbandon, BolaJoint, MPCJoint, VBRJoint, DynamicJoint, LLDefault, LLL2A, LLLoLP}
 }
 
 // ParsePlayerKind validates a player name.
@@ -107,7 +117,7 @@ func BuildModel(kind PlayerKind, c *media.Content, mo ManifestOptions) (abr.Algo
 			return exoplayer.NewDASH(video, audio), nil, nil
 		}
 		return dashjs.New(video, audio), nil, nil
-	case ExoPlayerHLS, Shaka, BestPractice, BestPracticeIndependent, BestPracticeAbandon, BolaJoint, MPCJoint, VBRJoint, DynamicJoint:
+	case ExoPlayerHLS, Shaka, BestPractice, BestPracticeIndependent, BestPracticeAbandon, BolaJoint, MPCJoint, VBRJoint, DynamicJoint, LLDefault, LLL2A, LLLoLP:
 		combos, order, err := roundTripMaster(c, mo.Combos, mo.AudioOrder)
 		if err != nil {
 			return nil, nil, err
@@ -133,6 +143,12 @@ func BuildModel(kind PlayerKind, c *media.Content, mo ManifestOptions) (abr.Algo
 			return jointabr.NewVBRAware(combos, sizer), combos, nil
 		case DynamicJoint:
 			return jointabr.NewDynamicJoint(combos), combos, nil
+		case LLDefault:
+			return lowlat.NewDefault(combos), combos, nil
+		case LLL2A:
+			return lowlat.NewL2A(combos), combos, nil
+		case LLLoLP:
+			return lowlat.NewLoLP(combos), combos, nil
 		default:
 			return jointabr.NewIndependent(combos), combos, nil
 		}
@@ -242,6 +258,10 @@ type Spec struct {
 	// connections (handshakes, stream caps, HoL coupling; see
 	// netsim.Conn). Nil keeps requests directly on the link.
 	Transport *netsim.TransportConfig
+	// Live, when non-nil, runs the session in latency-target live mode
+	// (availability gating, catch-up rate control, live-edge resync; see
+	// player.LiveConfig). Nil keeps the exact VOD behaviour.
+	Live *player.LiveConfig
 }
 
 // Session is a finished run: the raw result plus derived metrics.
@@ -295,6 +315,7 @@ func Play(spec Spec) (*Session, error) {
 		Deadline:      spec.Deadline,
 		Recorder:      spec.Recorder,
 		Transport:     spec.Transport,
+		Live:          spec.Live,
 	})
 	if err != nil {
 		return nil, err

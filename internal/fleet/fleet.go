@@ -81,6 +81,10 @@ type Config struct {
 	// AccessRTT sets each access link's request round trip; zero keeps
 	// the paper's negligible-RTT testbed. Transport costs scale with it.
 	AccessRTT time.Duration
+	// Live, when non-nil, runs every session in latency-target live mode
+	// (availability gating, catch-up rate control, live-edge resync; see
+	// player.LiveConfig). Nil keeps the exact VOD behaviour.
+	Live *player.LiveConfig
 	// MaxBuffer overrides the player buffer cap when non-zero.
 	MaxBuffer time.Duration
 	// Deadline overrides the per-session abort deadline when non-zero.

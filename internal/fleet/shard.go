@@ -166,6 +166,7 @@ func runCell(cfg *Config, cellIdx, numCells int, ids []int, arrive []time.Durati
 			FaultPlan:  cfg.sessionPlan(id),
 			Robustness: cfg.Robustness,
 			Transport:  cfg.sessionTransport(id),
+			Live:       cfg.Live,
 			Recorder:   recFor(recs, li),
 			OnRequest: func(req player.ChunkRequest) time.Duration {
 				var hit bool

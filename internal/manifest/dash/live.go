@@ -1,0 +1,50 @@
+package dash
+
+import (
+	"time"
+
+	"demuxabr/internal/media"
+)
+
+// GenerateLive builds the dynamic (live) MPD for content: the static
+// manifest's two Adaptation Sets re-declared as a low-latency live stream.
+// partTarget is the CMAF chunk duration the origin publishes while a
+// segment is still encoding; the availabilityTimeOffset it induces —
+// segment duration minus one part — is the LL-DASH dual of LL-HLS's
+// EXT-X-PART-INF, letting clients request a segment almost a full segment
+// duration before its nominal availability instant. window is the
+// timeShiftBufferDepth: how much stream history the sliding origin
+// retains, the MPD-level mirror of the HLS sliding window.
+func GenerateLive(c *media.Content, partTarget, window, presentationDelay time.Duration) *MPD {
+	m := Generate(c)
+	m.Type = "dynamic"
+	// A dynamic MPD describes an unbounded presentation: duration is
+	// unknown, availability runs from the epoch of the simulated session.
+	m.MediaPresentationDuration = ""
+	m.AvailabilityStartTime = "1970-01-01T00:00:00Z"
+	m.MinimumUpdatePeriod = FormatDuration(c.ChunkDuration)
+	m.TimeShiftBufferDepth = FormatDuration(window)
+	m.SuggestedPresentationDelay = FormatDuration(presentationDelay)
+	ato := AvailabilityOffset(c.ChunkDuration, partTarget)
+	for pi := range m.Periods {
+		m.Periods[pi].Duration = ""
+		for ai := range m.Periods[pi].AdaptationSets {
+			if st := m.Periods[pi].AdaptationSets[ai].SegmentTemplate; st != nil {
+				st.AvailabilityTimeOffset = ato.Seconds()
+			}
+		}
+	}
+	return m
+}
+
+// AvailabilityOffset is how far ahead of a segment's completion it may be
+// requested: the whole segment minus the first part, because once the
+// first CMAF chunk exists the origin can serve the rest with
+// chunked-transfer encoding as it is produced. Zero without parts —
+// whole-segment publishing has no early availability.
+func AvailabilityOffset(segment, partTarget time.Duration) time.Duration {
+	if partTarget <= 0 || partTarget >= segment {
+		return 0
+	}
+	return segment - partTarget
+}

@@ -189,6 +189,18 @@ func ParseMaster(r io.Reader) (*MasterPlaylist, error) {
 	return m, nil
 }
 
+// Part is one LL-HLS EXT-X-PART entry: a CMAF partial segment published
+// before its parent segment completes, so low-latency clients can fetch
+// media at part granularity instead of waiting a full segment duration.
+type Part struct {
+	// Duration is the PART DURATION.
+	Duration time.Duration
+	// URI locates the partial segment.
+	URI string
+	// Independent marks INDEPENDENT=YES (the part starts with a keyframe).
+	Independent bool
+}
+
 // Segment is one media-playlist entry.
 type Segment struct {
 	// Duration is the EXTINF duration.
@@ -200,6 +212,9 @@ type Segment struct {
 	ByteRangeOffset int64
 	// Bitrate is the EXT-X-BITRATE value in bits/s (0 = absent).
 	Bitrate int64
+	// Parts are the LL-HLS partial segments of this segment (nil for VOD
+	// and for full segments that have left the low-latency window).
+	Parts []Part
 }
 
 // MediaPlaylist is a second-level playlist of one track.
@@ -207,8 +222,10 @@ type MediaPlaylist struct {
 	Version        int
 	TargetDuration time.Duration
 	MediaSequence  int64
-	Segments       []Segment
-	EndList        bool
+	// PartTarget is the EXT-X-PART-INF PART-TARGET (0 = no LL-HLS parts).
+	PartTarget time.Duration
+	Segments   []Segment
+	EndList    bool
 }
 
 // Encode writes the media playlist.
@@ -222,7 +239,19 @@ func (p *MediaPlaylist) Encode(w io.Writer) error {
 	fmt.Fprintf(bw, "#EXT-X-VERSION:%d\n", version)
 	fmt.Fprintf(bw, "#EXT-X-TARGETDURATION:%d\n", int(p.TargetDuration.Seconds()+0.999))
 	fmt.Fprintf(bw, "#EXT-X-MEDIA-SEQUENCE:%d\n", p.MediaSequence)
+	if p.PartTarget > 0 {
+		fmt.Fprintf(bw, "#EXT-X-PART-INF:PART-TARGET=%.3f\n", p.PartTarget.Seconds())
+	}
 	for _, s := range p.Segments {
+		for _, part := range s.Parts {
+			var a attrWriter
+			a.add("DURATION", fmt.Sprintf("%.3f", part.Duration.Seconds()))
+			a.addQuoted("URI", part.URI)
+			if part.Independent {
+				a.add("INDEPENDENT", "YES")
+			}
+			fmt.Fprintf(bw, "#EXT-X-PART:%s\n", a.String())
+		}
 		if s.Bitrate > 0 {
 			fmt.Fprintf(bw, "#EXT-X-BITRATE:%d\n", s.Bitrate)
 		}
@@ -277,6 +306,33 @@ func ParseMedia(r io.Reader) (*MediaPlaylist, error) {
 				return nil, fmt.Errorf("hls: line %d: bad media sequence: %w", line, err)
 			}
 			p.MediaSequence = v
+		case strings.HasPrefix(text, "#EXT-X-PART-INF:"):
+			attrs, err := parseAttrList(strings.TrimPrefix(text, "#EXT-X-PART-INF:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: %w", line, err)
+			}
+			secs, err := strconv.ParseFloat(attrs["PART-TARGET"], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad PART-TARGET: %w", line, err)
+			}
+			p.PartTarget = time.Duration(secs*1000+0.5) * time.Millisecond
+		case strings.HasPrefix(text, "#EXT-X-PART:"):
+			attrs, err := parseAttrList(strings.TrimPrefix(text, "#EXT-X-PART:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: %w", line, err)
+			}
+			secs, err := strconv.ParseFloat(attrs["DURATION"], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hls: line %d: bad EXT-X-PART DURATION: %w", line, err)
+			}
+			if cur == nil {
+				cur = &Segment{}
+			}
+			cur.Parts = append(cur.Parts, Part{
+				Duration:    time.Duration(secs*1000+0.5) * time.Millisecond,
+				URI:         attrs["URI"],
+				Independent: attrs["INDEPENDENT"] == "YES",
+			})
 		case strings.HasPrefix(text, "#EXT-X-BITRATE:"):
 			v, err := strconv.ParseInt(strings.TrimPrefix(text, "#EXT-X-BITRATE:"), 10, 64)
 			if err != nil {

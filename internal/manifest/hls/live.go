@@ -1,0 +1,143 @@
+package hls
+
+import (
+	"fmt"
+	"time"
+
+	"demuxabr/internal/media"
+)
+
+// Live playlist generation: the sliding-window view a live origin serves.
+// Each refresh exposes the newest WindowSize complete segments, advancing
+// EXT-X-MEDIA-SEQUENCE as segments leave the head of the window, and — in
+// low-latency mode — advertises the in-progress segment's CMAF parts via
+// EXT-X-PART/EXT-X-PART-INF so clients can fetch at part granularity.
+//
+// The generator's contract (checked by the property test and relied on by
+// lint's hls-media-sequence-regression rule): across any monotone refresh
+// schedule, the media sequence never regresses, the window never exceeds
+// its configured size, and a segment that slid out of the window never
+// reappears in a later refresh.
+
+// LiveWindow derives successive refreshes of one track's live media
+// playlist from content chunk tables. The zero value is not usable; fill
+// Content, Track, and WindowSize.
+type LiveWindow struct {
+	Content *media.Content
+	Track   *media.Track
+	// WindowSize is the number of complete segments each refresh retains
+	// (RFC 8216 requires a server to keep at least three target durations).
+	WindowSize int
+	// PartsPerSegment > 0 enables LL-HLS: the segment currently being
+	// encoded is advertised as that many equal-duration partial segments,
+	// and every playlist carries EXT-X-PART-INF with the part target.
+	PartsPerSegment int
+	// Pack selects byte-range vs segment-file packaging for full segments.
+	Pack Packaging
+	// WithBitrateTag writes EXT-X-BITRATE on full segments.
+	WithBitrateTag bool
+}
+
+// PartTarget is the advertised EXT-X-PART-INF PART-TARGET: the nominal
+// chunk duration split into PartsPerSegment parts, rounded to the
+// millisecond (0 when parts are disabled). Playlist durations encode at
+// millisecond precision, so a sub-millisecond target could never
+// round-trip — encoders publish ms-aligned part targets for the same
+// reason.
+func (lw *LiveWindow) PartTarget() time.Duration {
+	if lw.PartsPerSegment <= 0 {
+		return 0
+	}
+	t := (lw.Content.ChunkDuration / time.Duration(lw.PartsPerSegment)).Round(time.Millisecond)
+	if t < time.Millisecond {
+		t = time.Millisecond
+	}
+	return t
+}
+
+// At returns the playlist visible after `complete` segments have finished
+// encoding (complete >= 1). The window covers the newest min(complete,
+// WindowSize) complete segments; once complete reaches the content's chunk
+// count the stream has ended and EXT-X-ENDLIST is written. In LL mode the
+// next segment's parts are advertised after the last complete segment,
+// except on the final refresh (nothing is in flight once the encoder
+// stops).
+func (lw *LiveWindow) At(complete int) *MediaPlaylist {
+	n := lw.Content.NumChunks()
+	if complete < 1 {
+		complete = 1
+	}
+	if complete > n {
+		complete = n
+	}
+	first := complete - lw.WindowSize
+	if first < 0 {
+		first = 0
+	}
+	p := &MediaPlaylist{
+		Version:        6,
+		TargetDuration: lw.Content.ChunkDuration,
+		MediaSequence:  int64(first),
+		PartTarget:     lw.PartTarget(),
+		EndList:        complete >= n,
+	}
+	var offset int64
+	for i := 0; i < first; i++ {
+		offset += lw.Content.ChunkSize(lw.Track, i)
+	}
+	for i := first; i < complete; i++ {
+		dur := lw.Content.ChunkDurationAt(i)
+		size := lw.Content.ChunkSize(lw.Track, i)
+		seg := Segment{Duration: dur}
+		switch lw.Pack {
+		case SingleFile:
+			seg.URI = fmt.Sprintf("%s/%s.mp4", lw.Track.Type, lw.Track.ID)
+			seg.ByteRangeLength = size
+			seg.ByteRangeOffset = offset
+		default:
+			seg.URI = fmt.Sprintf("%s/%s/seg-%d.m4s", lw.Track.Type, lw.Track.ID, i)
+		}
+		offset += size
+		if lw.WithBitrateTag {
+			seg.Bitrate = int64(float64(size*8) / dur.Seconds())
+		}
+		p.Segments = append(p.Segments, seg)
+	}
+	if lw.PartsPerSegment > 0 && !p.EndList {
+		p.Segments = append(p.Segments, lw.inflightSegment(complete))
+	}
+	return p
+}
+
+// inflightSegment advertises segment idx (still being encoded) as its
+// CMAF parts. Every part is written as already published: the simulator
+// models part availability in time, not per-refresh part counting, and a
+// fully advertised in-flight segment keeps refreshes a pure function of
+// the complete-segment count.
+func (lw *LiveWindow) inflightSegment(idx int) Segment {
+	dur := lw.Content.ChunkDurationAt(idx)
+	target := lw.PartTarget()
+	seg := Segment{Duration: dur}
+	// k-1 full-target parts plus a final part carrying the remainder: every
+	// part is at most PART-TARGET and the parts tile the segment exactly,
+	// with no degenerate sliver when the target does not divide the
+	// duration.
+	k := int((dur + target - 1) / target)
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i < k; i++ {
+		pd := target
+		if i == k-1 {
+			pd = dur - time.Duration(k-1)*target
+		}
+		seg.Parts = append(seg.Parts, Part{
+			Duration:    pd,
+			URI:         fmt.Sprintf("%s/%s/seg-%d.part-%d.m4s", lw.Track.Type, lw.Track.ID, idx, i),
+			Independent: i == 0,
+		})
+	}
+	// The parent segment URI is the full segment a late joiner would fetch.
+	seg.URI = fmt.Sprintf("%s/%s/seg-%d.m4s", lw.Track.Type, lw.Track.ID, idx)
+	return seg
+}

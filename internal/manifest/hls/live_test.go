@@ -1,0 +1,182 @@
+package hls
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"demuxabr/internal/media"
+)
+
+// liveTestContent is a small synthetic asset for window generation.
+func liveTestContent(chunks int) *media.Content {
+	return media.MustNewContent(media.ContentSpec{
+		Name:          "live-prop",
+		Duration:      time.Duration(chunks) * 2 * time.Second,
+		ChunkDuration: 2 * time.Second,
+		VideoTracks: media.Ladder{
+			{ID: "V1", Type: media.Video, AvgBitrate: media.Kbps(300), PeakBitrate: media.Kbps(450), DeclaredBitrate: media.Kbps(450), Resolution: "360p"},
+		},
+		AudioTracks: media.Ladder{
+			{ID: "A1", Type: media.Audio, AvgBitrate: media.Kbps(64), PeakBitrate: media.Kbps(72), DeclaredBitrate: media.Kbps(72), Channels: 2, SampleRateHz: 44100},
+		},
+		Model: media.ChunkModel{Seed: 11, Spread: 0.25, PeakEvery: 5},
+	})
+}
+
+// TestLiveWindowProperties drives the sliding-window generator through 1000
+// seeded refresh schedules and asserts the invariants every client and the
+// lint rules rely on:
+//
+//   - EXT-X-MEDIA-SEQUENCE never regresses across refreshes;
+//   - the window never exceeds WindowSize complete segments (plus at most
+//     one in-flight part segment in LL mode);
+//   - a URI that slid out of the window never reappears;
+//   - every advertised part fits the declared PART-TARGET, parts cover the
+//     in-flight segment exactly, and only the first part is independent;
+//   - each refresh round-trips through the encoder and parser.
+func TestLiveWindowProperties(t *testing.T) {
+	for seed := int64(0); seed < 1000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		chunks := rng.Intn(30) + 5
+		c := liveTestContent(chunks)
+		track := c.VideoTracks[0]
+		if rng.Intn(2) == 0 {
+			track = c.AudioTracks[0]
+		}
+		lw := &LiveWindow{
+			Content:         c,
+			Track:           track,
+			WindowSize:      rng.Intn(8) + 1,
+			PartsPerSegment: rng.Intn(5), // 0 disables LL mode
+			WithBitrateTag:  rng.Intn(2) == 0,
+		}
+		if rng.Intn(4) == 0 {
+			lw.Pack = SingleFile
+		}
+
+		// A monotone refresh schedule with stutters (repeat refreshes) and
+		// jumps (client missed refreshes), always reaching the end.
+		complete := 1
+		lastSeq := int64(-1)
+		expired := map[string]bool{}
+		prev := map[string]bool{}
+		for complete <= chunks {
+			p := lw.At(complete)
+
+			if lastSeq >= 0 && p.MediaSequence < lastSeq {
+				t.Fatalf("seed %d complete %d: media sequence regressed %d -> %d", seed, complete, lastSeq, p.MediaSequence)
+			}
+			lastSeq = p.MediaSequence
+
+			full := 0
+			for _, seg := range p.Segments {
+				if len(seg.Parts) == 0 {
+					full++
+				}
+			}
+			if full > lw.WindowSize {
+				t.Fatalf("seed %d complete %d: %d complete segments exceed window %d", seed, complete, full, lw.WindowSize)
+			}
+			if got, max := len(p.Segments), lw.WindowSize+1; got > max {
+				t.Fatalf("seed %d complete %d: %d segments exceed window+inflight %d", seed, complete, got, max)
+			}
+
+			cur := map[string]bool{}
+			for _, seg := range p.Segments {
+				key := seg.URI
+				if lw.Pack == SingleFile && len(seg.Parts) == 0 {
+					// Byte-range packaging reuses one URI; key on the range.
+					key = segKey(seg)
+				}
+				cur[key] = true
+				if expired[key] {
+					t.Fatalf("seed %d complete %d: expired segment %q resurrected", seed, complete, key)
+				}
+			}
+			for uri := range prev {
+				if !cur[uri] {
+					expired[uri] = true
+				}
+			}
+			prev = cur
+
+			checkParts(t, seed, complete, lw, p)
+			checkRoundTrip(t, seed, complete, p)
+
+			if p.EndList {
+				break
+			}
+			if rng.Intn(3) > 0 {
+				complete += rng.Intn(3) + 1 // advance, sometimes skipping refreshes
+			}
+		}
+		if !lw.At(chunks).EndList {
+			t.Fatalf("seed %d: final refresh is not an ENDLIST playlist", seed)
+		}
+	}
+}
+
+func segKey(seg Segment) string {
+	return seg.URI + "#" + strings.Join([]string{
+		time.Duration(seg.ByteRangeOffset).String(), time.Duration(seg.ByteRangeLength).String()}, "-")
+}
+
+// checkParts validates the LL-HLS part structure of one refresh.
+func checkParts(t *testing.T, seed int64, complete int, lw *LiveWindow, p *MediaPlaylist) {
+	t.Helper()
+	if lw.PartsPerSegment <= 0 {
+		if p.PartTarget != 0 {
+			t.Fatalf("seed %d complete %d: PART-INF advertised without parts", seed, complete)
+		}
+		return
+	}
+	if p.PartTarget != lw.PartTarget() {
+		t.Fatalf("seed %d complete %d: PART-TARGET %v, want %v", seed, complete, p.PartTarget, lw.PartTarget())
+	}
+	for _, seg := range p.Segments {
+		var sum time.Duration
+		for k, part := range seg.Parts {
+			if part.Duration > p.PartTarget {
+				t.Fatalf("seed %d complete %d: part %q duration %v exceeds PART-TARGET %v",
+					seed, complete, part.URI, part.Duration, p.PartTarget)
+			}
+			if part.Independent != (k == 0) {
+				t.Fatalf("seed %d complete %d: part %d independence %v", seed, complete, k, part.Independent)
+			}
+			sum += part.Duration
+		}
+		if len(seg.Parts) > 0 && sum != seg.Duration {
+			t.Fatalf("seed %d complete %d: parts sum %v != segment duration %v", seed, complete, sum, seg.Duration)
+		}
+	}
+	if !p.EndList {
+		last := p.Segments[len(p.Segments)-1]
+		if len(last.Parts) == 0 {
+			t.Fatalf("seed %d complete %d: LL refresh has no in-flight part segment", seed, complete)
+		}
+	}
+}
+
+// checkRoundTrip pins encode → parse fidelity for live playlists.
+func checkRoundTrip(t *testing.T, seed int64, complete int, p *MediaPlaylist) {
+	t.Helper()
+	var buf strings.Builder
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("seed %d complete %d: encode: %v", seed, complete, err)
+	}
+	back, err := ParseMedia(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("seed %d complete %d: reparse: %v\n%s", seed, complete, err, buf.String())
+	}
+	if back.MediaSequence != p.MediaSequence || back.PartTarget != p.PartTarget ||
+		back.EndList != p.EndList || len(back.Segments) != len(p.Segments) {
+		t.Fatalf("seed %d complete %d: round-trip drift", seed, complete)
+	}
+	for i := range p.Segments {
+		if !segmentsEqual(back.Segments[i], p.Segments[i]) {
+			t.Fatalf("seed %d complete %d: segment %d drifts through round-trip", seed, complete, i)
+		}
+	}
+}

@@ -100,9 +100,39 @@ func randomMedia(rng *rand.Rand) *MediaPlaylist {
 		if rng.Intn(2) == 0 {
 			seg.Bitrate = int64(rng.Intn(5_000_000) + 1)
 		}
+		if rng.Intn(3) == 0 {
+			// LL-HLS partial segments (encoded at millisecond precision).
+			n := rng.Intn(3) + 1
+			for k := 0; k < n; k++ {
+				seg.Parts = append(seg.Parts, Part{
+					Duration:    time.Duration(rng.Intn(2_000)+1) * time.Millisecond,
+					URI:         fmt.Sprintf("seg-%d.part-%d.m4s", i, k),
+					Independent: k == 0,
+				})
+			}
+		}
 		p.Segments = append(p.Segments, seg)
 	}
+	if rng.Intn(2) == 0 {
+		p.PartTarget = time.Duration(rng.Intn(2_000)+1) * time.Millisecond
+	}
 	return p
+}
+
+// segmentsEqual compares two segments field-wise (Segment holds a Part
+// slice, so == no longer applies).
+func segmentsEqual(a, b Segment) bool {
+	if a.Duration != b.Duration || a.URI != b.URI || a.Bitrate != b.Bitrate ||
+		a.ByteRangeLength != b.ByteRangeLength || a.ByteRangeOffset != b.ByteRangeOffset ||
+		len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Property: any generated media playlist survives encode/parse unchanged.
@@ -126,8 +156,11 @@ func TestMediaRoundTripProperty(t *testing.T) {
 		if got.TargetDuration < orig.TargetDuration {
 			return false
 		}
+		if got.PartTarget != orig.PartTarget {
+			return false
+		}
 		for i := range orig.Segments {
-			if got.Segments[i] != orig.Segments[i] {
+			if !segmentsEqual(got.Segments[i], orig.Segments[i]) {
 				return false
 			}
 		}

@@ -152,6 +152,11 @@ func MasterBandwidth(m *hls.MasterPlaylist, peaks TrackPeaks) []Finding {
 func MediaPlaylist(name string, p *hls.MediaPlaylist) []Finding {
 	missing := 0
 	for _, seg := range p.Segments {
+		// An in-flight LL-HLS segment advertised as parts has no final size
+		// yet, so its bitrate is unknowable at publish time.
+		if len(seg.Parts) > 0 {
+			continue
+		}
 		if seg.ByteRangeLength == 0 && seg.Bitrate == 0 {
 			missing++
 		}

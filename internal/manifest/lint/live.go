@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"time"
+
+	"demuxabr/internal/manifest/hls"
+)
+
+// Live-playlist rules: a sliding-window origin that lets its media
+// sequence regress, resurrects expired segments, or advertises parts
+// longer than its declared PART-TARGET breaks every client that trusts
+// the playlist to be an append-only view of the stream — LL-HLS players
+// schedule blocking reloads and part fetches off exactly these fields.
+
+// partTolerance absorbs the encoder's millisecond rounding of part
+// durations: a part is only flagged when it exceeds PART-TARGET by more
+// than one encoding quantum.
+const partTolerance = time.Millisecond
+
+// LiveMedia lints one live media playlist's LL-HLS part structure: every
+// advertised EXT-X-PART must fit within the declared EXT-X-PART-INF
+// PART-TARGET (RFC 8216bis: parts MUST be at most PART-TARGET seconds).
+func LiveMedia(name string, p *hls.MediaPlaylist) []Finding {
+	if p.PartTarget <= 0 {
+		return nil
+	}
+	over := 0
+	worst := time.Duration(0)
+	worstURI := ""
+	for _, seg := range p.Segments {
+		for _, part := range seg.Parts {
+			if excess := part.Duration - p.PartTarget; excess > partTolerance {
+				over++
+				if excess > worst {
+					worst, worstURI = excess, part.URI
+				}
+			}
+		}
+	}
+	if over == 0 {
+		return nil
+	}
+	return []Finding{{Warning, "hls-part-exceeds-part-inf",
+		fmt.Sprintf("%s: %d EXT-X-PART entries exceed the declared PART-TARGET %v (worst: %q by %v); clients budget blocking part requests off PART-TARGET, so longer parts stall the low-latency fetch loop",
+			name, over, p.PartTarget, worstURI, worst)}}
+}
+
+// RefreshSequence lints an ordered series of refreshes of the same live
+// media playlist. Two invariants of a sliding window:
+//
+//   - EXT-X-MEDIA-SEQUENCE must advance monotonically — a regression
+//     renumbers segments under the client's feet and desynchronizes every
+//     sequence-number-based position computation;
+//   - a segment that slid out of the window must never reappear — clients
+//     treat the window head as expired and a resurrected URI breaks the
+//     append-only timeline (and any downstream cache keyed on it).
+func RefreshSequence(name string, refreshes []*hls.MediaPlaylist) []Finding {
+	var out []Finding
+	expired := map[string]int{} // URI -> refresh index it was last seen before expiring
+	prev := map[string]bool{}
+	lastSeq := int64(-1)
+	for i, p := range refreshes {
+		if lastSeq >= 0 && p.MediaSequence < lastSeq {
+			out = append(out, Finding{Warning, "hls-media-sequence-regression",
+				fmt.Sprintf("%s: refresh %d regresses EXT-X-MEDIA-SEQUENCE from %d to %d; the sliding window must advance monotonically or clients lose their position in the stream",
+					name, i, lastSeq, p.MediaSequence)})
+		}
+		lastSeq = p.MediaSequence
+		cur := map[string]bool{}
+		for _, seg := range p.Segments {
+			if seg.URI == "" {
+				continue
+			}
+			cur[seg.URI] = true
+			if at, gone := expired[seg.URI]; gone {
+				out = append(out, Finding{Warning, "hls-media-sequence-regression",
+					fmt.Sprintf("%s: refresh %d re-lists segment %q that expired from the window after refresh %d; expired segments must never reappear",
+						name, i, seg.URI, at)})
+				delete(expired, seg.URI)
+			}
+		}
+		for uri := range prev {
+			if !cur[uri] {
+				expired[uri] = i - 1
+			}
+		}
+		prev = cur
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+)
+
+func TestLiveMediaFlagsOversizedPart(t *testing.T) {
+	p := &hls.MediaPlaylist{
+		PartTarget: time.Second,
+		Segments: []hls.Segment{{
+			Duration: 4 * time.Second,
+			URI:      "video/V1/seg-0.m4s",
+			Parts: []hls.Part{
+				{Duration: time.Second, URI: "video/V1/seg-0.part-0.m4s", Independent: true},
+				{Duration: 3 * time.Second, URI: "video/V1/seg-0.part-1.m4s"},
+			},
+		}},
+	}
+	fs := LiveMedia("v1.m3u8", p)
+	rules := ruleSet(fs)
+	f, ok := rules["hls-part-exceeds-part-inf"]
+	if !ok {
+		t.Fatalf("oversized part not flagged: %v", fs)
+	}
+	if !strings.Contains(f.Message, "seg-0.part-1") {
+		t.Errorf("finding does not name the worst part: %s", f.Message)
+	}
+}
+
+func TestLiveMediaToleratesEncoderRounding(t *testing.T) {
+	p := &hls.MediaPlaylist{
+		PartTarget: time.Second,
+		Segments: []hls.Segment{{
+			Duration: 2 * time.Second,
+			URI:      "video/V1/seg-0.m4s",
+			Parts: []hls.Part{
+				// One encoding quantum over: inside the documented tolerance.
+				{Duration: time.Second + time.Millisecond, URI: "video/V1/seg-0.part-0.m4s", Independent: true},
+				{Duration: time.Second - time.Millisecond, URI: "video/V1/seg-0.part-1.m4s"},
+			},
+		}},
+	}
+	if fs := LiveMedia("v1.m3u8", p); len(fs) != 0 {
+		t.Errorf("ms rounding flagged: %v", fs)
+	}
+	// No PART-INF at all: the rule must stay silent for non-LL playlists.
+	if fs := LiveMedia("vod.m3u8", &hls.MediaPlaylist{}); len(fs) != 0 {
+		t.Errorf("non-LL playlist flagged: %v", fs)
+	}
+}
+
+func TestRefreshSequenceFlagsRegression(t *testing.T) {
+	refreshes := []*hls.MediaPlaylist{
+		{MediaSequence: 5, Segments: []hls.Segment{{URI: "seg-5.m4s"}}},
+		{MediaSequence: 3, Segments: []hls.Segment{{URI: "seg-3.m4s"}}},
+	}
+	rules := ruleSet(RefreshSequence("v1.m3u8", refreshes))
+	f, ok := rules["hls-media-sequence-regression"]
+	if !ok {
+		t.Fatal("sequence regression not flagged")
+	}
+	if !strings.Contains(f.Message, "from 5 to 3") {
+		t.Errorf("finding does not describe the regression: %s", f.Message)
+	}
+}
+
+func TestRefreshSequenceFlagsResurrectedSegment(t *testing.T) {
+	refreshes := []*hls.MediaPlaylist{
+		{MediaSequence: 0, Segments: []hls.Segment{{URI: "seg-0.m4s"}, {URI: "seg-1.m4s"}}},
+		{MediaSequence: 1, Segments: []hls.Segment{{URI: "seg-1.m4s"}, {URI: "seg-2.m4s"}}},
+		// seg-0 expired after the first refresh; re-listing it is the bug.
+		{MediaSequence: 1, Segments: []hls.Segment{{URI: "seg-0.m4s"}, {URI: "seg-2.m4s"}}},
+	}
+	fs := RefreshSequence("v1.m3u8", refreshes)
+	found := false
+	for _, f := range fs {
+		if f.Rule == "hls-media-sequence-regression" && strings.Contains(f.Message, "re-lists") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("resurrected segment not flagged: %v", fs)
+	}
+}
+
+// A well-formed sliding window (the generator's own output) must lint
+// clean under both live rules at every refresh.
+func TestLiveRulesPassOnGeneratedWindow(t *testing.T) {
+	c := media.DramaShow()
+	lw := &hls.LiveWindow{Content: c, Track: c.VideoTracks[0], WindowSize: 4, PartsPerSegment: 5}
+	var refreshes []*hls.MediaPlaylist
+	for complete := 1; complete <= c.NumChunks(); complete++ {
+		p := lw.At(complete)
+		if fs := LiveMedia("v1.m3u8", p); len(fs) != 0 {
+			t.Fatalf("refresh %d: generated window flagged by LiveMedia: %v", complete, fs)
+		}
+		refreshes = append(refreshes, p)
+	}
+	if fs := RefreshSequence("v1.m3u8", refreshes); len(fs) != 0 {
+		t.Fatalf("generated window flagged by RefreshSequence: %v", fs)
+	}
+}

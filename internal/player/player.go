@@ -114,6 +114,13 @@ type Config struct {
 	// demux request-doubling pathology at the transport layer. Nil keeps
 	// requests directly on the links.
 	Transport *netsim.TransportConfig
+	// Live, when non-nil, runs the session in latency-target live mode:
+	// the content plays the role of a live stream whose edge advances in
+	// real time, the session joins near the edge, chunk availability is
+	// gated on the encoder (segment or CMAF-part granularity), playback
+	// rate adapts to hold the latency target, and latency overruns resync
+	// by jumping forward. Nil keeps the VOD behaviour at zero cost.
+	Live *LiveConfig
 }
 
 // ChunkRequest identifies one wire request to the delivery path.
@@ -228,6 +235,11 @@ type Session struct {
 	lastTick time.Duration
 	underrun *netsim.Event
 	stallAt  time.Duration
+
+	// live is the latency-target controller state; nil for VOD sessions
+	// (every live hook on the playback clock and the fetch loops is
+	// guarded on it, so VOD behaviour is bit-identical to pre-live code).
+	live *liveState
 
 	res Result
 }
@@ -368,6 +380,11 @@ func Start(videoLink, audioLink *netsim.Link, cfg Config) (*Session, error) {
 		ModelName:       cfg.Model.Name(),
 		ContentDuration: s.content.Duration,
 	}
+	if cfg.Live != nil {
+		if err := s.initLive(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Kick off downloading and timeline logging.
 	if s.joint != nil {
@@ -401,10 +418,16 @@ func (s *Session) rel(t time.Duration) time.Duration { return t - s.t0 }
 
 // --- Playback ---------------------------------------------------------
 
-// playPosAt returns the playback position at time now.
+// playPosAt returns the playback position at time now. Live sessions play
+// at the catch-up controller's rate; VOD always at 1.0 (the branch is
+// guarded so the VOD path computes exactly what it always did).
 func (s *Session) playPosAt(now time.Duration) time.Duration {
 	if s.playing {
-		return s.playPos + (now - s.lastTick)
+		elapsed := now - s.lastTick
+		if s.live != nil && s.live.rate != 100 {
+			elapsed = time.Duration(float64(elapsed) * s.live.rateF())
+		}
+		return s.playPos + elapsed
 	}
 	return s.playPos
 }
@@ -495,7 +518,12 @@ func (s *Session) rescheduleUnderrun() {
 	if target > s.content.Duration {
 		target = s.content.Duration
 	}
-	at := now + (target - s.playPosAt(now))
+	remaining := target - s.playPosAt(now)
+	if s.live != nil && s.live.rate != 100 {
+		// Wall time to play the remaining media at the current rate.
+		remaining = time.Duration(float64(remaining) / s.live.rateF())
+	}
+	at := now + remaining
 	if at < now {
 		at = now
 	}
@@ -506,6 +534,12 @@ func (s *Session) onUnderrun() {
 	s.underrun = nil
 	now := s.eng.Now()
 	s.syncPlay(now)
+	if s.live != nil && s.content.Duration-s.playPos < time.Microsecond {
+		// Rate-scaled clock arithmetic rounds at nanosecond granularity;
+		// snap sub-microsecond remainders so a live session's final alarm
+		// still reaches the end of the content.
+		s.playPos = s.content.Duration
+	}
 	if s.playPos >= s.content.Duration {
 		s.finish(now)
 		return
@@ -551,6 +585,7 @@ func (s *Session) teardown() {
 		s.underrun = nil
 	}
 	s.collectTransport()
+	s.collectLive()
 }
 
 // collectTransport folds the connections' accounting into the result. An
@@ -659,7 +694,7 @@ func (s *Session) emitDecision(typ, track string, idx int, now time.Duration) {
 
 func (s *Session) state(chunkIdx int) abr.State {
 	now := s.eng.Now()
-	return abr.State{
+	st := abr.State{
 		Now:           s.rel(now),
 		PlayPos:       s.playPosAt(now),
 		VideoBuffer:   s.bufferOf(media.Video, now),
@@ -670,6 +705,12 @@ func (s *Session) state(chunkIdx int) abr.State {
 		LastVideo:     s.lastSel[media.Video],
 		LastAudio:     s.lastSel[media.Audio],
 	}
+	if s.live != nil {
+		st.Latency = s.liveLatency(now)
+		st.LatencyTarget = s.live.cfg.LatencyTarget
+		st.PlaybackRate = s.live.rateF()
+	}
+	return st
 }
 
 // --- Downloading: joint (chunk-synced) ----------------------------------
@@ -685,6 +726,12 @@ func (s *Session) fetchJoint() {
 		return
 	}
 	now := s.eng.Now()
+	if s.live != nil {
+		if at := s.chunkAvailableAt(idx); at > now {
+			s.liveWakeAt(liveWakeJoint, at, s.fetchJoint)
+			return
+		}
+	}
 	// Gate on the fuller buffer: in synced mode both buffers advance
 	// together, but the playhead drains them equally, so min==max except
 	// for in-flight skew.
@@ -906,6 +953,12 @@ func (s *Session) fetchWindowed(t media.Type) {
 		return
 	}
 	now := s.eng.Now()
+	if s.live != nil {
+		if at := s.chunkAvailableAt(idx); at > now {
+			s.liveWakeAt(liveWakeSlot(t), at, func() { s.fetchWindowed(t) })
+			return
+		}
+	}
 	if b := s.bufferOf(t, now); b >= s.cfg.MaxBuffer {
 		s.eng.Schedule(now+(b-s.cfg.MaxBuffer)+time.Millisecond, func() { s.fetchWindowed(t) })
 		return
@@ -947,6 +1000,12 @@ func (s *Session) fetchIndependent(t media.Type) {
 		return
 	}
 	now := s.eng.Now()
+	if s.live != nil {
+		if at := s.chunkAvailableAt(idx); at > now {
+			s.liveWakeAt(liveWakeSlot(t), at, func() { s.fetchIndependent(t) })
+			return
+		}
+	}
 	if b := s.bufferOf(t, now); b >= s.cfg.MaxBuffer {
 		s.eng.Schedule(now+(b-s.cfg.MaxBuffer)+time.Millisecond, func() { s.fetchIndependent(t) })
 		return

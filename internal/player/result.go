@@ -137,6 +137,10 @@ type Result struct {
 	// observable; nil otherwise (including for inert, zero-cost
 	// transports — the transport-off equivalence contract).
 	Transport *TransportStats
+	// Live summarizes the latency-target controller's accounting when the
+	// session ran in live mode; nil for VOD sessions (the live-off
+	// equivalence contract: VOD results carry no live fields at all).
+	Live *LiveStats
 	// Aborted reports that the session was cut short: a failure with no
 	// retry policy, or the Deadline. AbortReason says why.
 	Aborted     bool

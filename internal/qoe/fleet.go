@@ -47,6 +47,20 @@ type FleetMetrics struct {
 	AudioKbps       stats.Summary
 	RebufferSeconds stats.Summary
 	StartupSeconds  stats.Summary
+	// Live summarizes live-session latency accounting; nil when no session
+	// ran in live mode (the live-off equivalence contract).
+	Live *FleetLiveMetrics
+}
+
+// FleetLiveMetrics aggregates the latency-target accounting across a live
+// fleet. Only merge-order-independent quantities live here (a histogram and
+// an integer total), so sharded and exact aggregation agree exactly.
+type FleetLiveMetrics struct {
+	// LatencySeconds is the distribution of per-session mean live-edge
+	// latency.
+	LatencySeconds stats.Summary
+	// Resyncs totals live-edge resync jumps across the fleet.
+	Resyncs int64
 }
 
 // Sketch ranges for streaming fleet aggregation. Each range covers the
@@ -62,6 +76,8 @@ const (
 	rebufSketchBins = 7200  // 0.5 s resolution
 	startSketchHi   = 300   // startup delays are seconds, not minutes
 	startSketchBins = 6000  // 50 ms resolution
+	latSketchHi     = 120   // live-edge latency caps near the resync bound
+	latSketchBins   = 4800  // 25 ms resolution
 )
 
 // FleetAccumulator streams per-session metrics into mergeable sketches so a
@@ -76,6 +92,11 @@ type FleetAccumulator struct {
 	Audio          *stats.Sketch
 	Rebuffer       *stats.Sketch
 	Startup        *stats.Sketch
+	// Latency collects per-session mean live-edge latency; its N doubles as
+	// the live-session count (zero for VOD fleets). Resyncs totals resync
+	// jumps.
+	Latency *stats.Sketch
+	Resyncs int64
 }
 
 // NewFleetAccumulator returns an empty accumulator with the standard fleet
@@ -88,6 +109,7 @@ func NewFleetAccumulator() *FleetAccumulator {
 		Audio:          stats.NewSketch(0, kbpsSketchHi, kbpsSketchBins),
 		Rebuffer:       stats.NewSketch(0, rebufSketchHi, rebufSketchBins),
 		Startup:        stats.NewSketch(0, startSketchHi, startSketchBins),
+		Latency:        stats.NewSketch(0, latSketchHi, latSketchBins),
 	}
 }
 
@@ -103,6 +125,10 @@ func (a *FleetAccumulator) Add(m Metrics, completed bool) {
 	a.Audio.Add(m.AvgAudioBitrate.Kbps())
 	a.Rebuffer.Add(m.RebufferTime.Seconds())
 	a.Startup.Add(m.StartupDelay.Seconds())
+	if m.Live != nil {
+		a.Latency.Add(m.Live.MeanLatency.Seconds())
+		a.Resyncs += int64(m.Live.Resyncs)
+	}
 }
 
 // Merge folds another shard's accumulator into a.
@@ -113,6 +139,8 @@ func (a *FleetAccumulator) Merge(o *FleetAccumulator) {
 	a.Audio.Merge(o.Audio)
 	a.Rebuffer.Merge(o.Rebuffer)
 	a.Startup.Merge(o.Startup)
+	a.Latency.Merge(o.Latency)
+	a.Resyncs += o.Resyncs
 }
 
 // Sessions returns the number of sessions recorded.
@@ -122,7 +150,7 @@ func (a *FleetAccumulator) Sessions() int { return int(a.Score.N()) }
 // video bitrates cannot be recovered from a histogram, so the caller
 // supplies it from deterministically-folded JainPartials.
 func (a *FleetAccumulator) FleetMetrics(jainVideo float64) FleetMetrics {
-	return FleetMetrics{
+	f := FleetMetrics{
 		Sessions:        a.Sessions(),
 		JainVideoKbps:   jainVideo,
 		Score:           a.Score.Summary(),
@@ -131,6 +159,10 @@ func (a *FleetAccumulator) FleetMetrics(jainVideo float64) FleetMetrics {
 		RebufferSeconds: a.Rebuffer.Summary(),
 		StartupSeconds:  a.Startup.Summary(),
 	}
+	if a.Latency.N() > 0 {
+		f.Live = &FleetLiveMetrics{LatencySeconds: a.Latency.Summary(), Resyncs: a.Resyncs}
+	}
+	return f
 }
 
 // JainPartial accumulates the sufficient statistics for Jain's fairness
@@ -181,12 +213,18 @@ func ComputeFleet(ms []Metrics) FleetMetrics {
 	audio := make([]float64, len(ms))
 	rebuf := make([]float64, len(ms))
 	start := make([]float64, len(ms))
+	var lat []float64
+	var resyncs int64
 	for i, m := range ms {
 		score[i] = m.Score
 		video[i] = m.AvgVideoBitrate.Kbps()
 		audio[i] = m.AvgAudioBitrate.Kbps()
 		rebuf[i] = m.RebufferTime.Seconds()
 		start[i] = m.StartupDelay.Seconds()
+		if m.Live != nil {
+			lat = append(lat, m.Live.MeanLatency.Seconds())
+			resyncs += int64(m.Live.Resyncs)
+		}
 	}
 	f.JainVideoKbps = Jain(video)
 	f.Score = stats.Summarize(score)
@@ -194,5 +232,8 @@ func ComputeFleet(ms []Metrics) FleetMetrics {
 	f.AudioKbps = stats.Summarize(audio)
 	f.RebufferSeconds = stats.Summarize(rebuf)
 	f.StartupSeconds = stats.Summarize(start)
+	if len(lat) > 0 {
+		f.Live = &FleetLiveMetrics{LatencySeconds: stats.Summarize(lat), Resyncs: resyncs}
+	}
 	return f
 }

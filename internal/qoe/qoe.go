@@ -69,6 +69,36 @@ type Metrics struct {
 	BufferHealth stats.Summary
 	// Score is the composite QoE (higher is better).
 	Score float64
+	// Live carries latency-target metrics for live sessions; nil for VOD
+	// (the live-off equivalence contract).
+	Live *LiveMetrics
+}
+
+// LiveMetrics summarizes a live session's latency-target controller: how
+// close the session held to its target, and what catch-up cost (rate
+// changes, resync jumps, skipped media) it paid to do so.
+type LiveMetrics struct {
+	// LatencyTarget echoes the configured target; JoinLatency is the
+	// latency at join.
+	LatencyTarget time.Duration
+	JoinLatency   time.Duration
+	// MeanLatency, MaxLatency and FinalLatency summarize the sampled
+	// live-edge latency (FinalLatency: the last sample while the stream was
+	// still producing — steady-state drift).
+	MeanLatency  time.Duration
+	MaxLatency   time.Duration
+	FinalLatency time.Duration
+	// RateChanges counts catch-up controller adjustments; CatchupTime and
+	// SlowdownTime the played time above and below 1.0x; MeanRate the
+	// time-weighted mean playback rate.
+	RateChanges  int
+	CatchupTime  time.Duration
+	SlowdownTime time.Duration
+	MeanRate     float64
+	// Resyncs counts live-edge resync jumps; SkippedTime the media they
+	// discarded.
+	Resyncs     int
+	SkippedTime time.Duration
 }
 
 // utility returns the log-relative quality of a track within its ladder.
@@ -92,6 +122,21 @@ func Compute(res *player.Result, content *media.Content, allowed []media.Combo, 
 	}
 	m.StartupDelay = res.StartupDelay
 	m.MaxImbalance = res.MaxBufferImbalance()
+	if ls := res.Live; ls != nil {
+		m.Live = &LiveMetrics{
+			LatencyTarget: ls.LatencyTarget,
+			JoinLatency:   ls.JoinLatency,
+			MeanLatency:   ls.MeanLatency,
+			MaxLatency:    ls.MaxLatency,
+			FinalLatency:  ls.FinalLatency,
+			RateChanges:   ls.RateChanges,
+			CatchupTime:   ls.CatchupTime,
+			SlowdownTime:  ls.SlowdownTime,
+			MeanRate:      ls.MeanRate,
+			Resyncs:       ls.Resyncs,
+			SkippedTime:   ls.SkippedTime,
+		}
+	}
 
 	var imbSum time.Duration
 	minBuffers := make([]float64, 0, len(res.Timeline))

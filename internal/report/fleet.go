@@ -45,6 +45,10 @@ type Fleet struct {
 	RebufferS      Distribution `json:"rebuffer_s"`
 	StartupS       Distribution `json:"startup_s"`
 
+	// Live carries the fleet-level latency aggregates of live runs; nil for
+	// VOD fleets — so VOD documents keep their exact pre-live shape.
+	Live *FleetLive `json:"live,omitempty"`
+
 	Cache CacheStats `json:"cache"`
 
 	// TimelineCounters aggregates the flight-recorder counters across all
@@ -109,6 +113,13 @@ func (d *Distribution) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// FleetLive is the export shape of qoe.FleetLiveMetrics: the distribution
+// of per-session mean live-edge latency, plus the fleet's resync total.
+type FleetLive struct {
+	LatencyS Distribution `json:"latency_s"`
+	Resyncs  int64        `json:"resyncs"`
+}
+
 // CacheStats is the shared-edge accounting: hit ratios and origin offload.
 type CacheStats struct {
 	Requests     int64   `json:"requests"`
@@ -149,6 +160,9 @@ func (f *Fleet) ApplyFleetMetrics(m qoe.FleetMetrics) {
 	f.AudioKbps = FromSummary(m.AudioKbps)
 	f.RebufferS = FromSummary(m.RebufferSeconds)
 	f.StartupS = FromSummary(m.StartupSeconds)
+	if m.Live != nil {
+		f.Live = &FleetLive{LatencyS: FromSummary(m.Live.LatencySeconds), Resyncs: m.Live.Resyncs}
+	}
 }
 
 // WriteJSON serializes the fleet report with indentation.

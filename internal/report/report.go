@@ -39,6 +39,26 @@ type Session struct {
 	// observable; nil otherwise — so transport-free (and zero-cost
 	// transport) documents keep their exact pre-transport shape.
 	Transport *TransportReport `json:"transport,omitempty"`
+
+	// Live carries the latency-target accounting of live sessions; nil for
+	// VOD — so VOD documents keep their exact pre-live shape.
+	Live *LiveReport `json:"live,omitempty"`
+}
+
+// LiveReport is the export shape of player.LiveStats.
+type LiveReport struct {
+	LatencyTargetS float64 `json:"latency_target_s"`
+	JoinLatencyS   float64 `json:"join_latency_s"`
+	MeanLatencyS   float64 `json:"mean_latency_s"`
+	MaxLatencyS    float64 `json:"max_latency_s"`
+	FinalLatencyS  float64 `json:"final_latency_s"`
+	Samples        int     `json:"samples"`
+	RateChanges    int     `json:"rate_changes"`
+	CatchupS       float64 `json:"catchup_s"`
+	SlowdownS      float64 `json:"slowdown_s"`
+	MeanRate       float64 `json:"mean_rate"`
+	Resyncs        int     `json:"resyncs"`
+	SkippedS       float64 `json:"skipped_s"`
 }
 
 // TransportReport is the export shape of player.TransportStats.
@@ -73,6 +93,11 @@ type TimelineCounters struct {
 	// pre-transport shape.
 	Handshakes int64 `json:"handshakes,omitempty"`
 	HoLStalls  int64 `json:"hol_stalls,omitempty"`
+	// LatencySamples, RateChanges and LiveResyncs mirror the live counters;
+	// omitempty keeps VOD documents byte-identical to their pre-live shape.
+	LatencySamples int64 `json:"latency_samples,omitempty"`
+	RateChanges    int64 `json:"rate_changes,omitempty"`
+	LiveResyncs    int64 `json:"live_resyncs,omitempty"`
 }
 
 // CountersFrom converts a timeline counters registry to the export shape.
@@ -92,6 +117,9 @@ func CountersFrom(c timeline.Counters) *TimelineCounters {
 		BytesDownloaded: c.BytesDownloaded,
 		Handshakes:      c.Handshakes,
 		HoLStalls:       c.HoLStalls,
+		LatencySamples:  c.LatencySamples,
+		RateChanges:     c.RateChanges,
+		LiveResyncs:     c.LiveResyncs,
 	}
 }
 
@@ -194,6 +222,22 @@ func FromResult(contentName string, res *player.Result, m qoe.Metrics) *Session 
 			HoLStalls:        t.HoLStalls,
 			HandshakeWaitS:   t.HandshakeWait.Seconds(),
 			HoLWaitS:         t.HoLWait.Seconds(),
+		}
+	}
+	if l := res.Live; l != nil {
+		s.Live = &LiveReport{
+			LatencyTargetS: l.LatencyTarget.Seconds(),
+			JoinLatencyS:   l.JoinLatency.Seconds(),
+			MeanLatencyS:   l.MeanLatency.Seconds(),
+			MaxLatencyS:    l.MaxLatency.Seconds(),
+			FinalLatencyS:  l.FinalLatency.Seconds(),
+			Samples:        l.Samples,
+			RateChanges:    l.RateChanges,
+			CatchupS:       l.CatchupTime.Seconds(),
+			SlowdownS:      l.SlowdownTime.Seconds(),
+			MeanRate:       l.MeanRate,
+			Resyncs:        l.Resyncs,
+			SkippedS:       l.SkippedTime.Seconds(),
 		}
 	}
 	for _, p := range res.Timeline {

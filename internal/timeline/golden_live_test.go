@@ -1,0 +1,101 @@
+package timeline_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"demuxabr/internal/core"
+	"demuxabr/internal/media"
+	"demuxabr/internal/player"
+	"demuxabr/internal/timeline"
+	"demuxabr/internal/trace"
+)
+
+// recordGoldenLiveSession plays the live reference session: the golden
+// asset in latency-target mode over a square wave whose trough is deep
+// enough to overrun the resync threshold, so the recording exercises the
+// full live vocabulary — latency samples, catch-up rate changes, and a
+// live-edge resync.
+func recordGoldenLiveSession(t *testing.T) *timeline.Recorder {
+	t.Helper()
+	rec := timeline.New(0, "golden live bestpractice")
+	sess, err := core.Play(core.Spec{
+		Content:  goldenContent(),
+		Profile:  trace.SquareWave(media.Kbps(2000), media.Kbps(50), 30*time.Second, 12*time.Second),
+		Player:   core.BestPractice,
+		Recorder: rec,
+		Live: &player.LiveConfig{
+			LatencyTarget:   3 * time.Second,
+			PartTarget:      500 * time.Millisecond,
+			EdgeAtJoin:      30 * time.Second,
+			ResyncThreshold: 8 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Result.Aborted {
+		t.Fatalf("golden live session aborted: %s", sess.Result.AbortReason)
+	}
+	if sess.Result.Live == nil {
+		t.Fatal("golden live session carried no live stats")
+	}
+	return rec
+}
+
+// TestTimelineGoldenLiveExport pins the live event vocabulary and its JSONL
+// shape against testdata/golden_live_session.jsonl (regenerate with
+// -update): latency samples, rate changes, and at least one live-edge
+// resync must all appear, and the export may not drift a byte.
+func TestTimelineGoldenLiveExport(t *testing.T) {
+	rec := recordGoldenLiveSession(t)
+
+	got := map[timeline.Kind]int{}
+	for _, ev := range rec.Events() {
+		got[ev.Kind]++
+	}
+	for _, kind := range []timeline.Kind{
+		timeline.LatencySample, timeline.RateChange, timeline.LiveResync,
+		timeline.StallStart, timeline.StallEnd, timeline.SessionEnd,
+	} {
+		if got[kind] == 0 {
+			t.Errorf("golden live session recorded no %s events", kind)
+		}
+	}
+
+	counters := rec.Counters()
+	if counters.LatencySamples == 0 || counters.RateChanges == 0 || counters.LiveResyncs == 0 {
+		t.Errorf("live counters not populated: %+v", counters)
+	}
+
+	data := exportJSONL(t, rec)
+	golden := filepath.Join("testdata", "golden_live_session.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("JSONL export differs from %s (run with -update if the change is intended)", golden)
+	}
+}
+
+// TestTimelineGoldenLiveRepeatByteIdentical replays the live reference
+// session and demands byte-equal exports.
+func TestTimelineGoldenLiveRepeatByteIdentical(t *testing.T) {
+	first := recordGoldenLiveSession(t)
+	second := recordGoldenLiveSession(t)
+	if !bytes.Equal(exportJSONL(t, first), exportJSONL(t, second)) {
+		t.Error("live JSONL export differs between two identical runs")
+	}
+}

@@ -78,6 +78,17 @@ const (
 	// the stall length, Type the stream's label, Detail the protocol. An
 	// H2 loss emits one HoLStall per stream it head-of-line blocked.
 	HoLStall
+	// LatencySample is a periodic live-edge latency measurement; Dur is the
+	// latency (live edge minus playback position), Rate the current
+	// playback rate.
+	LatencySample
+	// RateChange is the live catch-up controller adjusting playback speed;
+	// Rate is the new playback rate, Detail the previous one.
+	RateChange
+	// LiveResync is the player jumping forward to re-acquire the live edge
+	// after latency overran the resync threshold; Dur is the media time
+	// skipped.
+	LiveResync
 
 	numKinds
 )
@@ -127,6 +138,12 @@ func (k Kind) String() string {
 		return "handshake"
 	case HoLStall:
 		return "hol-stall"
+	case LatencySample:
+		return "latency-sample"
+	case RateChange:
+		return "rate-change"
+	case LiveResync:
+		return "live-resync"
 	default:
 		return "unknown"
 	}
@@ -200,6 +217,14 @@ type Counters struct {
 	Handshakes int64 `json:"handshakes,omitempty"`
 	// HoLStalls is documented with Handshakes.
 	HoLStalls int64 `json:"hol_stalls,omitempty"`
+	// LatencySamples, RateChanges, and LiveResyncs count live-session
+	// events. All omitempty so documents from VOD runs keep their exact
+	// pre-live shape.
+	LatencySamples int64 `json:"latency_samples,omitempty"`
+	// RateChanges is documented with LatencySamples.
+	RateChanges int64 `json:"rate_changes,omitempty"`
+	// LiveResyncs is documented with LatencySamples.
+	LiveResyncs int64 `json:"live_resyncs,omitempty"`
 }
 
 // add folds one event into the counters.
@@ -232,6 +257,12 @@ func (c *Counters) add(ev Event) {
 		c.Handshakes++
 	case HoLStall:
 		c.HoLStalls++
+	case LatencySample:
+		c.LatencySamples++
+	case RateChange:
+		c.RateChanges++
+	case LiveResync:
+		c.LiveResyncs++
 	}
 }
 
@@ -252,6 +283,9 @@ func (c Counters) Merge(o Counters) Counters {
 		BytesDownloaded: c.BytesDownloaded + o.BytesDownloaded,
 		Handshakes:      c.Handshakes + o.Handshakes,
 		HoLStalls:       c.HoLStalls + o.HoLStalls,
+		LatencySamples:  c.LatencySamples + o.LatencySamples,
+		RateChanges:     c.RateChanges + o.RateChanges,
+		LiveResyncs:     c.LiveResyncs + o.LiveResyncs,
 	}
 }
 
