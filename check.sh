@@ -29,7 +29,12 @@
 #                    every level (session stats, timeline golden, fleet
 #                    JSON, shard equivalence), and the LL-ABR comparison
 #                    is deterministic with the documented orderings
-#  11. benchmem      fleet benchmarks compile and run once, so the
+#  11. shaping       the offline-chunking stage's two contracts: the same
+#                    seed yields a byte-identical plan at any worker count
+#                    (shaping-determinism), and content without shaping
+#                    keeps byte-identical manifests and chunk sizes
+#                    (uniform zero-cost, pinned by the golden manifests)
+#  12. benchmem      fleet benchmarks compile and run once, so the
 #                    allocs/op trajectory is always measurable
 #
 # Exits non-zero on the first failing step.
@@ -80,6 +85,11 @@ echo "== live gates (zero-cost off-equivalence + deterministic LL orderings)"
 go test -race -count=1 \
 	-run 'TestLiveOffLeavesNoStats|TestFleetZeroCostLive|TestFleetShardEquivalenceLive|TestFleetLiveAggregates|TestLiveComparisonDeterminism|TestLiveModelOrdering|TestLiveDeltaOrdering|TestTimelineGoldenLive' \
 	./internal/player ./internal/fleet ./internal/experiments ./internal/timeline
+
+echo "== shaping gates (seeded plan determinism + uniform zero-cost contract)"
+go test -race -count=1 \
+	-run 'TestShapingDeterminism|TestLadderParallelDeterminism|TestFixedSpecKeepsUniformContract|TestGoldenMPD|TestGoldenMaster|TestGoldenMediaPlaylist' \
+	./internal/shaping ./internal/experiments ./internal/manifest/dash ./internal/manifest/hls
 
 echo "== benchmem smoke (1 iteration per fleet benchmark)"
 go test -run=NONE -bench 'BenchmarkBandwidthSweep|BenchmarkSeedSweep|BenchmarkCDNCacheSweep|BenchmarkFleet|BenchmarkLiveSession' \

@@ -41,6 +41,7 @@ import (
 	"demuxabr/internal/qoe"
 	"demuxabr/internal/report"
 	"demuxabr/internal/runpool"
+	"demuxabr/internal/shaping"
 	"demuxabr/internal/timeline"
 	"demuxabr/internal/trace"
 )
@@ -51,6 +52,8 @@ func main() {
 	traceFile := flag.String("trace", "", "bandwidth trace CSV (seconds,kbps rows; overrides -kbps)")
 	profileName := flag.String("profile", "", "named bandwidth profile (fig2, fig3, fig4a, fig4b, fig5, exohls-5m, lte); overrides -kbps")
 	contentName := flag.String("content", "drama", "content: drama, drama-low-audio, drama-high-audio, music-show, action-movie")
+	shapingSeed := flag.Int64("shaping-seed", 21, "seed for -shaping (scene model and ladder search)")
+	shapingMode := flag.String("shaping", "", "offline content preparation: chunks (shaped per-type boundaries, authored ladder), full (boundaries + searched per-title ladder), or fixed (uniform chunks but the same scene signal); drama content only")
 	manifest := flag.String("manifest", "hsub", "HLS manifest combinations: hsub (curated) or hall (all)")
 	audioFirst := flag.String("audio-first", "", "audio track listed first in the HLS manifest (e.g. A3)")
 	timelineCSV := flag.String("timeline-csv", "", "write the session timeline as CSV to this file")
@@ -86,13 +89,14 @@ func main() {
 	fo := faultOpts{rate: *faultRate, seed: *faultSeed, noRetry: *noRetry}
 	to := transportOpts{proto: *transport, rtt: *rtt, seed: *faultSeed}
 	lo := liveOpts{enabled: *live, latencyTarget: *latencyTarget, partTarget: *partTarget}
+	so := shapingOpts{mode: *shapingMode, seed: *shapingSeed}
 	switch {
 	case *compare:
-		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo, to, lo)
+		err = runCompare(*kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *parallel, *timelineDir, fo, to, lo, so)
 	case *sessions > 1:
-		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, *cell, *shards, *sampleTimelines, fo, to, lo)
+		err = runFleet(*sessions, *arrivalSpread, *mix, *playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *jsonOut, *timelineDir, *seed, *cell, *shards, *sampleTimelines, fo, to, lo, so)
 	default:
-		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo, to, lo)
+		err = run(*playerName, *kbps, *traceFile, *profileName, *contentName, *manifest, *audioFirst, *timelineCSV, *timelineDir, *jsonOut, fo, to, lo, so)
 	}
 	if perr := stopProfiles(); err == nil {
 		err = perr
@@ -226,7 +230,7 @@ func (lo liveOpts) config() *player.LiveConfig {
 	}
 }
 
-func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, timelineDir string, fo faultOpts, to transportOpts, lo liveOpts) error {
+func runCompare(kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, parallel int, timelineDir string, fo faultOpts, to transportOpts, lo liveOpts, so shapingOpts) error {
 	kinds := core.PlayerKinds()
 	// Recorders are pre-created in kind order: each worker appends only to
 	// its own, so the exported timeline is byte-identical at any -parallel.
@@ -238,7 +242,7 @@ func runCompare(kbps float64, traceFile, profileName, contentName, manifest, aud
 		}
 	}
 	sessions, err := runpool.Map(parallel, len(kinds), func(i int) (*core.Session, error) {
-		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, recFor(recs, i), fo, to, lo)
+		sess, err := playOnce(string(kinds[i]), kbps, traceFile, profileName, contentName, manifest, audioFirst, recFor(recs, i), fo, to, lo, so)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", kinds[i], err)
 		}
@@ -266,6 +270,54 @@ func runCompare(kbps float64, traceFile, profileName, contentName, manifest, aud
 			m.VideoSwitches, m.AudioSwitches, m.OffManifest, qoeCell)
 	}
 	return tw.Flush()
+}
+
+// shapingOpts carries the -shaping/-shaping-seed flags. An empty mode
+// means no offline preparation: content comes straight from the preset,
+// byte-identical to pre-shaping builds.
+type shapingOpts struct {
+	mode string
+	seed int64
+}
+
+// content resolves -content, applying the offline shaping stage when
+// requested. Shaping re-synthesizes the drama title from a seeded scene
+// signal, so it is restricted to the drama content whose encoding spec it
+// reconstructs; the shaped modes misalign the A/V timelines on purpose, so
+// joint and muxed players will refuse them.
+func (so shapingOpts) content(contentName string) (*media.Content, error) {
+	if so.mode == "" {
+		return parseContent(contentName)
+	}
+	if contentName != "drama" {
+		return nil, fmt.Errorf("-shaping supports only -content drama, not %q", contentName)
+	}
+	base := media.ContentSpec{
+		Name:          "drama-show",
+		Duration:      media.DramaDuration,
+		ChunkDuration: media.DramaChunkDuration,
+		VideoTracks:   media.DramaVideoLadder(),
+		AudioTracks:   media.DramaAudioLadder(),
+		Model:         media.DefaultChunkModel(),
+	}
+	plan, err := shaping.Optimize(base, shaping.Config{Seed: so.seed, Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	var spec media.ContentSpec
+	switch so.mode {
+	case "fixed":
+		spec = plan.FixedSpec(base)
+	case "chunks":
+		spec = plan.FixedSpec(base)
+		spec.VideoChunks = plan.VideoChunks
+		spec.AudioChunks = plan.AudioChunks
+	case "full":
+		spec = plan.Spec(base)
+	default:
+		return nil, fmt.Errorf("unknown -shaping mode %q (chunks, full, or fixed)", so.mode)
+	}
+	return media.NewContent(spec)
 }
 
 // parseContent resolves the -content flag.
@@ -343,12 +395,12 @@ func recFor(recs []*timeline.Recorder, i int) *timeline.Recorder {
 
 // playOnce builds content, profile and manifest options from the CLI flags
 // and runs one session, attaching rec (may be nil) as its flight recorder.
-func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, rec *timeline.Recorder, fo faultOpts, to transportOpts, lo liveOpts) (*core.Session, error) {
+func playOnce(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst string, rec *timeline.Recorder, fo faultOpts, to transportOpts, lo liveOpts, so shapingOpts) (*core.Session, error) {
 	kind, err := core.ParsePlayerKind(playerName)
 	if err != nil {
 		return nil, err
 	}
-	content, err := parseContent(contentName)
+	content, err := so.content(contentName)
 	if err != nil {
 		return nil, err
 	}
@@ -400,8 +452,8 @@ func parseMix(mixStr, playerName string) ([]core.PlayerKind, error) {
 // shared edge uplink, every client gets a generous access link behind it,
 // and all sessions hit one shared edge cache. Output is a per-session table
 // plus the fleet aggregates; -json writes the full fleet report.
-func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, cell, shards, sampleTimelines int, fo faultOpts, to transportOpts, lo liveOpts) error {
-	content, err := parseContent(contentName)
+func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, jsonOut, timelineDir string, seed int64, cell, shards, sampleTimelines int, fo faultOpts, to transportOpts, lo liveOpts, so shapingOpts) error {
+	content, err := so.content(contentName)
 	if err != nil {
 		return err
 	}
@@ -493,12 +545,12 @@ func runFleet(n int, spread time.Duration, mixStr, playerName string, kbps float
 	return nil
 }
 
-func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineCSV, timelineDir, jsonOut string, fo faultOpts, to transportOpts, lo liveOpts) error {
+func run(playerName string, kbps float64, traceFile, profileName, contentName, manifest, audioFirst, timelineCSV, timelineDir, jsonOut string, fo faultOpts, to transportOpts, lo liveOpts, so shapingOpts) error {
 	var rec *timeline.Recorder
 	if timelineDir != "" {
 		rec = timeline.New(0, playerName)
 	}
-	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, rec, fo, to, lo)
+	sess, err := playOnce(playerName, kbps, traceFile, profileName, contentName, manifest, audioFirst, rec, fo, to, lo, so)
 	if err != nil {
 		return err
 	}

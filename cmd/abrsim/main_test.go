@@ -11,7 +11,7 @@ import (
 
 func TestRunFixedBandwidth(t *testing.T) {
 	tl := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", tl, "", "", faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", tl, "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(tl)
@@ -31,20 +31,20 @@ func TestRunTraceFile(t *testing.T) {
 	if err := os.WriteFile(traceFile, []byte("0,900\n30,300\n#cycle,60\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("shaka", 0, traceFile, "", "drama", "hall", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+	if err := run("shaka", 0, traceFile, "", "drama", "hall", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAudioFirst(t *testing.T) {
-	if err := run("exoplayer-hls", 2000, "", "", "drama", "hsub", "A3", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+	if err := run("exoplayer-hls", 2000, "", "", "drama", "hsub", "A3", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunContentVariants(t *testing.T) {
 	for _, c := range []string{"drama-low-audio", "drama-high-audio"} {
-		if err := run("exoplayer-dash", 900, "", "", c, "hsub", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+		if err := run("exoplayer-dash", 900, "", "", c, "hsub", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 			t.Fatalf("%s: %v", c, err)
 		}
 	}
@@ -64,7 +64,7 @@ func TestRunErrors(t *testing.T) {
 		{name: "missing trace", player: "shaka", content: "drama", manifest: "hsub", traceF: "/nonexistent.csv"},
 	}
 	for _, tc := range cases {
-		if err := run(tc.player, tc.kbps, tc.traceF, "", tc.content, tc.manifest, tc.audioFirst, tc.timeline, "", "", faultOpts{}, transportOpts{}, liveOpts{}); err == nil {
+		if err := run(tc.player, tc.kbps, tc.traceF, "", tc.content, tc.manifest, tc.audioFirst, tc.timeline, "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -72,7 +72,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunJSONExport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "session.json")
-	if err := run("mpc-joint", 1300, "", "", "drama", "hsub", "", "", "", out, faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+	if err := run("mpc-joint", 1300, "", "", "drama", "hsub", "", "", "", out, faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -88,17 +88,17 @@ func TestRunJSONExport(t *testing.T) {
 }
 
 func TestRunNamedProfile(t *testing.T) {
-	if err := run("shaka", 0, "", "fig4a", "drama", "hall", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+	if err := run("shaka", 0, "", "fig4a", "drama", "hall", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("shaka", 0, "", "bogus", "drama", "hall", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}); err == nil {
+	if err := run("shaka", 0, "", "bogus", "drama", "hall", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err == nil {
 		t.Error("unknown profile should fail")
 	}
 }
 
 func TestPlayOnceFaultFlags(t *testing.T) {
 	fo := faultOpts{rate: 0.01, seed: 1009}
-	on, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", nil, fo, transportOpts{}, liveOpts{})
+	on, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", nil, fo, transportOpts{}, liveOpts{}, shapingOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestPlayOnceFaultFlags(t *testing.T) {
 		t.Fatal("fault injection flags had no effect: no faults recorded")
 	}
 	fo.noRetry = true
-	off, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", nil, fo, transportOpts{}, liveOpts{})
+	off, err := playOnce("bestpractice", 0, "", "fig3", "drama", "hsub", "", nil, fo, transportOpts{}, liveOpts{}, shapingOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRunFleetDeterministicJSON(t *testing.T) {
 	render := func() []byte {
 		out := filepath.Join(t.TempDir(), "fleet.json")
 		if err := runFleet(4, 10*time.Second, "bestpractice,bola-joint", "bestpractice",
-			12000, "", "", "drama", "hsub", "", out, "", 17, 0, 0, 0, faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+			12000, "", "", "drama", "hsub", "", out, "", 17, 0, 0, 0, faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -148,20 +148,20 @@ func TestRunFleetDeterministicJSON(t *testing.T) {
 
 func TestRunFleetErrors(t *testing.T) {
 	if err := runFleet(4, 0, "bestpractice,vlc", "bestpractice",
-		12000, "", "", "drama", "hsub", "", "", "", 17, 0, 0, 0, faultOpts{}, transportOpts{}, liveOpts{}); err == nil {
+		12000, "", "", "drama", "hsub", "", "", "", 17, 0, 0, 0, faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err == nil {
 		t.Error("bad mix entry: expected error")
 	}
 	if err := runFleet(4, 0, "", "bestpractice",
-		0, "", "", "drama", "hsub", "", "", "", 17, 0, 0, 0, faultOpts{}, transportOpts{}, liveOpts{}); err == nil {
+		0, "", "", "drama", "hsub", "", "", "", 17, 0, 0, 0, faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err == nil {
 		t.Error("no bandwidth: expected error")
 	}
 }
 
 func TestRunCompare(t *testing.T) {
-	if err := runCompare(900, "", "", "drama", "hsub", "", 0, "", faultOpts{}, transportOpts{}, liveOpts{}); err != nil {
+	if err := runCompare(900, "", "", "drama", "hsub", "", 0, "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(0, "", "", "drama", "hsub", "", 1, "", faultOpts{}, transportOpts{}, liveOpts{}); err == nil {
+	if err := runCompare(0, "", "", "drama", "hsub", "", 1, "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{}); err == nil {
 		t.Error("compare without bandwidth should fail")
 	}
 }
@@ -169,7 +169,7 @@ func TestRunCompare(t *testing.T) {
 func TestRunTimelineDir(t *testing.T) {
 	dir := t.TempDir()
 	fo := faultOpts{rate: 0.01, seed: 1009}
-	if err := run("bestpractice", 0, "", "fig3", "drama", "hsub", "", "", dir, "", fo, transportOpts{}, liveOpts{}); err != nil {
+	if err := run("bestpractice", 0, "", "fig3", "drama", "hsub", "", "", dir, "", fo, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	jsonl, err := os.ReadFile(filepath.Join(dir, "session.jsonl"))
@@ -197,7 +197,7 @@ func TestTimelineCompareParallelEquivalence(t *testing.T) {
 	render := func(parallel int) (jsonl, traceJSON []byte) {
 		dir := t.TempDir()
 		fo := faultOpts{rate: 0.01, seed: 1009}
-		if err := runCompare(0, "", "fig3", "drama", "hsub", "", parallel, dir, fo, transportOpts{}, liveOpts{}); err != nil {
+		if err := runCompare(0, "", "fig3", "drama", "hsub", "", parallel, dir, fo, transportOpts{}, liveOpts{}, shapingOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		jsonl, err := os.ReadFile(filepath.Join(dir, "compare.jsonl"))
@@ -220,5 +220,25 @@ func TestTimelineCompareParallelEquivalence(t *testing.T) {
 	}
 	if !json.Valid(serialTrace) {
 		t.Error("compare.trace.json is not valid JSON")
+	}
+}
+
+// TestRunShaped exercises the -shaping preparation: per-type players play
+// the shaped (misaligned) title, joint players refuse it, and the flag is
+// validated.
+func TestRunShaped(t *testing.T) {
+	if err := run("dashjs", 900, "", "", "drama", "hsub", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{mode: "chunks", seed: 21}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bestpractice", 900, "", "", "drama", "hsub", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{mode: "chunks", seed: 21}); err == nil {
+		t.Error("joint player on misaligned shaped content: expected error")
+	} else if !strings.Contains(err.Error(), "aligned") {
+		t.Errorf("joint-player error %q does not explain the alignment requirement", err)
+	}
+	if err := run("dashjs", 900, "", "", "music-show", "hsub", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{mode: "chunks", seed: 21}); err == nil {
+		t.Error("-shaping with non-drama content: expected error")
+	}
+	if err := run("dashjs", 900, "", "", "drama", "hsub", "", "", "", "", faultOpts{}, transportOpts{}, liveOpts{}, shapingOpts{mode: "bogus", seed: 21}); err == nil {
+		t.Error("unknown -shaping mode: expected error")
 	}
 }

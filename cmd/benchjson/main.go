@@ -76,6 +76,12 @@ func fleetWorkloads() []workload {
 			_, err := experiments.CompareParallel(experiments.Scenarios()[1], p)
 			return err
 		}},
+		// One full shaping pipeline (scene model, per-type boundary DPs,
+		// ladder search) plus the six cross-product sessions it feeds.
+		{"ladder-cross", func(p int) error {
+			_, _, err := experiments.LadderCross(p)
+			return err
+		}},
 		{"cdn-cache-sweep", func(p int) error {
 			content := media.DramaShow()
 			pop := cdnsim.Population{Viewers: 60, VideoZipf: 1.2, AudioSpread: 3, Seed: 11}

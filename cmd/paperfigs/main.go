@@ -52,7 +52,7 @@ func main() {
 }
 
 func realMain() int {
-	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn, transport, live, fleetscale)")
+	only := flag.String("only", "", "run a single experiment (table1..fig5, compare, ablate, cdn, transport, live, ladder, fleetscale)")
 	csvDir := flag.String("csv", "", "write figure timelines as CSV into this directory")
 	flag.IntVar(&parallelN, "parallel", 0, "fleet worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.IntVar(&fleetN, "fleet-n", 1000, "fleet size for -only fleetscale (cells of 16 sessions, streaming aggregation)")
@@ -105,7 +105,7 @@ func realMain() int {
 		{"verify", verify}, {"language", language},
 		{"seeds", seeds}, {"startup", startup}, {"pareto", pareto},
 		{"resilience", resilience}, {"transport", transport},
-		{"live", live},
+		{"live", live}, {"ladder", ladder},
 		{"fleet", fleet}, {"fleetscale", fleetscale},
 	}
 	ran := 0
@@ -581,6 +581,19 @@ func live(string) error {
 		return err
 	}
 	experiments.PrintLive(os.Stdout, cells, tcells)
+	return nil
+}
+
+// ladder runs the offline-chunking × online-ABR cross-product: one title
+// prepared with uniform chunks, shaped per-type chunks, and shaped chunks
+// plus a searched per-title ladder — each streamed by the per-type players
+// over an RTT-priced link.
+func ladder(string) error {
+	cells, plan, err := experiments.LadderCross(parallelN)
+	if err != nil {
+		return err
+	}
+	experiments.PrintLadder(os.Stdout, cells, plan)
 	return nil
 }
 

@@ -267,6 +267,9 @@ func (p sessionPlan) request(c *Cache, idx int) int {
 // planSessions precomputes the object streams for a workload. Streams are
 // shared between sessions selecting the same track or combination, so the
 // key tables cost O(distinct objects × chunks), not O(sessions × chunks).
+// The workloads interleave audio and video by shared chunk index, which —
+// like muxed packaging itself — assumes aligned A/V timelines; shaped
+// per-type timelines are a player-path concern, not a CDN-object one.
 func planSessions(mode Mode, c *media.Content, sessions []Session) []sessionPlan {
 	n := c.NumChunks()
 	plans := make([]sessionPlan, len(sessions))

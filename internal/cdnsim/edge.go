@@ -92,7 +92,7 @@ func (e *Edge) request(session int, obj Object) bool {
 func (e *Edge) trackStream(tr *media.Track) *objectStream {
 	st, ok := e.trackStreams[tr]
 	if !ok {
-		n := e.content.NumChunks()
+		n := e.content.NumChunksOf(tr.Type)
 		st = &objectStream{id: tr.ID, keys: make([]string, n), sizes: e.content.TrackSizes(tr)}
 		for idx := 0; idx < n; idx++ {
 			st.keys[idx] = trackKey(tr, idx)

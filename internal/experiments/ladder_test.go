@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"demuxabr/internal/media"
+)
+
+// TestLadderCross is the acceptance check for the content-aware chunking
+// pipeline: on demuxed A/V with deliberately misaligned per-type
+// boundaries, the shaped preparation must beat the fixed-uniform baseline
+// of the SAME content (same scene signal, same ladder) on the RTT-priced
+// link — fewer requests and scene-snapped boundaries are worth real QoE,
+// not just offline objective points.
+func TestLadderCross(t *testing.T) {
+	cells, plan, err := LadderCross(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Scenes) == 0 {
+		t.Fatal("plan carries no scene signal")
+	}
+
+	byKey := map[string]LadderCell{}
+	for _, c := range cells {
+		byKey[c.Variant+"/"+c.Outcome.Model] = c
+	}
+	fixed, ok := byKey["fixed-uniform/dashjs"]
+	if !ok {
+		t.Fatal("missing fixed-uniform/dashjs cell")
+	}
+	shaped, ok := byKey["shaped-chunks/dashjs"]
+	if !ok {
+		t.Fatal("missing shaped-chunks/dashjs cell")
+	}
+
+	// The preparations must actually differ in the dimension under study.
+	if !fixed.Aligned {
+		t.Error("fixed-uniform preparation lost its aligned uniform timeline")
+	}
+	if shaped.Aligned {
+		t.Error("shaped preparation's A/V timelines are aligned; shaping must diverge them")
+	}
+	fixedReqs := fixed.VideoChunks + fixed.AudioChunks
+	shapedReqs := shaped.VideoChunks + shaped.AudioChunks
+	if shapedReqs >= fixedReqs {
+		t.Errorf("shaped preparation issues %d requests, want fewer than the uniform %d", shapedReqs, fixedReqs)
+	}
+
+	// The QoE delta: same ladder, same scene signal, same link — the only
+	// difference is where the chunk boundaries sit.
+	if s, f := shaped.Outcome.Metrics.Score, fixed.Outcome.Metrics.Score; s <= f {
+		t.Errorf("shaped chunking QoE %.3f does not beat fixed-uniform %.3f on the RTT-priced link", s, f)
+	}
+	if s, f := shaped.Outcome.Metrics.AvgVideoBitrate, fixed.Outcome.Metrics.AvgVideoBitrate; s <= f {
+		t.Errorf("shaped chunking avg video %.0fK does not beat fixed-uniform %.0fK", s.Kbps(), f.Kbps())
+	}
+
+	// Every cell must come from a finished session on the intended models.
+	for _, c := range cells {
+		if !c.Outcome.Result.Ended {
+			t.Errorf("%s/%s: session did not finish", c.Variant, c.Outcome.Model)
+		}
+		if got := len(c.Outcome.Result.ChunksOf(media.Video)); got != c.VideoChunks {
+			t.Errorf("%s/%s: fetched %d video chunks, want %d", c.Variant, c.Outcome.Model, got, c.VideoChunks)
+		}
+		if got := len(c.Outcome.Result.ChunksOf(media.Audio)); got != c.AudioChunks {
+			t.Errorf("%s/%s: fetched %d audio chunks, want %d", c.Variant, c.Outcome.Model, got, c.AudioChunks)
+		}
+	}
+
+	// The printed table carries every cell.
+	var buf bytes.Buffer
+	PrintLadder(&buf, cells, plan)
+	for _, want := range []string{"fixed-uniform", "shaped-chunks", "shaped-ladder", "dashjs", "bestpractice-independent"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("PrintLadder output missing %q", want)
+		}
+	}
+}
+
+// TestLadderParallelDeterminism pins the -parallel contract for the
+// family: the cross-product table is byte-identical at any worker count.
+func TestLadderParallelDeterminism(t *testing.T) {
+	serialCells, serialPlan, err := LadderCross(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCells, parPlan, err := LadderCross(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	PrintLadder(&a, serialCells, serialPlan)
+	PrintLadder(&b, parCells, parPlan)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("ladder table differs between -parallel 1 and -parallel 8:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -78,7 +78,7 @@ func windowedVideoKbps(res *player.Result, c *media.Content, from, to time.Durat
 		if ch.Type != media.Video || ch.DecidedAt < from || ch.DecidedAt >= to {
 			continue
 		}
-		d := c.ChunkDurationAt(ch.Index).Seconds()
+		d := c.ChunkDurationOf(media.Video, ch.Index).Seconds()
 		bitSeconds += float64(ch.Track.AvgBitrate) * d
 		seconds += d
 	}

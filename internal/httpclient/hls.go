@@ -29,6 +29,10 @@ type HLSManifest struct {
 	ChunkDuration time.Duration
 
 	segURIs map[string][]string // track ID -> per-chunk URIs
+	// segDurs is the video timeline's per-segment durations (EXTINF is
+	// authoritative per segment; this client pairs A/V by index, so the
+	// video timeline drives its playback clock).
+	segDurs []time.Duration
 }
 
 // NumChunks implements Source. Media playlists can disagree on segment
@@ -66,6 +70,14 @@ func (m *HLSManifest) Tracks(t media.Type) []*media.Track {
 
 // ChunkDur implements Source.
 func (m *HLSManifest) ChunkDur() time.Duration { return m.ChunkDuration }
+
+// SegmentDurationAt implements Source: the EXTINF duration of segment idx.
+func (m *HLSManifest) SegmentDurationAt(idx int) time.Duration {
+	if idx < 0 || idx >= len(m.segDurs) {
+		return m.ChunkDuration
+	}
+	return m.segDurs[idx]
+}
 
 // SegmentPath implements Source.
 func (m *HLSManifest) SegmentPath(tr *media.Track, idx int) string {
@@ -128,6 +140,11 @@ func FetchHLS(ctx context.Context, client *http.Client, baseURL string) (*HLSMan
 			total += seg.Duration
 			if out.ChunkDuration == 0 || seg.Duration > out.ChunkDuration {
 				out.ChunkDuration = seg.Duration
+			}
+		}
+		if typ == media.Video && out.segDurs == nil {
+			for _, seg := range pl.Segments {
+				out.segDurs = append(out.segDurs, seg.Duration)
 			}
 		}
 		if total > out.Duration {

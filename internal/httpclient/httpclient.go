@@ -31,15 +31,32 @@ type Manifest struct {
 	// pattern, indexed by media.Type — segment addressing never assumes
 	// anything about the path layout beyond the $…$ substitutions.
 	mediaTemplates [2]string
+	// segments holds the per-segment durations expanded from the MPD's
+	// SegmentTemplate (timeline when declared, nominal tiling otherwise) —
+	// the authoritative chunk count and index↔time source. The old
+	// Duration/ChunkDuration division over-counted whenever a declared
+	// timeline disagreed with the nominal duration.
+	segments []time.Duration
 }
 
 // NumChunks returns the chunk count.
 func (m *Manifest) NumChunks() int {
+	if len(m.segments) > 0 {
+		return len(m.segments)
+	}
 	n := int(m.Duration / m.ChunkDuration)
 	if m.Duration%m.ChunkDuration != 0 {
 		n++
 	}
 	return n
+}
+
+// SegmentDurationAt implements Source: the actual duration of segment idx.
+func (m *Manifest) SegmentDurationAt(idx int) time.Duration {
+	if idx < 0 || idx >= len(m.segments) {
+		return m.ChunkDuration
+	}
+	return m.segments[idx]
 }
 
 // SegmentPath expands the track's SegmentTemplate for an index into the
@@ -67,8 +84,25 @@ func (m *Manifest) Tracks(t media.Type) []*media.Track {
 type Source interface {
 	NumChunks() int
 	ChunkDur() time.Duration
+	// SegmentDurationAt is the actual duration of segment idx; it equals
+	// ChunkDur on uniform content but diverges on declared-variable
+	// timelines, where playback-clock arithmetic must use it.
+	SegmentDurationAt(idx int) time.Duration
 	SegmentPath(tr *media.Track, idx int) string
 	Tracks(t media.Type) []*media.Track
+}
+
+// equalDurations reports element-wise equality of two duration slices.
+func equalDurations(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // drainAndClose consumes up to 64 KiB of a response body before closing so
@@ -131,12 +165,34 @@ func FetchManifest(ctx context.Context, client *http.Client, baseURL string) (*M
 		if !strings.Contains(st.Media, "$RepresentationID$") || !strings.Contains(st.Media, "$Number$") {
 			return nil, fmt.Errorf("httpclient: cannot address segments with media template %q (need $RepresentationID$ and $Number$)", st.Media)
 		}
-		chunk := time.Duration(st.Duration) * time.Second / time.Duration(st.Timescale)
-		if chunk <= 0 {
-			return nil, fmt.Errorf("httpclient: non-positive chunk duration")
+		segs, err := st.SegmentDurations(dur)
+		if err != nil {
+			return nil, fmt.Errorf("httpclient: %s AdaptationSet: %w", as.ContentType, err)
 		}
+		// This client fetches audio and video at the same chunk index, so
+		// it can only play streams whose timelines agree. Shaped per-type
+		// timelines need an index-independent client (the simulator's
+		// per-type models); refusing here beats silently pairing chunk i of
+		// one timeline with an overlapping-but-different chunk i of the other.
+		if m.segments != nil && !equalDurations(m.segments, segs) {
+			return nil, fmt.Errorf("httpclient: audio and video segment timelines disagree; this joint-index client requires aligned timelines")
+		}
+		m.segments = segs
 		if m.ChunkDuration == 0 {
-			m.ChunkDuration = chunk
+			// Nominal chunk duration for ABR state: the declared @duration
+			// when present, else the longest declared segment.
+			if st.Duration > 0 {
+				m.ChunkDuration = time.Duration(st.Duration) * time.Second / time.Duration(st.Timescale)
+			} else {
+				for _, d := range segs {
+					if d > m.ChunkDuration {
+						m.ChunkDuration = d
+					}
+				}
+			}
+		}
+		if m.ChunkDuration <= 0 {
+			return nil, fmt.Errorf("httpclient: non-positive chunk duration")
 		}
 		m.mediaTemplates[typ] = st.Media
 	}
@@ -289,7 +345,10 @@ func Stream(ctx context.Context, m Source, cfg Config) (*Report, error) {
 		}
 		rep.Chunks = append(rep.Chunks, ChunkFetch{Index: idx, Combo: fetched, Bytes: bytes, Duration: dur})
 		rep.TotalBytes += bytes
-		frontier += chunkDur
+		// Advance the frontier by the segment's actual duration — on a
+		// declared-variable timeline crediting the nominal chunkDur would
+		// drift the playback clock off the downloaded media.
+		frontier += m.SegmentDurationAt(idx)
 		if playStart.IsZero() {
 			playStart = time.Now()
 			rep.StartupDelay = playStart.Sub(begin)

@@ -59,9 +59,12 @@ type AdaptationSet struct {
 type SegmentTemplate struct {
 	Media          string `xml:"media,attr"`
 	Initialization string `xml:"initialization,attr"`
-	Duration       int64  `xml:"duration,attr"`
-	Timescale      int64  `xml:"timescale,attr"`
-	StartNumber    int64  `xml:"startNumber,attr"`
+	// Duration is the nominal segment duration in timescale units; 0 (and
+	// absent from the XML) when the timeline is declared variable — then
+	// the SegmentTimeline below is the sole, authoritative duration source.
+	Duration    int64 `xml:"duration,attr,omitempty"`
+	Timescale   int64 `xml:"timescale,attr"`
+	StartNumber int64 `xml:"startNumber,attr"`
 	// AvailabilityTimeOffset is the low-latency DASH offset in seconds: a
 	// segment may be requested that long before its nominal availability
 	// instant (the origin serves it chunked-transfer while still encoding).
@@ -222,9 +225,9 @@ func Generate(c *media.Content) *MPD {
 		SegmentTemplate: &SegmentTemplate{
 			Media:          "video/$RepresentationID$/seg-$Number$.m4s",
 			Initialization: "video/$RepresentationID$/init.mp4",
-			Duration:       int64(c.ChunkDuration / time.Millisecond),
+			Duration:       nominalDurationFor(c, media.Video),
 			Timescale:      1000,
-			Timeline:       timelineFor(c),
+			Timeline:       timelineFor(c, media.Video),
 		},
 	}
 	for _, v := range c.VideoTracks {
@@ -244,9 +247,9 @@ func Generate(c *media.Content) *MPD {
 		SegmentTemplate: &SegmentTemplate{
 			Media:          "audio/$RepresentationID$/seg-$Number$.m4s",
 			Initialization: "audio/$RepresentationID$/init.mp4",
-			Duration:       int64(c.ChunkDuration / time.Millisecond),
+			Duration:       nominalDurationFor(c, media.Audio),
 			Timescale:      1000,
-			Timeline:       timelineFor(c),
+			Timeline:       timelineFor(c, media.Audio),
 		},
 	}
 	for _, a := range c.AudioTracks {
@@ -278,12 +281,27 @@ func Generate(c *media.Content) *MPD {
 	}
 }
 
-// timelineFor emits an explicit SegmentTimeline when the content's final
-// chunk is shorter than the nominal chunk duration (irregular chunking the
-// @duration attribute cannot express exactly).
-func timelineFor(c *media.Content) *SegmentTimeline {
-	n := c.NumChunks()
-	last := c.ChunkDurationAt(n - 1)
+// timelineFor emits an explicit SegmentTimeline for one track type when the
+// type's timeline cannot be expressed by @duration alone: shaped content
+// (full run-length-encoded table) or a final chunk shorter than the nominal
+// duration. Uniform exact-multiple content returns nil, keeping those MPDs
+// byte-identical to pre-shaping output.
+func timelineFor(c *media.Content, t media.Type) *SegmentTimeline {
+	n := c.NumChunksOf(t)
+	if c.Irregular(t) {
+		// Declared-variable timeline: run-length encode the boundary table.
+		var ss []S
+		for i := 0; i < n; i++ {
+			d := int64(c.ChunkDurationOf(t, i) / time.Millisecond)
+			if len(ss) > 0 && ss[len(ss)-1].D == d {
+				ss[len(ss)-1].R++
+				continue
+			}
+			ss = append(ss, S{D: d})
+		}
+		return &SegmentTimeline{S: ss}
+	}
+	last := c.ChunkDurationOf(t, n-1)
 	if last == c.ChunkDuration || n < 2 {
 		return nil
 	}
@@ -292,6 +310,18 @@ func timelineFor(c *media.Content) *SegmentTimeline {
 		{T: 0, D: full, R: int64(n - 2)},
 		{D: int64(last / time.Millisecond)},
 	}}
+}
+
+// nominalDurationFor returns the @duration attribute value for one track
+// type: the nominal chunk duration in ms, or 0 (attribute omitted) for
+// shaped timelines, where SegmentTimeline is authoritative and a nominal
+// value would invite clients to do exactly the division arithmetic this
+// package stopped trusting.
+func nominalDurationFor(c *media.Content, t media.Type) int64 {
+	if c.Irregular(t) {
+		return 0
+	}
+	return int64(c.ChunkDuration / time.Millisecond)
 }
 
 // Encode writes the MPD as indented XML with a declaration header.

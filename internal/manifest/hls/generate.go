@@ -74,16 +74,23 @@ func GenerateMaster(c *media.Content, combos []media.Combo, audioOrder []*media.
 }
 
 // GenerateMedia builds the media playlist of one track with the content's
-// real chunk sizes. withBitrateTag writes the optional EXT-X-BITRATE tag.
+// real chunk sizes, walking the track type's own timeline (shaped content
+// gives audio and video different segmentations). withBitrateTag writes the
+// optional EXT-X-BITRATE tag.
+//
+// EXT-X-TARGETDURATION covers the longest actual segment (RFC 8216 §4.3.3.1
+// requires every EXTINF to round to at most the target), not the nominal
+// chunk duration — on shaped timelines a long DP-chosen chunk would
+// otherwise make the playlist spec-invalid.
 func GenerateMedia(c *media.Content, tr *media.Track, pack Packaging, withBitrateTag bool) *MediaPlaylist {
 	p := &MediaPlaylist{
 		Version:        4,
-		TargetDuration: c.ChunkDuration,
+		TargetDuration: c.MaxChunkDurationOf(tr.Type),
 		EndList:        true,
 	}
 	var offset int64
-	for i := 0; i < c.NumChunks(); i++ {
-		dur := c.ChunkDurationAt(i)
+	for i := 0; i < c.NumChunksOf(tr.Type); i++ {
+		dur := c.ChunkDurationOf(tr.Type, i)
 		size := c.ChunkSize(tr, i)
 		seg := Segment{Duration: dur}
 		switch pack {

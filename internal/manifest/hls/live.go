@@ -63,7 +63,7 @@ func (lw *LiveWindow) PartTarget() time.Duration {
 // except on the final refresh (nothing is in flight once the encoder
 // stops).
 func (lw *LiveWindow) At(complete int) *MediaPlaylist {
-	n := lw.Content.NumChunks()
+	n := lw.Content.NumChunksOf(lw.Track.Type)
 	if complete < 1 {
 		complete = 1
 	}
@@ -75,8 +75,11 @@ func (lw *LiveWindow) At(complete int) *MediaPlaylist {
 		first = 0
 	}
 	p := &MediaPlaylist{
-		Version:        6,
-		TargetDuration: lw.Content.ChunkDuration,
+		Version: 6,
+		// The target must cover the longest actual segment of this track's
+		// timeline (RFC 8216), which on shaped content can exceed the
+		// nominal chunk duration.
+		TargetDuration: lw.Content.MaxChunkDurationOf(lw.Track.Type),
 		MediaSequence:  int64(first),
 		PartTarget:     lw.PartTarget(),
 		EndList:        complete >= n,
@@ -86,7 +89,7 @@ func (lw *LiveWindow) At(complete int) *MediaPlaylist {
 		offset += lw.Content.ChunkSize(lw.Track, i)
 	}
 	for i := first; i < complete; i++ {
-		dur := lw.Content.ChunkDurationAt(i)
+		dur := lw.Content.ChunkDurationOf(lw.Track.Type, i)
 		size := lw.Content.ChunkSize(lw.Track, i)
 		seg := Segment{Duration: dur}
 		switch lw.Pack {
@@ -115,7 +118,7 @@ func (lw *LiveWindow) At(complete int) *MediaPlaylist {
 // fully advertised in-flight segment keeps refreshes a pure function of
 // the complete-segment count.
 func (lw *LiveWindow) inflightSegment(idx int) Segment {
-	dur := lw.Content.ChunkDurationAt(idx)
+	dur := lw.Content.ChunkDurationOf(lw.Track.Type, idx)
 	target := lw.PartTarget()
 	seg := Segment{Duration: dur}
 	// k-1 full-target parts plus a final part carrying the remainder: every

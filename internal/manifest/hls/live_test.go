@@ -118,6 +118,63 @@ func TestLiveWindowProperties(t *testing.T) {
 	}
 }
 
+// shapedLiveContent has a variable video timeline and a uniform-but-longer
+// audio timeline (misaligned per-type shaping).
+func shapedLiveContent() *media.Content {
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	return media.MustNewContent(media.ContentSpec{
+		Name:          "live-shaped",
+		Duration:      36 * time.Second,
+		ChunkDuration: 4 * time.Second,
+		VideoTracks: media.Ladder{
+			{ID: "V1", Type: media.Video, AvgBitrate: media.Kbps(300), PeakBitrate: media.Kbps(450), DeclaredBitrate: media.Kbps(450), Resolution: "360p"},
+		},
+		AudioTracks: media.Ladder{
+			{ID: "A1", Type: media.Audio, AvgBitrate: media.Kbps(64), PeakBitrate: media.Kbps(72), DeclaredBitrate: media.Kbps(72), Channels: 2, SampleRateHz: 44100},
+		},
+		Model:       media.ChunkModel{Seed: 11, Spread: 0.25},
+		VideoChunks: []time.Duration{sec(4), sec(6), sec(3), sec(7), sec(4), sec(5), sec(7)},
+		AudioChunks: []time.Duration{sec(6), sec(6), sec(6), sec(6), sec(6), sec(6)},
+	})
+}
+
+// TestLiveWindowShapedTimeline is the variable-duration regression for the
+// sliding window: EXTINF must carry each chunk's ACTUAL duration,
+// TARGETDURATION must cover the longest one, and the in-flight LL parts
+// must tile the actual (short or long) chunk — all of which the nominal
+// ChunkDuration arithmetic got wrong.
+func TestLiveWindowShapedTimeline(t *testing.T) {
+	c := shapedLiveContent()
+	for _, track := range []*media.Track{c.VideoTracks[0], c.AudioTracks[0]} {
+		lw := &LiveWindow{Content: c, Track: track, WindowSize: 3, PartsPerSegment: 3}
+		n := c.NumChunksOf(track.Type)
+		for complete := 1; complete <= n; complete++ {
+			p := lw.At(complete)
+			if p.TargetDuration != c.MaxChunkDurationOf(track.Type) {
+				t.Fatalf("%s complete %d: TARGETDURATION %v, want max actual %v",
+					track.ID, complete, p.TargetDuration, c.MaxChunkDurationOf(track.Type))
+			}
+			idx := int(p.MediaSequence)
+			for _, seg := range p.Segments {
+				if want := c.ChunkDurationOf(track.Type, idx); seg.Duration != want {
+					t.Fatalf("%s complete %d: segment %d EXTINF %v, want actual %v",
+						track.ID, complete, idx, seg.Duration, want)
+				}
+				if seg.Duration > p.TargetDuration {
+					t.Fatalf("%s complete %d: segment %d duration %v exceeds target %v",
+						track.ID, complete, idx, seg.Duration, p.TargetDuration)
+				}
+				idx++
+			}
+			checkParts(t, -1, complete, lw, p)
+			checkRoundTrip(t, -1, complete, p)
+		}
+		if !lw.At(n).EndList {
+			t.Fatalf("%s: final refresh is not an ENDLIST playlist", track.ID)
+		}
+	}
+}
+
 func segKey(seg Segment) string {
 	return seg.URI + "#" + strings.Join([]string{
 		time.Duration(seg.ByteRangeOffset).String(), time.Duration(seg.ByteRangeLength).String()}, "-")

@@ -30,31 +30,80 @@ const driftFraction = 5 // denominator: tolerance = nominal/driftFraction
 // below any plausible chunk duration.
 const alignTolerance = 100 * time.Millisecond
 
-// MediaTimeline lints one media playlist's segment durations against its
-// declared target duration.
+// dominantFraction decides when an HLS timeline is nominally uniform: HLS
+// has no declared-variable marker (unlike a DASH SegmentTimeline without
+// @duration), so a playlist whose modal segment duration covers less than
+// 2/3 of its non-final segments is treated as variable by design —
+// content-aware chunking, not encoder drift — and exempt from the
+// regularity and alignment rules.
+const (
+	dominantNum = 2
+	dominantDen = 3
+)
+
+// variableByDesign reports whether an HLS segment-duration list reads as a
+// deliberately variable timeline rather than a drifting uniform one.
+func variableByDesign(durs []time.Duration) bool {
+	if len(durs) < 2 {
+		return false
+	}
+	body := durs[:len(durs)-1] // the final segment is always exempt
+	counts := map[time.Duration]int{}
+	modal := 0
+	for _, d := range body {
+		counts[d]++
+		if counts[d] > modal {
+			modal = counts[d]
+		}
+	}
+	return modal*dominantDen < len(body)*dominantNum
+}
+
+// MediaTimeline lints one media playlist's segment durations: regularity
+// against the declared target (for nominally-uniform timelines), and the
+// RFC 8216 §4.3.3.1 requirement that EXT-X-TARGETDURATION cover every
+// segment's rounded duration (for all timelines — a variable-by-design
+// playlist still must not undersell its longest segment, or clients
+// under-provision buffers and misestimate the live refresh interval).
 func MediaTimeline(name string, p *hls.MediaPlaylist) []Finding {
 	if p.TargetDuration <= 0 || len(p.Segments) < 2 {
 		return nil
 	}
-	var durs []time.Duration
-	for _, seg := range p.Segments {
-		durs = append(durs, seg.Duration)
+	durs := segmentDurations(p)
+	var out []Finding
+	if !variableByDesign(durs) {
+		if irregular, worst, worstAt := driftCount(durs, p.TargetDuration); irregular > 0 {
+			out = append(out, Finding{Warning, "hls-irregular-segment-durations",
+				fmt.Sprintf("%s: %d/%d segments drift more than 1/%d from the declared %v target (worst: segment %d at %v); irregular chunking breaks duration-based byte budgeting and audio/video boundary alignment (§4.1)",
+					name, irregular, len(durs)-1, driftFraction, p.TargetDuration, worstAt, worst)})
+		}
 	}
-	irregular, worst, worstAt := driftCount(durs, p.TargetDuration)
-	if irregular == 0 {
-		return nil
+	var maxSeg time.Duration
+	maxAt := 0
+	for i, d := range durs {
+		if d > maxSeg {
+			maxSeg, maxAt = d, i
+		}
 	}
-	return []Finding{{Warning, "hls-irregular-segment-durations",
-		fmt.Sprintf("%s: %d/%d segments drift more than 1/%d from the declared %v target (worst: segment %d at %v); irregular chunking breaks duration-based byte budgeting and audio/video boundary alignment (§4.1)",
-			name, irregular, len(durs)-1, driftFraction, p.TargetDuration, worstAt, worst)}}
+	if maxSeg.Round(time.Second) > p.TargetDuration {
+		out = append(out, Finding{Warning, "hls-targetduration-below-max-segment",
+			fmt.Sprintf("%s: EXT-X-TARGETDURATION %v below segment %d's %v (RFC 8216 §4.3.3.1: every EXTINF rounded to the nearest integer must not exceed it); clients size buffers and playlist-refresh timers from the target",
+				name, p.TargetDuration, maxAt, maxSeg)})
+	}
+	return out
 }
 
 // SegmentAlignment compares the cumulative segment boundaries of a video
-// media playlist and the audio playlist paired with it in a master.
+// media playlist and the audio playlist paired with it in a master. Pairs
+// where either side is variable by design are skipped: per-type shaped
+// timelines misalign on purpose, and the player-side cost is a measured
+// trade (the Ladder experiments), not a packaging mistake.
 func SegmentAlignment(videoName, audioName string, video, audio *hls.MediaPlaylist) []Finding {
-	vb := boundaries(segmentDurations(video))
-	ab := boundaries(segmentDurations(audio))
-	return alignFindings("hls-av-misaligned-segments", videoName, audioName, vb, ab)
+	vd, ad := segmentDurations(video), segmentDurations(audio)
+	if variableByDesign(vd) || variableByDesign(ad) {
+		return nil
+	}
+	return alignFindings("hls-av-misaligned-segments", videoName, audioName, boundaries(vd), boundaries(ad))
 }
 
 // MPDTimeline lints every SegmentTemplate in an MPD: explicit timelines
@@ -70,6 +119,7 @@ func MPDTimeline(m *dash.MPD) []Finding {
 	var out []Finding
 	var videoBounds, audioBounds []time.Duration
 	haveVideo, haveAudio := false, false
+	declaredVariable := false
 	for _, p := range m.Periods {
 		for _, as := range p.AdaptationSets {
 			st := as.SegmentTemplate
@@ -79,6 +129,12 @@ func MPDTimeline(m *dash.MPD) []Finding {
 			durs, err := st.SegmentDurations(total)
 			if err != nil || len(durs) == 0 {
 				continue
+			}
+			// A SegmentTimeline without @duration IS the declaration that the
+			// timeline is variable: the durations are authoritative, there is
+			// no nominal to drift from, and A/V alignment is not promised.
+			if st.Timeline != nil && st.Duration == 0 {
+				declaredVariable = true
 			}
 			kind := contentKind(as)
 			// Drift is only checkable when both a nominal @duration and an
@@ -104,7 +160,7 @@ func MPDTimeline(m *dash.MPD) []Finding {
 			}
 		}
 	}
-	if haveVideo && haveAudio {
+	if haveVideo && haveAudio && !declaredVariable {
 		out = append(out, alignFindings("dash-av-misaligned-segments", "video", "audio", videoBounds, audioBounds)...)
 	}
 	return out

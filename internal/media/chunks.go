@@ -24,7 +24,24 @@ type ChunkModel struct {
 	Spread float64
 	// PeakEvery inserts a near-peak chunk every PeakEvery chunks (0 disables),
 	// modelling scene-complexity spikes that define the track peak bitrate.
+	// Ignored when Scenes is set.
 	PeakEvery int
+	// Scenes, when non-empty, anchors complexity to media TIME instead of
+	// chunk index: each chunk's multiplier is the time-weighted mean scene
+	// complexity over the chunk's own interval (still normalized to mean 1
+	// and clamped at the peak). This is what makes offline chunking a real
+	// optimization target — re-chunking the same title re-integrates the
+	// same underlying signal, instead of redrawing unrelated per-index
+	// noise. Empty (the default everywhere outside the shaping stage)
+	// keeps the index-based draw byte-identical to pre-scene code.
+	Scenes []Scene
+}
+
+// Scene is one piecewise-constant span of the scene-anchored complexity
+// signal: Complexity multiplies the track's average bitrate for Duration.
+type Scene struct {
+	Duration   time.Duration
+	Complexity float64
 }
 
 // DefaultChunkModel is the model used by the content presets: moderately
@@ -46,6 +63,34 @@ func (m ChunkModel) trackSeed(id string) int64 {
 	return m.Seed ^ int64(h&math.MaxInt64)
 }
 
+// meanComplexity returns the time-weighted mean complexity of scenes over
+// [from, to).
+func meanComplexity(scenes []Scene, from, to time.Duration) float64 {
+	if to <= from {
+		return 1
+	}
+	var weighted float64
+	var at time.Duration
+	for _, sc := range scenes {
+		end := at + sc.Duration
+		lo, hi := from, to
+		if at > lo {
+			lo = at
+		}
+		if end < hi {
+			hi = end
+		}
+		if hi > lo {
+			weighted += sc.Complexity * (hi - lo).Seconds()
+		}
+		at = end
+		if at >= to {
+			break
+		}
+	}
+	return weighted / (to - from).Seconds()
+}
+
 // sizes generates the per-chunk byte sizes of one track.
 func (m ChunkModel) sizes(tr *Track, n int, chunkDur func(int) time.Duration) []int64 {
 	rng := rand.New(rand.NewSource(m.trackSeed(tr.ID)))
@@ -56,14 +101,22 @@ func (m ChunkModel) sizes(tr *Track, n int, chunkDur func(int) time.Duration) []
 	}
 	mult := make([]float64, n)
 	var sum float64
+	var start time.Duration
 	for i := range mult {
 		f := 1.0
 		if m.Spread > 0 {
 			f += m.Spread * rng.NormFloat64()
 		}
+		if len(m.Scenes) > 0 {
+			// Time-anchored complexity: integrate the scene signal over the
+			// chunk's interval (noise above still adds encoder-level texture).
+			d := chunkDur(i)
+			f += meanComplexity(m.Scenes, start, start+d) - 1
+			start += d
+		}
 		// Keep chunks within a plausible envelope before normalization.
 		f = math.Max(0.4, math.Min(f, peak/avg))
-		if m.PeakEvery > 0 && (i+1)%m.PeakEvery == 0 {
+		if len(m.Scenes) == 0 && m.PeakEvery > 0 && (i+1)%m.PeakEvery == 0 {
 			f = peak / avg
 		}
 		mult[i] = f
@@ -94,6 +147,31 @@ type ContentSpec struct {
 	VideoTracks   Ladder
 	AudioTracks   Ladder
 	Model         ChunkModel
+
+	// VideoChunks / AudioChunks, when non-nil, give explicit per-chunk
+	// durations for the type's timeline (they must sum exactly to Duration).
+	// nil keeps the type on uniform ChunkDuration tiling — the default, and
+	// the path whose output is byte-identical to content built before
+	// variable-duration chunking existed. Offline shaping (internal/shaping)
+	// is the intended producer of these tables.
+	VideoChunks []time.Duration
+	AudioChunks []time.Duration
+}
+
+// boundaryTable converts explicit per-chunk durations into a cumulative
+// start table (len = chunks+1, last entry == total).
+func boundaryTable(durs []time.Duration, total time.Duration) ([]time.Duration, error) {
+	starts := make([]time.Duration, len(durs)+1)
+	for i, d := range durs {
+		if d <= 0 {
+			return nil, fmt.Errorf("media: chunk %d has non-positive duration %v", i, d)
+		}
+		starts[i+1] = starts[i] + d
+	}
+	if got := starts[len(starts)-1]; got != total {
+		return nil, fmt.Errorf("media: chunk durations sum to %v, want %v", got, total)
+	}
+	return starts, nil
 }
 
 // NewContent synthesizes a Content from the spec, generating deterministic
@@ -113,15 +191,31 @@ func NewContent(spec ContentSpec) (*Content, error) {
 	if c.Duration < c.ChunkDuration {
 		return nil, fmt.Errorf("media: duration %v shorter than one chunk %v", c.Duration, c.ChunkDuration)
 	}
-	n := c.NumChunks()
+	for _, e := range []struct {
+		typ  Type
+		durs []time.Duration
+	}{{Video, spec.VideoChunks}, {Audio, spec.AudioChunks}} {
+		if e.durs == nil {
+			continue
+		}
+		starts, err := boundaryTable(e.durs, spec.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.typ, err)
+		}
+		c.starts[e.typ] = starts
+	}
 	for _, tr := range c.Tracks() {
 		model := spec.Model
 		if tr.Type == Audio {
 			// Audio is near-CBR: tight spread, no scene spikes.
 			model.Spread = math.Min(model.Spread, 0.02)
 			model.PeakEvery = 0
+			model.Scenes = nil
 		}
-		c.sizes[tr.ID] = model.sizes(tr, n, c.ChunkDurationAt)
+		typ := tr.Type
+		c.sizes[tr.ID] = model.sizes(tr, c.NumChunksOf(typ), func(i int) time.Duration {
+			return c.ChunkDurationOf(typ, i)
+		})
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err

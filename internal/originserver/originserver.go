@@ -204,7 +204,7 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request, typ media.
 		return
 	}
 	idx, err := strconv.Atoi(idxStr)
-	if err != nil || idx < 0 || idx >= s.content.NumChunks() {
+	if err != nil || idx < 0 || idx >= s.content.NumChunksOf(tr.Type) {
 		http.NotFound(w, r)
 		return
 	}

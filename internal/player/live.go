@@ -147,9 +147,6 @@ type liveState struct {
 	// the edge at absolute time now is edge0 + rel(now), capped at the
 	// content duration).
 	edge0 time.Duration
-	// ato is the availability time offset parts buy: a chunk may be
-	// requested ato before its encode completes.
-	ato time.Duration
 	// rate is the current playback rate in centirate units (100 = 1.0x).
 	// The controller quantizes to 0.01x steps anyway; integer storage makes
 	// change detection exact.
@@ -189,23 +186,22 @@ func (s *Session) initLive() error {
 	if ls.edge0 > s.content.Duration {
 		ls.edge0 = s.content.Duration
 	}
-	if cfg.PartTarget > 0 {
-		ls.ato = s.content.ChunkDuration - cfg.PartTarget
-	}
-	// Join LatencyTarget behind the edge, snapped down to a chunk
-	// boundary (a client can only start on a segment or part boundary;
-	// we model segment joins).
+	// Join LatencyTarget behind the edge, snapped down to a video chunk
+	// boundary (a client can only start on a segment or part boundary; we
+	// model segment joins, and the video keyframe boundary governs where
+	// playback can begin). Audio joins at its own chunk covering that
+	// position — on shaped content with misaligned timelines that chunk may
+	// start earlier, so the join refetches a little already-past audio,
+	// exactly as a real player must.
 	joinPos := ls.edge0 - cfg.LatencyTarget
 	if joinPos < 0 {
 		joinPos = 0
 	}
-	joinIdx := sort.Search(s.numChunks, func(i int) bool { return s.chunkStarts[i+1] > joinPos })
-	if joinIdx >= s.numChunks {
-		joinIdx = s.numChunks - 1
-	}
-	joinPos = s.chunkStarts[joinIdx]
+	joinIdx := s.chunkIndexAt(media.Video, joinPos)
+	joinPos = s.chunkStarts[media.Video][joinIdx]
 	s.playPos = joinPos
-	s.next[media.Video], s.next[media.Audio] = joinIdx, joinIdx
+	s.next[media.Video] = joinIdx
+	s.next[media.Audio] = s.chunkIndexAt(media.Audio, joinPos)
 	s.frontier[media.Video], s.frontier[media.Audio] = joinPos, joinPos
 	ls.stats.LatencyTarget = cfg.LatencyTarget
 	ls.stats.JoinLatency = ls.edge0 - joinPos
@@ -235,11 +231,33 @@ func (s *Session) liveLatency(now time.Duration) time.Duration {
 	return lat
 }
 
-// chunkAvailableAt returns the absolute engine time chunk idx becomes
-// requestable: its encode-completion instant minus the part-availability
-// offset. Chunks behind the join edge are available immediately.
-func (s *Session) chunkAvailableAt(idx int) time.Duration {
-	at := s.t0 + s.chunkStarts[idx+1] - s.live.edge0 - s.live.ato
+// chunkIndexAt returns the index of the chunk of t's timeline covering
+// position pos (clamped to the last chunk).
+func (s *Session) chunkIndexAt(t media.Type, pos time.Duration) int {
+	starts := s.chunkStarts[t]
+	idx := sort.Search(s.numChunks[t], func(i int) bool { return starts[i+1] > pos })
+	if idx >= s.numChunks[t] {
+		idx = s.numChunks[t] - 1
+	}
+	return idx
+}
+
+// chunkAvailableAt returns the absolute engine time chunk idx of t's
+// timeline becomes requestable. Without parts that is its encode-completion
+// instant; with CMAF parts it is the instant the first part exists —
+// PartTarget after the chunk's encode starts, never before the chunk's own
+// encode completes for chunks shorter than a part. Deriving the offset from
+// each chunk's actual edges (rather than a single nominal-ChunkDuration
+// offset) is what keeps availability correct on variable-duration
+// timelines. Chunks behind the join edge are available immediately.
+func (s *Session) chunkAvailableAt(t media.Type, idx int) time.Duration {
+	avail := s.chunkStarts[t][idx+1]
+	if pt := s.live.cfg.PartTarget; pt > 0 {
+		if first := s.chunkStarts[t][idx] + pt; first < avail {
+			avail = first
+		}
+	}
+	at := s.t0 + avail - s.live.edge0
 	if at < s.t0 {
 		return s.t0
 	}
@@ -365,18 +383,18 @@ func (s *Session) liveResync(now time.Duration) {
 	if target < 0 {
 		target = 0
 	}
-	idx := sort.Search(s.numChunks, func(i int) bool { return s.chunkStarts[i+1] > target })
-	if idx >= s.numChunks {
-		idx = s.numChunks - 1
-	}
-	targetPos := s.chunkStarts[idx]
+	// The jump lands on a video chunk boundary; each type resolves its own
+	// refetch index on its own timeline (misaligned audio rejoins at the
+	// chunk covering the target position).
+	idx := s.chunkIndexAt(media.Video, target)
+	targetPos := s.chunkStarts[media.Video][idx]
 	if targetPos <= s.playPos {
 		return
 	}
 	skipped := targetPos - s.playPos
 
-	discard := func(t media.Type) {
-		if s.next[t] >= idx {
+	discard := func(t media.Type, tIdx int) {
+		if s.next[t] >= tIdx {
 			// Downloads already reached the jump target; the frontier is at
 			// or past it and survives.
 			return
@@ -388,12 +406,12 @@ func (s *Session) liveResync(now time.Duration) {
 			s.transfers[t] = nil
 			s.inflight[t] = false
 		}
-		s.next[t] = idx
+		s.next[t] = tIdx
 		s.frontier[t] = targetPos
 	}
 	jointStrict := s.joint != nil && (s.cfg.SyncWindow == 0 || s.cfg.Muxed)
-	discard(media.Video)
-	discard(media.Audio)
+	discard(media.Video, idx)
+	discard(media.Audio, s.chunkIndexAt(media.Audio, targetPos))
 	if jointStrict {
 		s.jointPending = 0
 	}

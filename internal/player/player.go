@@ -201,8 +201,12 @@ type Session struct {
 	perType   abr.PerTypeAlgorithm
 	abandoner abr.Abandoner
 
-	numChunks   int
-	chunkStarts []time.Duration // start offset of each chunk; [n] = duration
+	// Per-type chunk timelines, indexed by media.Type. For content without
+	// boundary tables both entries are identical; shaped content can give
+	// audio and video different chunk counts and edges (the misalignment
+	// regime of §4), which is why every index computation below is typed.
+	numChunks   [2]int
+	chunkStarts [2][]time.Duration // start offset of each chunk; [n] = duration
 
 	// Per-type download state, indexed by media.Type.
 	next     [2]int           // next chunk index to fetch
@@ -371,10 +375,18 @@ func Start(videoLink, audioLink *netsim.Link, cfg Config) (*Session, error) {
 			s.conns[media.Audio] = mk(audioLink, "conn-a")
 		}
 	}
-	s.numChunks = s.content.NumChunks()
-	s.chunkStarts = make([]time.Duration, s.numChunks+1)
-	for i := 0; i < s.numChunks; i++ {
-		s.chunkStarts[i+1] = s.chunkStarts[i] + s.content.ChunkDurationAt(i)
+	if (s.joint != nil || cfg.Muxed) && !s.content.Aligned() {
+		// Joint scheduling and muxed packaging pair audio with video by
+		// chunk index; that is only meaningful when both timelines share
+		// their boundaries. Per-type models handle misaligned content.
+		return nil, errors.New("player: joint scheduling and muxed mode require aligned audio/video chunk timelines")
+	}
+	for _, t := range []media.Type{media.Video, media.Audio} {
+		s.numChunks[t] = s.content.NumChunksOf(t)
+		s.chunkStarts[t] = make([]time.Duration, s.numChunks[t]+1)
+		for i := 0; i < s.numChunks[t]; i++ {
+			s.chunkStarts[t][i+1] = s.chunkStarts[t][i] + s.content.ChunkDurationOf(t, i)
+		}
 	}
 	s.res = Result{
 		ModelName:       cfg.Model.Name(),
@@ -722,12 +734,12 @@ func (s *Session) fetchJoint() {
 		return
 	}
 	idx := s.next[media.Video] // both types share the index in joint mode
-	if idx >= s.numChunks {
+	if idx >= s.numChunks[media.Video] {
 		return
 	}
 	now := s.eng.Now()
 	if s.live != nil {
-		if at := s.chunkAvailableAt(idx); at > now {
+		if at := s.chunkAvailableAt(media.Video, idx); at > now {
 			s.liveWakeAt(liveWakeJoint, at, s.fetchJoint)
 			return
 		}
@@ -793,8 +805,8 @@ func (s *Session) startMuxedChunk(idx int, combo media.Combo, then func()) {
 					Bytes: tr.Size(),
 				})
 			}
-			s.frontier[media.Video] = s.chunkStarts[idx+1]
-			s.frontier[media.Audio] = s.chunkStarts[idx+1]
+			s.frontier[media.Video] = s.chunkStarts[media.Video][idx+1]
+			s.frontier[media.Audio] = s.chunkStarts[media.Video][idx+1] // muxed requires aligned timelines
 			s.res.Chunks = append(s.res.Chunks,
 				ChunkDecision{Index: idx, Type: media.Video, Track: combo.Video, DecidedAt: s.rel(decidedAt), CompletedAt: s.rel(done), Bytes: s.content.ChunkSize(combo.Video, idx)},
 				ChunkDecision{Index: idx, Type: media.Audio, Track: combo.Audio, DecidedAt: s.rel(decidedAt), CompletedAt: s.rel(done), Bytes: s.content.ChunkSize(combo.Audio, idx)},
@@ -864,14 +876,21 @@ func (s *Session) resetAudio(at time.Duration) {
 	now := s.eng.Now()
 	playPos := s.playPosAt(now)
 	// First chunk whose start is at or past the playhead: the partially
-	// played chunk keeps playing; everything after it is refetched.
-	idx := 0
-	for idx < s.numChunks && s.chunkStarts[idx] < playPos {
-		idx++
+	// played chunk keeps playing; everything after it is refetched. Each
+	// type resolves the position on its own timeline (shaped content can
+	// have misaligned audio/video boundaries).
+	refetchFrom := func(t media.Type) int {
+		idx := 0
+		for idx < s.numChunks[t] && s.chunkStarts[t][idx] < playPos {
+			idx++
+		}
+		return idx
 	}
+	idx := refetchFrom(media.Audio)
 	rec := AudioReset{At: s.rel(now), RefetchFrom: idx}
 
 	discard := func(t media.Type) {
+		tIdx := refetchFrom(t)
 		// Void pending retry/timeout timers for this stream: they refer to
 		// chunks the reset may be discarding.
 		s.gen[t]++
@@ -882,16 +901,16 @@ func (s *Session) resetAudio(at time.Duration) {
 			s.inflight[t] = false
 		}
 		for _, ch := range s.res.Chunks {
-			if ch.Type == t && ch.Index >= idx {
+			if ch.Type == t && ch.Index >= tIdx {
 				rec.DiscardedBytes += ch.Bytes
-				rec.DiscardedSeconds += s.content.ChunkDurationAt(ch.Index)
+				rec.DiscardedSeconds += s.content.ChunkDurationOf(t, ch.Index)
 			}
 		}
-		if s.next[t] > idx {
-			s.next[t] = idx
+		if s.next[t] > tIdx {
+			s.next[t] = tIdx
 		}
-		if s.frontier[t] > s.chunkStarts[idx] {
-			s.frontier[t] = s.chunkStarts[idx]
+		if s.frontier[t] > s.chunkStarts[t][tIdx] {
+			s.frontier[t] = s.chunkStarts[t][tIdx]
 		}
 	}
 
@@ -941,7 +960,7 @@ func (s *Session) fetchWindowed(t media.Type) {
 		return
 	}
 	idx := s.next[t]
-	if idx >= s.numChunks {
+	if idx >= s.numChunks[t] {
 		return
 	}
 	other := media.Audio
@@ -954,7 +973,7 @@ func (s *Session) fetchWindowed(t media.Type) {
 	}
 	now := s.eng.Now()
 	if s.live != nil {
-		if at := s.chunkAvailableAt(idx); at > now {
+		if at := s.chunkAvailableAt(t, idx); at > now {
 			s.liveWakeAt(liveWakeSlot(t), at, func() { s.fetchWindowed(t) })
 			return
 		}
@@ -996,12 +1015,12 @@ func (s *Session) fetchIndependent(t media.Type) {
 		return
 	}
 	idx := s.next[t]
-	if idx >= s.numChunks {
+	if idx >= s.numChunks[t] {
 		return
 	}
 	now := s.eng.Now()
 	if s.live != nil {
-		if at := s.chunkAvailableAt(idx); at > now {
+		if at := s.chunkAvailableAt(t, idx); at > now {
 			s.liveWakeAt(liveWakeSlot(t), at, func() { s.fetchIndependent(t) })
 			return
 		}
@@ -1175,7 +1194,7 @@ func (s *Session) startChunk(t media.Type, idx int, track *media.Track, attempt 
 					Attempt: attempt, Bytes: tr.Size(),
 				})
 			}
-			s.frontier[t] = s.chunkStarts[idx+1]
+			s.frontier[t] = s.chunkStarts[t][idx+1]
 			s.res.Chunks = append(s.res.Chunks, ChunkDecision{
 				Index:       idx,
 				Type:        t,

@@ -1,0 +1,184 @@
+package player
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"demuxabr/internal/media"
+	"demuxabr/internal/netsim"
+	"demuxabr/internal/trace"
+)
+
+// Regression tests for the fixed-chunk-assumption sweep: every index↔time
+// conversion in the session used to be a division or multiplication by the
+// nominal ChunkDuration, which is wrong on shaped (variable-duration)
+// timelines — chunk counts came out too high, frontiers advanced by the
+// wrong amount (breaking the session-time identity), and live joins landed
+// between boundaries.
+
+// shapedSpec is a 60 s title with a variable video timeline and a uniform
+// 6 s audio timeline — misaligned with video on purpose (per-type shaping).
+func shapedSpec() media.ContentSpec {
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	return media.ContentSpec{
+		Name:          "shaped-test",
+		Duration:      60 * time.Second,
+		ChunkDuration: 5 * time.Second,
+		VideoTracks:   media.DramaVideoLadder(),
+		AudioTracks:   media.DramaAudioLadder(),
+		Model:         media.DefaultChunkModel(),
+		VideoChunks:   []time.Duration{sec(5), sec(7), sec(8), sec(6), sec(4), sec(7), sec(5), sec(8), sec(6), sec(4)},
+		AudioChunks:   []time.Duration{sec(6), sec(6), sec(6), sec(6), sec(6), sec(6), sec(6), sec(6), sec(6), sec(6)},
+	}
+}
+
+func shapedContent(t *testing.T) *media.Content {
+	t.Helper()
+	c, err := media.NewContent(shapedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Misaligned per-type timelines play to completion under the independent
+// scheduler, fetching each type's own chunk count. Pre-fix, the session
+// derived 12 chunks (60s / 5s nominal) for both types and the time identity
+// broke on the first non-nominal chunk.
+func TestShapedIndependentCompletes(t *testing.T) {
+	c := shapedContent(t)
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, trace.Fixed(media.Kbps(5000)))
+	model := &fixedPerType{video: c.VideoTracks[1], audio: c.AudioTracks[1]}
+	res, err := Run(link, Config{Content: c, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTimeIdentity(t, res)
+	if got := len(res.ChunksOf(media.Video)); got != c.NumChunksOf(media.Video) {
+		t.Errorf("video chunks = %d, want %d", got, c.NumChunksOf(media.Video))
+	}
+	if got := len(res.ChunksOf(media.Audio)); got != c.NumChunksOf(media.Audio) {
+		t.Errorf("audio chunks = %d, want %d", got, c.NumChunksOf(media.Audio))
+	}
+}
+
+// Joint scheduling and muxed packaging pair tracks by shared chunk index;
+// on misaligned timelines that pairing is meaningless and Start must say so
+// instead of silently mispairing.
+func TestShapedJointRequiresAlignedTimelines(t *testing.T) {
+	c := shapedContent(t)
+	for name, cfg := range map[string]Config{
+		"joint": {Content: c, Model: &fixedJoint{combo: lowestCombo(c)}},
+		"muxed": {Content: c, Model: &fixedJoint{combo: lowestCombo(c)}, Muxed: true},
+	} {
+		eng := netsim.NewEngine()
+		link := netsim.NewLink(eng, trace.Fixed(media.Kbps(5000)))
+		_, err := Start(link, link, cfg)
+		if err == nil {
+			t.Errorf("%s: Start accepted misaligned timelines", name)
+		} else if !strings.Contains(err.Error(), "aligned") {
+			t.Errorf("%s: error %q does not explain the alignment requirement", name, err)
+		}
+	}
+}
+
+// A variable timeline shared by both types (shaped-aligned) keeps every
+// scheduling mode available; frontier advancement must use actual chunk
+// durations or the session-time identity fails.
+func TestShapedAlignedVariableJointCompletes(t *testing.T) {
+	spec := shapedSpec()
+	spec.AudioChunks = append([]time.Duration(nil), spec.VideoChunks...)
+	c, err := media.NewContent(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Aligned() {
+		t.Fatal("equal chunk tables must be aligned")
+	}
+	for _, muxed := range []bool{false, true} {
+		eng := netsim.NewEngine()
+		link := netsim.NewLink(eng, trace.Fixed(media.Kbps(5000)))
+		res, err := Run(link, Config{Content: c, Model: &fixedJoint{combo: lowestCombo(c)}, Muxed: muxed})
+		if err != nil {
+			t.Fatalf("muxed=%v: %v", muxed, err)
+		}
+		checkTimeIdentity(t, res)
+		if got := len(res.ChunksOf(media.Video)); got != c.NumChunks() {
+			t.Errorf("muxed=%v: video chunks = %d, want %d", muxed, got, c.NumChunks())
+		}
+	}
+}
+
+// A live join on shaped content must snap to an actual video boundary (not
+// a nominal multiple) and start the audio loop at the chunk covering that
+// instant. Pre-fix, joinPos = floor(pos/nominal)·nominal landed mid-chunk.
+func TestShapedLiveJoinSnapsToVideoBoundary(t *testing.T) {
+	c := shapedContent(t)
+	lc := &LiveConfig{LatencyTarget: 3 * time.Second, PartTarget: time.Second, EdgeAtJoin: 30 * time.Second}
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, trace.Fixed(media.Kbps(10000)))
+	model := &fixedPerType{video: c.VideoTracks[0], audio: c.AudioTracks[0]}
+	res, err := Run(link, Config{Content: c, Model: model, Live: lc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live == nil {
+		t.Fatal("live session carried no live stats")
+	}
+	joinPos := lc.EdgeAtJoin - res.Live.JoinLatency
+	onBoundary := false
+	for _, b := range c.ChunkTimeline(media.Video) {
+		if b == joinPos {
+			onBoundary = true
+			break
+		}
+	}
+	if !onBoundary {
+		t.Errorf("join position %v is not a video chunk boundary (timeline %v)",
+			joinPos, c.ChunkTimeline(media.Video))
+	}
+	// The snap-down distance is bounded by the boundary's own chunk, whose
+	// duration can exceed the nominal on shaped content.
+	if jl := res.Live.JoinLatency; jl < lc.LatencyTarget || jl >= lc.LatencyTarget+c.MaxChunkDurationOf(media.Video) {
+		t.Errorf("join latency %v outside [%v, %v)", jl, lc.LatencyTarget,
+			lc.LatencyTarget+c.MaxChunkDurationOf(media.Video))
+	}
+	if !res.Ended {
+		t.Errorf("shaped live session did not end: aborted=%v reason=%q", res.Aborted, res.AbortReason)
+	}
+	// Without resyncs the session fetches exactly the chunks from the join
+	// boundary to the end, per type — the per-type index accounting.
+	if res.Live.Resyncs == 0 {
+		wantV := c.NumChunksOf(media.Video) - c.ChunkIndexAt(media.Video, joinPos)
+		if got := len(res.ChunksOf(media.Video)); got != wantV {
+			t.Errorf("video chunks = %d, want %d (join at %v)", got, wantV, joinPos)
+		}
+		wantA := c.NumChunksOf(media.Audio) - c.ChunkIndexAt(media.Audio, joinPos)
+		if got := len(res.ChunksOf(media.Audio)); got != wantA {
+			t.Errorf("audio chunks = %d, want %d (join at %v)", got, wantA, joinPos)
+		}
+	}
+}
+
+// Per-chunk availability on shaped content: with ample bandwidth the
+// session still cannot outrun the encoder, whose chunks complete at their
+// actual (variable) boundaries.
+func TestShapedLiveAvailabilityGatesRealTime(t *testing.T) {
+	c := shapedContent(t)
+	lc := &LiveConfig{LatencyTarget: 3 * time.Second, PartTarget: time.Second, EdgeAtJoin: 30 * time.Second}
+	eng := netsim.NewEngine()
+	link := netsim.NewLink(eng, trace.Fixed(media.Kbps(50000)))
+	model := &fixedPerType{video: c.VideoTracks[0], audio: c.AudioTracks[0]}
+	res, err := Run(link, Config{Content: c, Model: model, Live: lc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended {
+		t.Fatal("live session did not end")
+	}
+	if remaining := c.Duration - lc.EdgeAtJoin; res.EndedAt < remaining {
+		t.Errorf("session ended at %v, before the stream could produce its remaining %v", res.EndedAt, remaining)
+	}
+}

@@ -110,8 +110,15 @@ func utility(l media.Ladder, t *media.Track) float64 {
 // no server-side combination list applies.
 func Compute(res *player.Result, content *media.Content, allowed []media.Combo, w Weights) Metrics {
 	var m Metrics
-	m.AvgVideoBitrate = res.AvgSelectedBitrate(media.Video, content.ChunkDurationAt)
-	m.AvgAudioBitrate = res.AvgSelectedBitrate(media.Audio, content.ChunkDurationAt)
+	// Each type's average weights by that type's own chunk durations:
+	// passing the video timeline's durations for audio would mis-weight
+	// every chunk on shaped content (and over-count on misaligned counts).
+	m.AvgVideoBitrate = res.AvgSelectedBitrate(media.Video, func(i int) time.Duration {
+		return content.ChunkDurationOf(media.Video, i)
+	})
+	m.AvgAudioBitrate = res.AvgSelectedBitrate(media.Audio, func(i int) time.Duration {
+		return content.ChunkDurationOf(media.Audio, i)
+	})
 	m.VideoSwitches = res.Switches(media.Video)
 	m.AudioSwitches = res.Switches(media.Audio)
 	m.DistinctCombos = len(res.CombosSelected())
@@ -157,41 +164,104 @@ func Compute(res *player.Result, content *media.Content, allowed []media.Combo, 
 		m.BufferHealth = stats.Summarize(minBuffers)
 	}
 
-	// Duration-weighted utilities and switch magnitudes.
-	var vQual, aQual, seconds, switchMag float64
-	var prev [2]*media.Track
-	byIdx := map[int][2]*media.Track{}
-	maxIdx := -1
-	for _, ch := range res.Chunks {
-		e := byIdx[ch.Index]
-		e[ch.Type] = ch.Track
-		byIdx[ch.Index] = e
-		if ch.Index > maxIdx {
-			maxIdx = ch.Index
+	// Duration-weighted utilities and switch magnitudes. The aligned branch
+	// is the pre-shaping computation, kept verbatim so uniform (and
+	// aligned-shaped) content produces bit-identical metrics; misaligned
+	// per-type timelines take the typed branch below, where each type is
+	// weighted by its own chunk durations and pairing goes through time
+	// overlap instead of a shared index.
+	var seconds, switchMag float64
+	if content.Aligned() {
+		var vQual, aQual float64
+		var prev [2]*media.Track
+		byIdx := map[int][2]*media.Track{}
+		maxIdx := -1
+		for _, ch := range res.Chunks {
+			e := byIdx[ch.Index]
+			e[ch.Type] = ch.Track
+			byIdx[ch.Index] = e
+			if ch.Index > maxIdx {
+				maxIdx = ch.Index
+			}
 		}
-	}
-	for i := 0; i <= maxIdx; i++ {
-		pair := byIdx[i]
-		v, a := pair[media.Video], pair[media.Audio]
-		if v == nil || a == nil {
-			continue
+		for i := 0; i <= maxIdx; i++ {
+			pair := byIdx[i]
+			v, a := pair[media.Video], pair[media.Audio]
+			if v == nil || a == nil {
+				continue
+			}
+			d := content.ChunkDurationAt(i).Seconds()
+			vQual += utility(content.VideoTracks, v) * d
+			aQual += utility(content.AudioTracks, a) * d
+			seconds += d
+			if prev[media.Video] != nil {
+				switchMag += math.Abs(utility(content.VideoTracks, v) - utility(content.VideoTracks, prev[media.Video]))
+				switchMag += math.Abs(utility(content.AudioTracks, a) - utility(content.AudioTracks, prev[media.Audio]))
+			}
+			prev = pair
+			if len(allowed) > 0 && !comboAllowed(allowed, v, a) {
+				m.OffManifest++
+			}
 		}
-		d := content.ChunkDurationAt(i).Seconds()
-		vQual += utility(content.VideoTracks, v) * d
-		aQual += utility(content.AudioTracks, a) * d
-		seconds += d
-		if prev[media.Video] != nil {
-			switchMag += math.Abs(utility(content.VideoTracks, v) - utility(content.VideoTracks, prev[media.Video]))
-			switchMag += math.Abs(utility(content.AudioTracks, a) - utility(content.AudioTracks, prev[media.Audio]))
+		if seconds > 0 {
+			m.AvgVideoQuality = vQual / seconds
+			m.AvgAudioQuality = aQual / seconds
 		}
-		prev = pair
-		if len(allowed) > 0 && !comboAllowed(allowed, v, a) {
-			m.OffManifest++
+	} else {
+		sel := [2]map[int]*media.Track{{}, {}}
+		maxIdx := [2]int{-1, -1}
+		for _, ch := range res.Chunks {
+			sel[ch.Type][ch.Index] = ch.Track
+			if ch.Index > maxIdx[ch.Type] {
+				maxIdx[ch.Type] = ch.Index
+			}
 		}
-	}
-	if seconds > 0 {
-		m.AvgVideoQuality = vQual / seconds
-		m.AvgAudioQuality = aQual / seconds
+		for _, t := range []media.Type{media.Video, media.Audio} {
+			ladder := content.VideoTracks
+			if t == media.Audio {
+				ladder = content.AudioTracks
+			}
+			var qual, secs float64
+			var prev *media.Track
+			for i := 0; i <= maxIdx[t]; i++ {
+				tr := sel[t][i]
+				if tr == nil {
+					continue
+				}
+				d := content.ChunkDurationOf(t, i).Seconds()
+				qual += utility(ladder, tr) * d
+				secs += d
+				if prev != nil {
+					switchMag += math.Abs(utility(ladder, tr) - utility(ladder, prev))
+				}
+				prev = tr
+			}
+			if secs > 0 {
+				if t == media.Video {
+					m.AvgVideoQuality = qual / secs
+					// The video timeline drives the playback clock; its
+					// covered seconds normalize the composite score.
+					seconds = secs
+				} else {
+					m.AvgAudioQuality = qual / secs
+				}
+			}
+		}
+		// Off-manifest pairings: the audio actually playing during a video
+		// chunk is the one covering its midpoint.
+		if len(allowed) > 0 {
+			for i := 0; i <= maxIdx[media.Video]; i++ {
+				v := sel[media.Video][i]
+				if v == nil {
+					continue
+				}
+				mid := content.ChunkStartOf(media.Video, i) + content.ChunkDurationOf(media.Video, i)/2
+				a := sel[media.Audio][content.ChunkIndexAt(media.Audio, mid)]
+				if a != nil && !comboAllowed(allowed, v, a) {
+					m.OffManifest++
+				}
+			}
+		}
 	}
 
 	m.Score = m.AvgVideoQuality + w.AudioWeight*m.AvgAudioQuality -

@@ -1,7 +1,9 @@
 package qoe
 
 import (
+	"math"
 	"testing"
+	"time"
 
 	"demuxabr/internal/abr"
 	"demuxabr/internal/media"
@@ -165,5 +167,92 @@ func TestSwitchPenaltyCounted(t *testing.T) {
 	b := Compute(res, content, nil, withPenalty).Score
 	if a != b {
 		t.Errorf("switch penalty charged without switches: %v vs %v", a, b)
+	}
+}
+
+// shapedQoEContent has two video chunks of very different durations (2 s
+// and 18 s) and two uniform 10 s audio chunks: misaligned per-type
+// timelines, so Compute takes the duration-weighted branch.
+func shapedQoEContent(t *testing.T) *media.Content {
+	t.Helper()
+	c, err := media.NewContent(media.ContentSpec{
+		Name:          "shaped-qoe",
+		Duration:      20 * time.Second,
+		ChunkDuration: 5 * time.Second,
+		VideoTracks:   media.DramaVideoLadder(),
+		AudioTracks:   media.DramaAudioLadder(),
+		Model:         media.CBRChunkModel(),
+		VideoChunks:   []time.Duration{2 * time.Second, 18 * time.Second},
+		AudioChunks:   []time.Duration{10 * time.Second, 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDurationWeightedQuality pins the satellite-3 aggregation fix: on
+// variable-duration timelines per-chunk metrics weight by each chunk's own
+// duration, not by chunk count. A session spending 2 s on the lowest rung
+// and 18 s on the top rung is a 90%-top-quality session, not a 50% one.
+func TestDurationWeightedQuality(t *testing.T) {
+	c := shapedQoEContent(t)
+	res := &player.Result{
+		Ended:           true,
+		ContentDuration: c.Duration,
+		Chunks: []player.ChunkDecision{
+			{Index: 0, Type: media.Video, Track: c.VideoTracks[0]},
+			{Index: 1, Type: media.Video, Track: c.VideoTracks[5]},
+			{Index: 0, Type: media.Audio, Track: c.AudioTracks[0]},
+			{Index: 1, Type: media.Audio, Track: c.AudioTracks[2]},
+		},
+	}
+	m := Compute(res, c, nil, DefaultWeights())
+
+	uTop := math.Log(float64(c.VideoTracks[5].AvgBitrate) / float64(c.VideoTracks[0].AvgBitrate))
+	wantVideo := (0*2 + uTop*18) / 20
+	if math.Abs(m.AvgVideoQuality-wantVideo) > 1e-9 {
+		t.Errorf("video quality = %v, want duration-weighted %v", m.AvgVideoQuality, wantVideo)
+	}
+	countWeighted := uTop / 2
+	if math.Abs(m.AvgVideoQuality-countWeighted) < 1e-9 {
+		t.Error("video quality is count-weighted; chunk durations ignored")
+	}
+	uATop := math.Log(float64(c.AudioTracks[2].AvgBitrate) / float64(c.AudioTracks[0].AvgBitrate))
+	if wantAudio := uATop / 2; math.Abs(m.AvgAudioQuality-wantAudio) > 1e-9 {
+		t.Errorf("audio quality = %v, want %v (equal 10 s chunks)", m.AvgAudioQuality, wantAudio)
+	}
+	// Bitrate averages weight the same way.
+	wantKbps := (float64(c.VideoTracks[0].AvgBitrate)*2 + float64(c.VideoTracks[5].AvgBitrate)*18) / 20
+	if math.Abs(float64(m.AvgVideoBitrate)-wantKbps) > 1 {
+		t.Errorf("avg video bitrate = %v, want duration-weighted %.0f", m.AvgVideoBitrate, wantKbps)
+	}
+}
+
+// TestOffManifestMidpointPairing pins the misaligned off-manifest rule: the
+// audio track paired with a video chunk is the one covering the video
+// chunk's midpoint. Video chunk 1 spans [2 s, 20 s) — midpoint 11 s — which
+// audio chunk 1 covers.
+func TestOffManifestMidpointPairing(t *testing.T) {
+	c := shapedQoEContent(t)
+	allowed := []media.Combo{
+		{Video: c.VideoTracks[0], Audio: c.AudioTracks[0]},
+		{Video: c.VideoTracks[5], Audio: c.AudioTracks[2]},
+	}
+	res := &player.Result{
+		Ended:           true,
+		ContentDuration: c.Duration,
+		Chunks: []player.ChunkDecision{
+			{Index: 0, Type: media.Video, Track: c.VideoTracks[0]},
+			{Index: 1, Type: media.Video, Track: c.VideoTracks[5]},
+			// Audio chunk 0 covers video chunk 0's midpoint (1 s): V1+A1 allowed.
+			{Index: 0, Type: media.Audio, Track: c.AudioTracks[0]},
+			// Audio chunk 1 covers video chunk 1's midpoint (11 s): V6+A1 NOT allowed.
+			{Index: 1, Type: media.Audio, Track: c.AudioTracks[0]},
+		},
+	}
+	m := Compute(res, c, allowed, DefaultWeights())
+	if m.OffManifest != 1 {
+		t.Errorf("off-manifest = %d, want exactly the V6+A1 midpoint pairing", m.OffManifest)
 	}
 }

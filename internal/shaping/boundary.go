@@ -1,0 +1,99 @@
+package shaping
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// optimizeBoundaries runs the boundary DP for one track type: cells holds
+// the per-grid-cell mean complexity (last cell may be short), and the
+// returned durations are grid-aligned, strictly positive, and sum exactly
+// to total.
+//
+// Dynamic program over grid positions p_0=0 < p_1 < … < p_N=total:
+// best[i] is the cheapest chunking of [0, p_i) ending with a boundary at
+// p_i, built from every feasible predecessor j with
+// params.MinChunk ≤ p_i−p_j ≤ params.MaxChunk (the final boundary also
+// accepts a shorter remainder chunk, so any total is feasible).
+func optimizeBoundaries(cells []float64, total, grid time.Duration, params BoundaryParams) ([]time.Duration, float64, error) {
+	if params.MinChunk <= 0 || params.MaxChunk < params.MinChunk {
+		return nil, 0, fmt.Errorf("invalid chunk bounds [%v, %v]", params.MinChunk, params.MaxChunk)
+	}
+	if total <= params.MaxChunk {
+		// Degenerate short title: one chunk.
+		secs := total.Seconds()
+		return []time.Duration{total}, params.RequestCost + params.LengthCost*secs*secs, nil
+	}
+
+	// Grid positions and integral prefix sums of c and c² (cell widths are
+	// grid except possibly the last).
+	n := len(cells)
+	pos := make([]time.Duration, n+1)
+	s1 := make([]float64, n+1)
+	s2 := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		pos[j] = time.Duration(j) * grid
+		w := grid
+		if pos[j]+w > total {
+			w = total - pos[j]
+		}
+		ws := w.Seconds()
+		s1[j+1] = s1[j] + cells[j]*ws
+		s2[j+1] = s2[j] + cells[j]*cells[j]*ws
+	}
+	pos[n] = total
+
+	// +Inf marks unreached positions; math.IsInf keeps the sentinel test
+	// exact without a float equality.
+	best := make([]float64, n+1)
+	from := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = math.Inf(1)
+		from[i] = -1
+	}
+	for i := 1; i <= n; i++ {
+		minLen := params.MinChunk
+		if i == n {
+			// The remainder chunk may be shorter than MinChunk (but never
+			// shorter than one grid cell).
+			minLen = grid
+		}
+		for j := i - 1; j >= 0; j-- {
+			d := pos[i] - pos[j]
+			if d > params.MaxChunk {
+				break
+			}
+			if d < minLen || math.IsInf(best[j], 1) {
+				continue
+			}
+			secs := d.Seconds()
+			mean := (s1[i] - s1[j]) / secs
+			varInt := (s2[i] - s2[j]) - secs*mean*mean
+			if varInt < 0 {
+				varInt = 0 // float noise on constant signals
+			}
+			c := best[j] + params.RequestCost + params.VarianceCost*varInt + params.LengthCost*secs*secs
+			if c < best[i] {
+				best[i] = c
+				from[i] = j
+			}
+		}
+	}
+	if math.IsInf(best[n], 1) {
+		return nil, 0, fmt.Errorf("no feasible chunking of %v with bounds [%v, %v]", total, params.MinChunk, params.MaxChunk)
+	}
+
+	var bounds []int
+	for i := n; i > 0; i = from[i] {
+		bounds = append(bounds, i)
+	}
+	durs := make([]time.Duration, len(bounds))
+	prev := 0
+	for k := len(bounds) - 1; k >= 0; k-- {
+		i := bounds[k]
+		durs[len(bounds)-1-k] = pos[i] - pos[prev]
+		prev = i
+	}
+	return durs, best[n], nil
+}

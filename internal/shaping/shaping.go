@@ -1,0 +1,286 @@
+// Package shaping is the offline content-preparation stage: given a title's
+// encoding spec, it searches chunk boundaries and ladder rungs against a
+// simulated QoE objective, per track type — the Segue-style "content-aware
+// chunking + per-title ladder" pipeline, run before any manifest is written.
+//
+// The pipeline has three deterministic, seeded stages:
+//
+//  1. A scene model: a piecewise-constant complexity signal over media time
+//     (scene-change-like breakpoints from VBR complexity). The same signal
+//     feeds both the optimizer and the chunk-size synthesis
+//     (media.ChunkModel.Scenes), so "fixed" and "shaped" variants of one
+//     title integrate the same underlying content.
+//  2. A boundary search per track type: dynamic programming over a fixed
+//     grid of candidate boundaries, trading per-request overhead against
+//     within-chunk complexity variance (video boundaries snap to scene
+//     changes; audio, whose complexity is flat, settles on longer
+//     near-uniform chunks — deliberately misaligned with video).
+//  3. A per-title video ladder search: greedy rung selection from multiple
+//     starts over a candidate bitrate grid, scored by expected log-utility
+//     over a seeded bandwidth distribution. Starts are evaluated via
+//     runpool, so -parallel N produces byte-identical plans to a serial run.
+//
+// Everything is pure computation on the spec — no wall clock, no global
+// rand; the same Config always yields the same Plan (the shaping-determinism
+// gate in check.sh serializes the Plan and compares bytes).
+package shaping
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"demuxabr/internal/media"
+)
+
+// Config parameterizes one shaping run. The zero value of any field falls
+// back to the default noted on it; Seed 0 is a valid seed.
+type Config struct {
+	// Seed drives the scene model and the bandwidth samples of the ladder
+	// objective. Same seed, same spec, same config ⇒ same Plan, bit for bit.
+	Seed int64
+
+	// Grid is the candidate-boundary spacing (default 500ms). Scene
+	// durations and every chunk boundary are multiples of Grid, so chunk
+	// durations survive millisecond manifest serialization exactly.
+	Grid time.Duration
+
+	// Video / Audio bound the boundary search per track type. Audio
+	// defaults to longer chunks than video: audio complexity is flat, so
+	// its optimum is pure request-overhead amortization.
+	Video BoundaryParams
+	Audio BoundaryParams
+
+	// Rungs is the size of the searched video ladder (default: the size of
+	// the spec's ladder). Candidates is the size of the candidate bitrate
+	// grid the rungs are chosen from (default 24). BandwidthSamples is how
+	// many seeded bandwidth draws score a ladder (default 48).
+	Rungs            int
+	Candidates       int
+	BandwidthSamples int
+
+	// Workers fans the ladder search's greedy restarts out via runpool
+	// (0 ⇒ GOMAXPROCS, 1 ⇒ serial). Output is identical for any value.
+	Workers int
+}
+
+// BoundaryParams is the per-type boundary-search objective. Each chunk
+// [a,b) costs
+//
+//	RequestCost + VarianceCost·∫(c(t)−mean)²dt + LengthCost·(b−a)²
+//
+// and the DP minimizes the total: RequestCost pushes toward fewer, longer
+// chunks (the per-request RTT tax demuxing doubles), VarianceCost cuts
+// chunks at scene changes, LengthCost caps runaway chunk growth between
+// them.
+type BoundaryParams struct {
+	MinChunk, MaxChunk time.Duration
+	RequestCost        float64
+	VarianceCost       float64
+	LengthCost         float64
+}
+
+const defaultGrid = 500 * time.Millisecond
+
+func (c Config) withDefaults(spec media.ContentSpec) Config {
+	if c.Grid <= 0 {
+		c.Grid = defaultGrid
+	}
+	if c.Video == (BoundaryParams{}) {
+		c.Video = BoundaryParams{
+			MinChunk:     2 * time.Second,
+			MaxChunk:     8 * time.Second,
+			RequestCost:  0.30,
+			VarianceCost: 2.0,
+			LengthCost:   0.004,
+		}
+	}
+	if c.Audio == (BoundaryParams{}) {
+		// Flat complexity: the optimum is near sqrt(RequestCost/LengthCost)
+		// ≈ 6s — longer than video chunks and misaligned with them.
+		c.Audio = BoundaryParams{
+			MinChunk:    3 * time.Second,
+			MaxChunk:    9 * time.Second,
+			RequestCost: 0.36,
+			LengthCost:  0.01,
+		}
+	}
+	if c.Rungs <= 0 {
+		c.Rungs = len(spec.VideoTracks)
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 24
+	}
+	if c.BandwidthSamples <= 0 {
+		c.BandwidthSamples = 48
+	}
+	return c
+}
+
+// Plan is the output of one shaping run: the complete offline decision for
+// one title. Apply it to the title's spec with Spec, or serialize it with
+// Fingerprint for the determinism gate.
+type Plan struct {
+	Title string
+	Seed  int64
+
+	// Scenes is the generated complexity signal; both the shaped variant
+	// and any fixed-chunking baseline of the same title should synthesize
+	// sizes from it (media.ChunkModel.Scenes) so the comparison holds the
+	// content constant.
+	Scenes []media.Scene
+
+	// VideoChunks / AudioChunks are the searched per-chunk durations; each
+	// sums exactly to the title duration.
+	VideoChunks []time.Duration
+	AudioChunks []time.Duration
+
+	// VideoLadder is the searched per-title ladder (same rung count and
+	// metadata as the input ladder, re-placed bitrates). The audio ladder
+	// is kept as authored: its rungs are product decisions (channel
+	// layouts, languages), not rate-distortion points.
+	VideoLadder media.Ladder
+
+	// VideoCost / AudioCost are the boundary objective values; LadderScore
+	// is the expected log-utility of the chosen ladder.
+	VideoCost, AudioCost float64
+	LadderScore          float64
+}
+
+// Optimize runs the full pipeline for one title.
+func Optimize(spec media.ContentSpec, cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults(spec)
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("shaping: spec %q has no duration", spec.Name)
+	}
+	if len(spec.VideoTracks) == 0 {
+		return nil, fmt.Errorf("shaping: spec %q has no video ladder", spec.Name)
+	}
+	scenes := GenerateScenes(cfg.Seed, spec.Duration, cfg.Grid)
+	cells := cellComplexities(scenes, spec.Duration, cfg.Grid)
+
+	p := &Plan{Title: spec.Name, Seed: cfg.Seed, Scenes: scenes}
+	var err error
+	if p.VideoChunks, p.VideoCost, err = optimizeBoundaries(cells, spec.Duration, cfg.Grid, cfg.Video); err != nil {
+		return nil, fmt.Errorf("shaping: video boundaries: %w", err)
+	}
+	flat := make([]float64, len(cells))
+	for i := range flat {
+		flat[i] = 1
+	}
+	if p.AudioChunks, p.AudioCost, err = optimizeBoundaries(flat, spec.Duration, cfg.Grid, cfg.Audio); err != nil {
+		return nil, fmt.Errorf("shaping: audio boundaries: %w", err)
+	}
+	if p.VideoLadder, p.LadderScore, err = searchLadder(spec.VideoTracks, cfg); err != nil {
+		return nil, fmt.Errorf("shaping: ladder: %w", err)
+	}
+	return p, nil
+}
+
+// Spec returns the spec with the plan applied: searched chunk tables, the
+// searched video ladder, and the scene model wired into size synthesis. The
+// input spec is not modified.
+func (p *Plan) Spec(base media.ContentSpec) media.ContentSpec {
+	out := base
+	out.VideoChunks = p.VideoChunks
+	out.AudioChunks = p.AudioChunks
+	if len(p.VideoLadder) > 0 {
+		out.VideoTracks = p.VideoLadder
+	}
+	out.Model.Scenes = p.Scenes
+	return out
+}
+
+// FixedSpec returns the fixed-chunking baseline of the same title: uniform
+// chunks and the authored ladder, but sizes synthesized from the SAME scene
+// signal — the apples-to-apples counterpart of Spec.
+func (p *Plan) FixedSpec(base media.ContentSpec) media.ContentSpec {
+	out := base
+	out.Model.Scenes = p.Scenes
+	return out
+}
+
+// Fingerprint serializes the plan deterministically (for golden comparisons
+// and the shaping-determinism gate).
+func (p *Plan) Fingerprint() []byte {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		// Plan holds only plain data; marshaling cannot fail.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// GenerateScenes draws the seeded piecewise-constant complexity signal:
+// scene durations uniform in [2s, 12s] (quantized to grid), complexities
+// log-normal around 1, clamped to [0.4, 2.2]. The final scene is truncated
+// to land exactly on total.
+func GenerateScenes(seed int64, total, grid time.Duration) []media.Scene {
+	if grid <= 0 {
+		grid = defaultGrid
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5ce7e5))
+	var out []media.Scene
+	var at time.Duration
+	for at < total {
+		d := 2*time.Second + time.Duration(rng.Int63n(int64(10*time.Second)))
+		d = d / grid * grid
+		if d < grid {
+			d = grid
+		}
+		if at+d > total {
+			d = total - at
+		}
+		c := math.Exp(0.45 * rng.NormFloat64())
+		c = math.Max(0.4, math.Min(c, 2.2))
+		out = append(out, media.Scene{Duration: d, Complexity: c})
+		at += d
+	}
+	return out
+}
+
+// cellComplexities samples the scene signal onto the boundary grid: one
+// mean complexity per grid cell (the last cell may be shorter than grid).
+func cellComplexities(scenes []media.Scene, total, grid time.Duration) []float64 {
+	n := int((total + grid - 1) / grid)
+	out := make([]float64, n)
+	for i := range out {
+		from := time.Duration(i) * grid
+		to := from + grid
+		if to > total {
+			to = total
+		}
+		out[i] = meanSceneComplexity(scenes, from, to)
+	}
+	return out
+}
+
+// meanSceneComplexity mirrors media's time-weighted scene integration for
+// the optimizer's view of the signal.
+func meanSceneComplexity(scenes []media.Scene, from, to time.Duration) float64 {
+	if to <= from {
+		return 1
+	}
+	var weighted float64
+	var at time.Duration
+	for _, sc := range scenes {
+		end := at + sc.Duration
+		lo, hi := from, to
+		if at > lo {
+			lo = at
+		}
+		if end < hi {
+			hi = end
+		}
+		if hi > lo {
+			weighted += sc.Complexity * (hi - lo).Seconds()
+		}
+		at = end
+		if at >= to {
+			break
+		}
+	}
+	return weighted / (to - from).Seconds()
+}

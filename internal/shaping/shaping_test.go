@@ -1,0 +1,258 @@
+package shaping_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"demuxabr/internal/manifest/dash"
+	"demuxabr/internal/manifest/hls"
+	"demuxabr/internal/media"
+	"demuxabr/internal/shaping"
+)
+
+func baseSpec() media.ContentSpec {
+	return media.ContentSpec{
+		Name:          "drama-show",
+		Duration:      media.DramaDuration,
+		ChunkDuration: media.DramaChunkDuration,
+		VideoTracks:   media.DramaVideoLadder(),
+		AudioTracks:   media.DramaAudioLadder(),
+		Model:         media.DefaultChunkModel(),
+	}
+}
+
+// TestShapingDeterminism is the check.sh shaping-determinism gate: the same
+// seed must produce a byte-identical plan, and the worker count of the
+// ladder search must not matter.
+func TestShapingDeterminism(t *testing.T) {
+	spec := baseSpec()
+	serial, err := shaping.Optimize(spec, shaping.Config{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := shaping.Optimize(spec, shaping.Config{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := shaping.Optimize(spec, shaping.Config{Seed: 7, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Fingerprint(), again.Fingerprint()) {
+		t.Fatal("same seed produced different plans across runs")
+	}
+	if !bytes.Equal(serial.Fingerprint(), parallel.Fingerprint()) {
+		t.Fatal("plan differs between -parallel 1 and -parallel 8")
+	}
+	other, err := shaping.Optimize(spec, shaping.Config{Seed: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(serial.Fingerprint(), other.Fingerprint()) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestBoundaryInvariants checks the boundary-table properties across seeds:
+// strictly positive grid-aligned durations within the per-type bounds,
+// exact coverage of the title duration, and deliberate A/V misalignment.
+func TestBoundaryInvariants(t *testing.T) {
+	spec := baseSpec()
+	for seed := int64(0); seed < 6; seed++ {
+		plan, err := shaping.Optimize(spec, shaping.Config{Seed: seed, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		check := func(name string, durs []time.Duration, min, max time.Duration) {
+			if len(durs) == 0 {
+				t.Fatalf("seed %d: %s: empty chunk table", seed, name)
+			}
+			var sum time.Duration
+			for i, d := range durs {
+				if d <= 0 {
+					t.Fatalf("seed %d: %s chunk %d: non-positive duration %v", seed, name, i, d)
+				}
+				if d%(500*time.Millisecond) != 0 {
+					t.Fatalf("seed %d: %s chunk %d: %v not grid-aligned", seed, name, i, d)
+				}
+				if d > max {
+					t.Fatalf("seed %d: %s chunk %d: %v above max %v", seed, name, i, d, max)
+				}
+				if d < min && i != len(durs)-1 {
+					t.Fatalf("seed %d: %s chunk %d: %v below min %v", seed, name, i, d, min)
+				}
+				sum += d
+			}
+			if sum != spec.Duration {
+				t.Fatalf("seed %d: %s chunks sum to %v, want %v", seed, name, sum, spec.Duration)
+			}
+		}
+		check("video", plan.VideoChunks, 2*time.Second, 8*time.Second)
+		check("audio", plan.AudioChunks, 3*time.Second, 9*time.Second)
+
+		c, err := media.NewContent(plan.Spec(spec))
+		if err != nil {
+			t.Fatalf("seed %d: shaped content: %v", seed, err)
+		}
+		if c.Aligned() {
+			t.Fatalf("seed %d: shaped A/V timelines are aligned; shaping must diverge them", seed)
+		}
+		for _, typ := range []media.Type{media.Video, media.Audio} {
+			tl := c.ChunkTimeline(typ)
+			if tl[0] != 0 || tl[len(tl)-1] != c.Duration {
+				t.Fatalf("seed %d: %v timeline spans [%v, %v], want [0, %v]", seed, typ, tl[0], tl[len(tl)-1], c.Duration)
+			}
+			for i := 1; i < len(tl); i++ {
+				if tl[i] <= tl[i-1] {
+					t.Fatalf("seed %d: %v timeline not strictly monotone at %d", seed, typ, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanRoundTrip writes a shaped title through both manifest formats and
+// checks the parsed timelines reproduce the plan exactly.
+func TestPlanRoundTrip(t *testing.T) {
+	spec := baseSpec()
+	plan, err := shaping.Optimize(spec, shaping.Config{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := media.MustNewContent(plan.Spec(spec))
+
+	want := map[media.Type][]time.Duration{
+		media.Video: plan.VideoChunks,
+		media.Audio: plan.AudioChunks,
+	}
+
+	// HLS: per-segment EXTINF must reproduce the table, and TARGETDURATION
+	// must cover the longest actual segment (RFC 8216 §4.3.3.1).
+	for _, typ := range []media.Type{media.Video, media.Audio} {
+		tracks := c.VideoTracks
+		if typ == media.Audio {
+			tracks = c.AudioTracks
+		}
+		p := hls.GenerateMedia(c, tracks[0], hls.SegmentFiles, false)
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := hls.ParseMedia(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: reparse: %v", typ, err)
+		}
+		if got, want := len(parsed.Segments), len(want[typ]); got != want {
+			t.Fatalf("%v: %d HLS segments, want %d", typ, got, want)
+		}
+		var max time.Duration
+		for i, s := range parsed.Segments {
+			if s.Duration != want[typ][i] {
+				t.Fatalf("%v: HLS segment %d duration %v, want %v", typ, i, s.Duration, want[typ][i])
+			}
+			if s.Duration > max {
+				max = s.Duration
+			}
+		}
+		if parsed.TargetDuration < max {
+			t.Fatalf("%v: TARGETDURATION %v below max segment %v", typ, parsed.TargetDuration, max)
+		}
+	}
+
+	// DASH: the SegmentTimeline expansion must reproduce the table.
+	var buf bytes.Buffer
+	if err := dash.Generate(c).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mpd, err := dash.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range mpd.Periods[0].AdaptationSets {
+		typ := media.Video
+		if set.ContentType == "audio" {
+			typ = media.Audio
+		}
+		if set.SegmentTemplate.Duration != 0 {
+			t.Fatalf("%s: shaped timeline still declares @duration=%d", set.ContentType, set.SegmentTemplate.Duration)
+		}
+		durs, err := set.SegmentTemplate.SegmentDurations(c.Duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(durs) != len(want[typ]) {
+			t.Fatalf("%s: %d DASH segments, want %d", set.ContentType, len(durs), len(want[typ]))
+		}
+		for i, d := range durs {
+			if d != want[typ][i] {
+				t.Fatalf("%s: DASH segment %d duration %v, want %v", set.ContentType, i, d, want[typ][i])
+			}
+		}
+	}
+}
+
+// TestLadderSearch checks the searched ladder's shape: the authored rung
+// count, strictly ascending bitrates, template metadata carried over.
+func TestLadderSearch(t *testing.T) {
+	spec := baseSpec()
+	plan, err := shaping.Optimize(spec, shaping.Config{Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := plan.VideoLadder
+	if len(l) != len(spec.VideoTracks) {
+		t.Fatalf("ladder has %d rungs, want %d", len(l), len(spec.VideoTracks))
+	}
+	for i, tr := range l {
+		if tr.Type != media.Video {
+			t.Fatalf("rung %d has type %v", i, tr.Type)
+		}
+		if i > 0 && tr.AvgBitrate <= l[i-1].AvgBitrate {
+			t.Fatalf("ladder not strictly ascending at rung %d: %v after %v", i, tr.AvgBitrate, l[i-1].AvgBitrate)
+		}
+		if tr.PeakBitrate < tr.AvgBitrate {
+			t.Fatalf("rung %d peak %v below avg %v", i, tr.PeakBitrate, tr.AvgBitrate)
+		}
+		if tr.ID != spec.VideoTracks[i].ID || tr.Resolution != spec.VideoTracks[i].Resolution {
+			t.Fatalf("rung %d lost template identity: %q/%q", i, tr.ID, tr.Resolution)
+		}
+	}
+	// The shaped ladder must remain usable in content synthesis.
+	if _, err := media.NewContent(plan.Spec(spec)); err != nil {
+		t.Fatalf("shaped ladder content: %v", err)
+	}
+}
+
+// TestFixedSpecKeepsUniformContract verifies the baseline variant: same
+// scene signal, but uniform chunking and the authored ladder — and content
+// built from a plain spec (no scenes) stays byte-identical to the preset.
+func TestFixedSpecKeepsUniformContract(t *testing.T) {
+	spec := baseSpec()
+	plan, err := shaping.Optimize(spec, shaping.Config{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := media.MustNewContent(plan.FixedSpec(spec))
+	if !fixed.Aligned() || fixed.Irregular(media.Video) || fixed.Irregular(media.Audio) {
+		t.Fatal("fixed variant must keep the uniform aligned timeline")
+	}
+	if fixed.NumChunks() != int(spec.Duration/spec.ChunkDuration) {
+		t.Fatalf("fixed variant has %d chunks, want %d", fixed.NumChunks(), int(spec.Duration/spec.ChunkDuration))
+	}
+	// Scenes change sizes (that is their purpose), but not the timeline; a
+	// spec without scenes must reproduce the preset exactly.
+	plain := media.MustNewContent(baseSpec())
+	preset := media.DramaShow()
+	for _, tr := range preset.Tracks() {
+		a, b := preset.TrackSizes(tr), plain.TrackSizes(plain.TrackByID(tr.ID))
+		if len(a) != len(b) {
+			t.Fatalf("track %s: %d vs %d chunks", tr.ID, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("track %s chunk %d: size %d != preset %d", tr.ID, i, b[i], a[i])
+			}
+		}
+	}
+}
